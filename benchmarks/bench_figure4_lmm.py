@@ -1,0 +1,108 @@
+"""Figure 4 reproduction: the three matrices and the LMM rewrite (Eq. 2).
+
+Figure 4 shows, for the running example: (a) the mapping matrices and
+their compressed forms, (b) the compressed indicator matrices, (c) the
+redundancy matrix and the rewritten left matrix multiplication
+``T X → I1 D1 M1ᵀ X + ((I2 D2 M2ᵀ) ∘ R2) X``. The harness prints all of
+them, verifies the rewrite against the materialized product, and times the
+rewrite against materialization on scaled-up versions of the same
+integration pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.hospital import hospital_integrated_dataset
+from repro.datagen.synthetic import SyntheticSiloSpec, generate_integrated_pair
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.metadata.mappings import ScenarioType
+
+# The operand X used in Figure 4c (4×2, matching T's four columns).
+FIGURE_4C_OPERAND = np.array([[6.0, 2.0], [5.0, 2.0], [3.0, 4.0], [2.0, 1.0]])
+
+
+@pytest.fixture(scope="module")
+def running_example():
+    dataset = hospital_integrated_dataset(ScenarioType.FULL_OUTER_JOIN)
+    return dataset, AmalurMatrix(dataset)
+
+
+class TestFigure4Correctness:
+    def test_rewrite_equals_materialized_product(self, running_example):
+        dataset, matrix = running_example
+        assert np.allclose(
+            matrix.lmm(FIGURE_4C_OPERAND), dataset.materialize() @ FIGURE_4C_OPERAND
+        )
+
+    def test_local_results_plus_redundancy_assembly(self, running_example):
+        dataset, _ = running_example
+        t1 = dataset.factors[0].masked_contribution()
+        t2 = dataset.factors[1].contribution()
+        r2 = dataset.factors[1].redundancy.to_dense()
+        lhs = t1 @ FIGURE_4C_OPERAND + (t2 * r2) @ FIGURE_4C_OPERAND
+        assert np.allclose(lhs, dataset.materialize() @ FIGURE_4C_OPERAND)
+
+
+def _scaled_dataset(base_rows: int):
+    return generate_integrated_pair(
+        SyntheticSiloSpec(
+            base_rows=base_rows,
+            base_columns=3,
+            other_rows=max(2, base_rows // 10),
+            other_columns=60,
+            redundancy_in_target=True,
+            redundancy_in_sources=True,
+            seed=0,
+        )
+    )
+
+
+@pytest.mark.parametrize("base_rows", [2_000, 20_000, 100_000])
+def test_benchmark_factorized_lmm(benchmark, base_rows):
+    dataset = _scaled_dataset(base_rows)
+    matrix = AmalurMatrix(dataset)
+    operand = np.random.default_rng(1).standard_normal((matrix.n_columns, 4))
+    benchmark(matrix.lmm, operand)
+
+
+@pytest.mark.parametrize("base_rows", [2_000, 20_000, 100_000])
+def test_benchmark_materialized_lmm(benchmark, base_rows):
+    dataset = _scaled_dataset(base_rows)
+    operand = np.random.default_rng(1).standard_normal((len(dataset.target_columns), 4))
+
+    def run():
+        return dataset.materialize() @ operand
+
+    benchmark(run)
+
+
+def test_report_figure4(report, benchmark, running_example):
+    dataset, matrix = running_example
+    m1, m2 = (f.mapping for f in dataset.factors)
+    i1, i2 = (f.indicator for f in dataset.factors)
+    r2 = dataset.factors[1].redundancy
+
+    lines = ["Figure 4: mapping, indicator, and redundancy matrices", "=" * 64]
+    lines.append("(a) mapping matrices")
+    lines.append(f"    M1 =\n{m1.to_dense()}")
+    lines.append(f"    CM1 = {m1.compressed.tolist()}")
+    lines.append(f"    M2 =\n{m2.to_dense()}")
+    lines.append(f"    CM2 = {m2.compressed.tolist()}")
+    lines.append("(b) compressed indicator matrices")
+    lines.append(f"    CI1 = {i1.compressed.tolist()}")
+    lines.append(f"    CI2 = {i2.compressed.tolist()}")
+    lines.append("(c) redundancy matrix R2 and the LMM rewrite")
+    lines.append(f"    R2 =\n{r2.to_dense()}")
+    lines.append(f"    X =\n{FIGURE_4C_OPERAND}")
+    lines.append(f"    T1 X =\n{dataset.factors[0].masked_contribution() @ FIGURE_4C_OPERAND}")
+    lines.append(
+        "    (T2 ∘ R2) X =\n"
+        f"{dataset.factors[1].masked_contribution() @ FIGURE_4C_OPERAND}"
+    )
+    lines.append(f"    T X (factorized rewrite) =\n{matrix.lmm(FIGURE_4C_OPERAND)}")
+    lines.append(f"    T X (materialized)       =\n{dataset.materialize() @ FIGURE_4C_OPERAND}")
+    report("figure4_lmm", lines)
+
+    benchmark(matrix.lmm, FIGURE_4C_OPERAND)

@@ -1,0 +1,61 @@
+"""Reproduction of "Amalur: Data Integration Meets Machine Learning" (ICDE 2023).
+
+The library implements the paper's matrix representations of
+data-integration metadata, factorized learning over the four silo
+integration scenarios of Table I, the factorize-vs-materialize cost model,
+and federated learning driven by DI metadata — plus the relational,
+metadata, silo and workload-generation substrates they need.
+
+Quick start::
+
+    from repro import Amalur, ModelSpec, ScenarioType
+    from repro.datagen import hospital_tables
+
+    s1, s2 = hospital_tables()
+    amalur = Amalur()
+    amalur.add_silo("er")
+    amalur.add_table("er", s1)
+    amalur.add_silo("pulmonary")
+    amalur.add_table("pulmonary", s2)
+    dataset = amalur.integrate("S1", "S2", ["m", "a", "hr", "o"],
+                               ScenarioType.FULL_OUTER_JOIN, label_column="m")
+    result = amalur.train(dataset, ModelSpec(task="classification"))
+"""
+
+from repro.exceptions import AmalurError
+from repro.metadata.mappings import ScenarioType
+from repro.matrices import (
+    MappingMatrix,
+    IndicatorMatrix,
+    RedundancyMatrix,
+    IntegratedDataset,
+    SourceFactor,
+    integrate_tables,
+)
+from repro.factorized import AmalurMatrix, MorpheusMatrix
+from repro.costmodel import AmalurCostModel, MorpheusRule, CostParameters, Decision
+from repro.system import Amalur, ModelSpec, ExecutionPlan, TrainingResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmalurError",
+    "ScenarioType",
+    "MappingMatrix",
+    "IndicatorMatrix",
+    "RedundancyMatrix",
+    "IntegratedDataset",
+    "SourceFactor",
+    "integrate_tables",
+    "AmalurMatrix",
+    "MorpheusMatrix",
+    "AmalurCostModel",
+    "MorpheusRule",
+    "CostParameters",
+    "Decision",
+    "Amalur",
+    "ModelSpec",
+    "ExecutionPlan",
+    "TrainingResult",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Cost estimation: factorize or materialize (paper §IV-B, Table III, Figure 5).
+
+The package contains two decision procedures:
+
+* :class:`MorpheusRule` — the state-of-the-art heuristic of Chen et al.
+  (paper reference [27]) based on the tuple ratio and feature ratio only.
+* :class:`AmalurCostModel` — the paper's proposal: an analytical cost model
+  over FLOPs, memory traffic and data-transfer volume, parameterized by
+  data-integration metadata (per-source shapes, overlap, redundancy in the
+  sources and in the target, null ratios, and the tgd-based pruning rule
+  of Example IV.1).
+"""
+
+from repro.costmodel.parameters import CostParameters
+from repro.costmodel.morpheus_rule import MorpheusRule
+from repro.costmodel.amalur_cost import AmalurCostModel, CostBreakdown
+from repro.costmodel.decision import Decision, DecisionAdvisor, DecisionOutcome
+
+__all__ = [
+    "CostParameters",
+    "MorpheusRule",
+    "AmalurCostModel",
+    "CostBreakdown",
+    "Decision",
+    "DecisionAdvisor",
+    "DecisionOutcome",
+]

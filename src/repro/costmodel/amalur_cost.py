@@ -1,0 +1,141 @@
+"""Amalur's analytical cost model for factorize-vs-materialize (paper §IV-B).
+
+The model estimates the cost of executing a (batch of) left matrix
+multiplications over the target table under the two strategies:
+
+* **materialize** — pay once for integrating the sources (reading every
+  source cell, resolving redundancy, writing every target cell), then run
+  dense LMMs over the ``r_T × c_T`` target;
+* **factorize** — run the rewritten LMM of Eq. (2) directly over the
+  sources: per-source dense multiplies, an indicator lift per source, and
+  a sparse correction proportional to the number of redundant cells.
+
+Costs are expressed in abstract "cell operations"; relative weights for
+compute vs. memory writes vs. (optional) network transfer are tunable.
+The DI-metadata-driven pruning rule of Example IV.1 is applied first:
+when every tgd is full and the target is no larger than the sources, the
+target cannot contain more redundancy than the sources and materialization
+is chosen outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.costmodel.parameters import CostParameters
+
+
+@dataclass
+class CostBreakdown:
+    """Per-strategy cost estimate, in abstract cell-operation units."""
+
+    materialize_integration: float
+    materialize_compute: float
+    factorize_compute: float
+    factorize_overhead: float
+    transfer: float = 0.0
+    pruned_by_tgd_rule: bool = False
+
+    @property
+    def materialized_total(self) -> float:
+        return self.materialize_integration + self.materialize_compute + self.transfer
+
+    @property
+    def factorized_total(self) -> float:
+        return self.factorize_compute + self.factorize_overhead
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Estimated speedup of factorization over materialization (>1 = faster)."""
+        if self.factorized_total == 0:
+            return float("inf")
+        return self.materialized_total / self.factorized_total
+
+
+@dataclass
+class AmalurCostModel:
+    """Analytical cost model parameterized by DI metadata.
+
+    Parameters
+    ----------
+    write_weight:
+        Relative cost of writing one materialized target cell (integration
+        output) compared to one multiply-add.
+    read_weight:
+        Relative cost of reading one source cell during integration.
+    lift_weight:
+        Relative cost of the per-target-row indicator lift in the
+        factorized plan.
+    per_source_overhead:
+        Fixed overhead (in cell operations) per participating source —
+        kernel-launch / orchestration cost that penalizes factorization
+        over very small sources.
+    transfer_weight:
+        Relative cost of shipping one materialized target cell out of the
+        silos (0 disables the network term; the silo layer sets it).
+    reuse:
+        Number of LMM passes the training workload performs over the same
+        target (epochs); the integration cost is amortized across them.
+    """
+
+    write_weight: float = 2.0
+    read_weight: float = 1.0
+    lift_weight: float = 1.0
+    per_source_overhead: float = 2000.0
+    transfer_weight: float = 0.0
+    reuse: int = 1
+
+    def breakdown(self, parameters: CostParameters) -> CostBreakdown:
+        """Full cost breakdown for both strategies."""
+        operand_columns = max(parameters.operand_columns, 1)
+        reuse = max(self.reuse, 1)
+
+        # Example IV.1 pruning rule: full tgds and a target no bigger than
+        # the sources ⇒ no extra redundancy in the target ⇒ materialize.
+        pruned = (
+            parameters.has_full_tgds_only
+            and parameters.target_cells <= parameters.total_source_cells
+        )
+
+        integration = (
+            parameters.total_source_cells * self.read_weight
+            + parameters.target_cells * self.write_weight
+        ) / reuse
+        materialize_compute = float(parameters.target_cells) * operand_columns
+        transfer = parameters.target_cells * self.transfer_weight / reuse
+
+        factorize_compute = 0.0
+        null_ratios = parameters.null_ratios
+        for index, (rows, cols) in enumerate(parameters.source_shapes):
+            density = 1.0 - (null_ratios[index] if index < len(null_ratios) else 0.0)
+            factorize_compute += rows * cols * operand_columns * density
+            factorize_compute += parameters.n_target_rows * operand_columns * self.lift_weight
+        factorize_compute += parameters.redundant_cells * operand_columns
+        overhead = self.per_source_overhead * parameters.n_sources
+
+        return CostBreakdown(
+            materialize_integration=integration,
+            materialize_compute=materialize_compute,
+            factorize_compute=factorize_compute,
+            factorize_overhead=overhead,
+            transfer=transfer,
+            pruned_by_tgd_rule=pruned,
+        )
+
+    def predict_factorize(self, parameters: CostParameters) -> bool:
+        """True when the model chooses factorization."""
+        breakdown = self.breakdown(parameters)
+        if breakdown.pruned_by_tgd_rule:
+            return False
+        return breakdown.factorized_total < breakdown.materialized_total
+
+    def explain(self, parameters: CostParameters) -> str:
+        breakdown = self.breakdown(parameters)
+        decision = "factorize" if self.predict_factorize(parameters) else "materialize"
+        return (
+            f"{decision}: factorized={breakdown.factorized_total:.0f} vs "
+            f"materialized={breakdown.materialized_total:.0f} cell-ops "
+            f"(integration={breakdown.materialize_integration:.0f}, "
+            f"pruned_by_tgd_rule={breakdown.pruned_by_tgd_rule})"
+        )

@@ -1,0 +1,48 @@
+"""The Morpheus factorize/materialize heuristic (paper reference [27]).
+
+Chen et al. decide with two ratios only:
+
+* *tuple ratio* — rows of the entity (fact) table over rows of the
+  dimension table; high values mean each dimension row is re-used many
+  times in the (assumed key–foreign-key) join, which is where
+  factorization saves work;
+* *feature ratio* — total number of feature columns over the entity
+  table's columns.
+
+Both are computed from the **source tables alone**: the heuristic assumes
+an inner key–foreign-key join and is blind to the actual dataset
+relationship (how many rows really reach the target, overlapping columns,
+redundancy, null ratios). Factorization is predicted when both ratios
+clear fixed thresholds (defaults follow the original paper: 5 and 1).
+The paper's §IV-B points out this only resolves the easy Area I cases of
+Figure 5 and ignores every DI-metadata parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.parameters import CostParameters
+
+
+@dataclass
+class MorpheusRule:
+    """Tuple-ratio / feature-ratio threshold heuristic."""
+
+    tuple_ratio_threshold: float = 5.0
+    feature_ratio_threshold: float = 1.0
+
+    def predict_factorize(self, parameters: CostParameters) -> bool:
+        """True when the heuristic chooses factorization."""
+        return (
+            parameters.source_tuple_ratio >= self.tuple_ratio_threshold
+            and parameters.source_feature_ratio >= self.feature_ratio_threshold
+        )
+
+    def explain(self, parameters: CostParameters) -> str:
+        return (
+            f"tuple_ratio={parameters.source_tuple_ratio:.2f} "
+            f"(threshold {self.tuple_ratio_threshold}), "
+            f"feature_ratio={parameters.source_feature_ratio:.2f} "
+            f"(threshold {self.feature_ratio_threshold})"
+        )

@@ -1,0 +1,145 @@
+"""Cost-model parameters extracted from data-integration metadata.
+
+Paper §IV-B: "among silos there are parameters relevant for the
+redundancy, source description (e.g., number of sources, number of columns
+and rows in each source, null value ratio per table), source
+correspondences (column matching and row matching between sources), etc."
+:class:`CostParameters` is exactly that bundle, derived either from an
+:class:`repro.matrices.IntegratedDataset` or specified directly for
+synthetic sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import CostModelError
+
+
+@dataclass
+class CostParameters:
+    """Shape and overlap statistics driving the factorize/materialize decision."""
+
+    source_shapes: List[Tuple[int, int]]
+    n_target_rows: int
+    n_target_columns: int
+    overlap_rows: int = 0
+    overlap_columns: int = 0
+    redundant_cells: int = 0
+    null_ratios: List[float] = field(default_factory=list)
+    has_full_tgds_only: bool = False
+    operand_columns: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.source_shapes:
+            raise CostModelError("cost parameters need at least one source shape")
+        for rows, cols in self.source_shapes:
+            if rows < 0 or cols < 0:
+                raise CostModelError(f"invalid source shape ({rows}, {cols})")
+        if self.n_target_rows < 0 or self.n_target_columns <= 0:
+            raise CostModelError("invalid target shape")
+        if not self.null_ratios:
+            self.null_ratios = [0.0] * len(self.source_shapes)
+
+    # -- derived ratios (the Morpheus heuristic's inputs) --------------------------------
+    @property
+    def n_sources(self) -> int:
+        return len(self.source_shapes)
+
+    @property
+    def total_source_cells(self) -> int:
+        return sum(rows * cols for rows, cols in self.source_shapes)
+
+    @property
+    def target_cells(self) -> int:
+        return self.n_target_rows * self.n_target_columns
+
+    @property
+    def tuple_ratio(self) -> float:
+        """r_T over the rows of the largest (base) source."""
+        base_rows = max(rows for rows, _ in self.source_shapes)
+        return self.n_target_rows / base_rows if base_rows else 0.0
+
+    @property
+    def smallest_source_tuple_ratio(self) -> float:
+        """r_T over the rows of the smallest source (Morpheus' per-join ratio)."""
+        smallest = min(rows for rows, _ in self.source_shapes if rows > 0)
+        return self.n_target_rows / smallest if smallest else 0.0
+
+    @property
+    def feature_ratio(self) -> float:
+        """c_T over the widest source's columns."""
+        widest = max(cols for _, cols in self.source_shapes)
+        return self.n_target_columns / widest if widest else 0.0
+
+    # -- source-only ratios (what the Morpheus heuristic can see) --------------------------
+    @property
+    def source_tuple_ratio(self) -> float:
+        """Largest source's rows over the smallest source's rows.
+
+        This is the tuple ratio the Morpheus heuristic works with: it is
+        computed from the source tables alone, assuming a key–foreign-key
+        inner join, and is blind to how many rows actually reach the target.
+        """
+        rows = [r for r, _ in self.source_shapes if r > 0]
+        if not rows:
+            return 0.0
+        return max(rows) / min(rows)
+
+    @property
+    def source_feature_ratio(self) -> float:
+        """Total source columns over the entity (largest-rows) source's columns."""
+        entity_rows, entity_columns = max(self.source_shapes, key=lambda shape: shape[0])
+        total_columns = sum(cols for _, cols in self.source_shapes)
+        if entity_columns == 0:
+            return float(total_columns)
+        return total_columns / entity_columns
+
+    @property
+    def target_redundancy(self) -> float:
+        """Fraction of target cells exceeding the sources' cells (≥ 0)."""
+        if self.total_source_cells == 0:
+            return 0.0
+        extra = self.target_cells - self.total_source_cells
+        return max(extra, 0) / self.target_cells if self.target_cells else 0.0
+
+    @property
+    def source_redundancy(self) -> float:
+        """Fraction of source cells that are redundant w.r.t. the target."""
+        if self.total_source_cells == 0:
+            return 0.0
+        return self.redundant_cells / self.total_source_cells
+
+    @classmethod
+    def from_dataset(
+        cls, dataset, operand_columns: int = 1, has_full_tgds_only: Optional[bool] = None
+    ) -> "CostParameters":
+        """Derive parameters from an :class:`repro.matrices.IntegratedDataset`."""
+        source_shapes = [(f.n_rows, f.n_columns) for f in dataset.factors]
+        redundant = sum(f.redundancy.n_redundant for f in dataset.factors)
+        overlap_rows = 0
+        overlap_columns = 0
+        if dataset.n_sources >= 2:
+            base = dataset.factors[0]
+            other = dataset.factors[1]
+            base_rows = set(base.indicator.mapped_target_rows())
+            other_rows = set(other.indicator.mapped_target_rows())
+            overlap_rows = len(base_rows & other_rows)
+            base_cols = set(base.mapping.mapped_target_indices())
+            other_cols = set(other.mapping.mapped_target_indices())
+            overlap_columns = len(base_cols & other_cols)
+        if has_full_tgds_only is None:
+            from repro.metadata.mappings import ScenarioType
+
+            has_full_tgds_only = dataset.scenario is ScenarioType.INNER_JOIN
+        return cls(
+            source_shapes=source_shapes,
+            n_target_rows=dataset.n_target_rows,
+            n_target_columns=len(dataset.target_columns),
+            overlap_rows=overlap_rows,
+            overlap_columns=overlap_columns,
+            redundant_cells=redundant,
+            has_full_tgds_only=has_full_tgds_only,
+            operand_columns=operand_columns,
+        )

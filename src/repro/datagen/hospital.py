@@ -1,0 +1,96 @@
+"""The paper's running example: hospital mortality prediction (Figure 2).
+
+``S1(m, n, a, hr)`` comes from the ER department (label ``m`` = mortality,
+features age and resting heart rate); ``S2(m, n, a, o, dd)`` comes from the
+pulmonary department and contributes the new feature ``o`` (blood oxygen).
+Jane appears in both tables (the "Same Entity" of Figure 2), and the
+mediated schema is ``T(m, a, hr, o)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.matrices.builder import IntegratedDataset, integrate_tables
+from repro.metadata.entity_resolution import RowMatch
+from repro.metadata.mappings import ScenarioType
+from repro.metadata.schema_matching import ColumnMatch
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+def hospital_tables() -> Tuple[Table, Table]:
+    """The exact S1 and S2 instances of Figure 2a-b."""
+    s1_schema = Schema(
+        [
+            Column("m", DataType.INT, is_label=True, description="mortality"),
+            Column("n", DataType.STRING, is_key=True, description="name"),
+            Column("a", DataType.INT, description="age"),
+            Column("hr", DataType.INT, description="resting heart rate"),
+        ]
+    )
+    s1 = Table.from_rows(
+        "S1",
+        s1_schema,
+        [
+            (0, "Jack", 20, 60),
+            (1, "Sam", 35, 58),
+            (0, "Ruby", 22, 65),
+            (1, "Jane", 37, 70),
+        ],
+    )
+    s2_schema = Schema(
+        [
+            Column("m", DataType.INT, is_label=True, description="mortality"),
+            Column("n", DataType.STRING, is_key=True, description="name"),
+            Column("a", DataType.INT, description="age"),
+            Column("o", DataType.INT, description="blood oxygen level"),
+            Column("dd", DataType.STRING, description="date diagnosed"),
+        ]
+    )
+    s2 = Table.from_rows(
+        "S2",
+        s2_schema,
+        [
+            (1, "Rose", 45, 95, "1/4/21"),
+            (0, "Castiel", 20, 97, "3/8/22"),
+            (1, "Jane", 37, 92, "11/5/21"),
+        ],
+    )
+    return s1, s2
+
+
+def hospital_column_matches() -> List[ColumnMatch]:
+    """The schema-matching output of the running example (m, n, a overlap)."""
+    return [
+        ColumnMatch("S1", "m", "S2", "m", 1.0),
+        ColumnMatch("S1", "n", "S2", "n", 1.0),
+        ColumnMatch("S1", "a", "S2", "a", 1.0),
+    ]
+
+
+def hospital_row_matches() -> List[RowMatch]:
+    """The entity-resolution output: S1 row 3 (Jane) == S2 row 2 (Jane)."""
+    return [RowMatch(3, 2, 1.0)]
+
+
+def hospital_integrated_dataset(
+    scenario: ScenarioType = ScenarioType.FULL_OUTER_JOIN,
+) -> IntegratedDataset:
+    """The running example integrated under any of the Table I scenarios.
+
+    The default full outer join reproduces the 6-row target table
+    ``T(m, a, hr, o)`` of Figure 2d / Figure 4.
+    """
+    s1, s2 = hospital_tables()
+    return integrate_tables(
+        base=s1,
+        other=s2,
+        column_matches=hospital_column_matches(),
+        row_matches=hospital_row_matches(),
+        target_columns=["m", "a", "hr", "o"],
+        scenario=scenario,
+        label_column="m",
+        name="T",
+    )

@@ -1,0 +1,146 @@
+"""Generators for the four Table I integration scenarios on relational tables.
+
+These generators produce *small-to-medium* relational tables (they go
+through :class:`repro.relational.Table`, so every cell is a Python value)
+together with their DI metadata, and are used by tests, examples and the
+Table I benchmark. For the large shape sweeps of Table III / Figure 5 use
+:mod:`repro.datagen.synthetic`, which builds the factorized representation
+directly from numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.matrices.builder import IntegratedDataset, integrate_tables
+from repro.metadata.entity_resolution import RowMatch
+from repro.metadata.mappings import ScenarioType
+from repro.metadata.schema_matching import ColumnMatch
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+@dataclass
+class ScenarioSpec:
+    """Parameters of a two-silo integration scenario.
+
+    ``overlap_rows`` is the number of entities present in both sources;
+    ``overlap_columns`` the number of feature columns both sources store
+    (besides the key), which creates source redundancy.
+    """
+
+    scenario: ScenarioType
+    base_rows: int = 100
+    other_rows: int = 60
+    base_features: int = 4
+    other_features: int = 5
+    overlap_rows: int = 30
+    overlap_columns: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.overlap_rows = min(self.overlap_rows, self.base_rows, self.other_rows)
+        self.overlap_columns = min(self.overlap_columns, self.base_features, self.other_features)
+
+
+def _feature_schema(prefix: str, n_features: int, shared: int, label: bool) -> Schema:
+    columns = [Column("id", DataType.INT, is_key=True)]
+    if label:
+        columns.append(Column("label", DataType.INT, is_label=True))
+    for i in range(shared):
+        columns.append(Column(f"shared_{i}", DataType.FLOAT))
+    for i in range(n_features - shared):
+        columns.append(Column(f"{prefix}_{i}", DataType.FLOAT))
+    return Schema(columns)
+
+
+def generate_scenario_tables(
+    spec: ScenarioSpec,
+) -> Tuple[Table, Table, List[ColumnMatch], List[RowMatch], List[str]]:
+    """Generate the two source tables plus their DI metadata.
+
+    For union scenarios the two tables share the full feature schema (the
+    HFL case); otherwise the base carries the label and ``base_features``
+    columns, the other table carries ``other_features`` columns of which
+    ``overlap_columns`` duplicate base columns (source redundancy).
+
+    Returns ``(base, other, column_matches, row_matches, target_columns)``.
+    """
+    rng = np.random.default_rng(spec.seed)
+    is_union = spec.scenario is ScenarioType.UNION
+    shared = spec.base_features if is_union else spec.overlap_columns
+
+    base_schema = _feature_schema("b", spec.base_features, shared, label=True)
+    other_features = spec.base_features if is_union else spec.other_features
+    other_schema = _feature_schema("o", other_features, shared, label=is_union)
+
+    overlap_ids = list(range(spec.overlap_rows))
+    base_ids = list(range(spec.base_rows))
+    if is_union:
+        other_ids = list(range(spec.base_rows, spec.base_rows + spec.other_rows))
+    else:
+        other_only = list(range(spec.base_rows, spec.base_rows + spec.other_rows - spec.overlap_rows))
+        other_ids = overlap_ids + other_only
+
+    def build_rows(ids, schema: Schema):
+        rows = []
+        for entity_id in ids:
+            row = []
+            entity_rng = np.random.default_rng(spec.seed * 1_000_003 + entity_id)
+            for column in schema:
+                if column.name == "id":
+                    row.append(entity_id)
+                elif column.is_label:
+                    row.append(int(entity_rng.integers(0, 2)))
+                elif column.name.startswith("shared_"):
+                    row.append(float(np.round(entity_rng.normal(), 4)))
+                else:
+                    row.append(float(np.round(rng.normal(), 4)))
+            rows.append(row)
+        return rows
+
+    base = Table.from_rows("S1", base_schema, build_rows(base_ids, base_schema))
+    other = Table.from_rows("S2", other_schema, build_rows(other_ids, other_schema))
+
+    column_matches = [ColumnMatch("S1", "id", "S2", "id", 1.0)]
+    for i in range(shared):
+        column_matches.append(ColumnMatch("S1", f"shared_{i}", "S2", f"shared_{i}", 1.0))
+    if is_union:
+        column_matches.append(ColumnMatch("S1", "label", "S2", "label", 1.0))
+        for i in range(spec.base_features - shared):
+            column_matches.append(ColumnMatch("S1", f"b_{i}", "S2", f"b_{i}", 1.0))
+
+    if is_union:
+        row_matches: List[RowMatch] = []
+    else:
+        other_index = {entity_id: j for j, entity_id in enumerate(other_ids)}
+        row_matches = [
+            RowMatch(i, other_index[entity_id], 1.0)
+            for i, entity_id in enumerate(base_ids)
+            if entity_id in other_index
+        ]
+
+    target_columns = ["label"]
+    target_columns += [f"shared_{i}" for i in range(shared)]
+    target_columns += [f"b_{i}" for i in range(spec.base_features - shared)]
+    if not is_union:
+        target_columns += [f"o_{i}" for i in range(other_features - shared)]
+    return base, other, column_matches, row_matches, target_columns
+
+
+def generate_scenario_dataset(spec: ScenarioSpec) -> IntegratedDataset:
+    """Generate a scenario and integrate it into a factorized dataset."""
+    base, other, column_matches, row_matches, target_columns = generate_scenario_tables(spec)
+    return integrate_tables(
+        base=base,
+        other=other,
+        column_matches=column_matches,
+        row_matches=row_matches,
+        target_columns=target_columns,
+        scenario=spec.scenario,
+        label_column="label",
+    )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Amalur reproduction library.
+
+All library-raised errors derive from :class:`AmalurError` so that callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class AmalurError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(AmalurError):
+    """Raised when a schema is malformed or two schemas are incompatible."""
+
+
+class TableError(AmalurError):
+    """Raised for invalid table construction or access."""
+
+
+class JoinError(AmalurError):
+    """Raised when a join cannot be performed (missing keys, bad types)."""
+
+
+class MappingError(AmalurError):
+    """Raised for invalid schema mappings or mapping matrices."""
+
+
+class MatchingError(AmalurError):
+    """Raised when schema matching or entity resolution fails."""
+
+
+class FactorizationError(AmalurError):
+    """Raised when a factorized operator cannot be applied."""
+
+
+class CostModelError(AmalurError):
+    """Raised for invalid cost-model inputs."""
+
+
+class FederatedError(AmalurError):
+    """Raised for federated-learning protocol violations."""
+
+
+class PrivacyError(FederatedError):
+    """Raised when an operation would violate a declared privacy constraint."""
+
+
+class PlanError(AmalurError):
+    """Raised when the optimizer cannot produce or execute a plan."""
+
+
+class CatalogError(AmalurError):
+    """Raised for metadata-catalog lookup/registration failures."""

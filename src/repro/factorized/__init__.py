@@ -1,0 +1,21 @@
+"""Factorized linear algebra over silos (paper §IV).
+
+:class:`AmalurMatrix` executes linear-algebra operators directly over the
+source factors ``(D_k, M_k, I_k, R_k)`` of an
+:class:`repro.matrices.IntegratedDataset`, never materializing the target
+table, using the rewrite of Eq. (2):
+
+    ``T X → Σ_k ((I_k D_k M_kᵀ) ∘ R_k) X``
+
+:class:`MorpheusMatrix` is the baseline of Chen et al. (PVLDB'17) — the
+state of the art the paper compares against — which handles the
+star-schema/inner-join case with disjoint source columns and no
+redundancy.
+"""
+
+from repro.factorized.ops_counter import FlopCounter
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.factorized.morpheus import MorpheusMatrix
+from repro.factorized.queries import VirtualQueryEngine, QueryResult
+
+__all__ = ["FlopCounter", "AmalurMatrix", "MorpheusMatrix", "VirtualQueryEngine", "QueryResult"]

@@ -1,0 +1,231 @@
+"""Morpheus-style factorized linear algebra (Chen et al., PVLDB'17).
+
+This is the baseline the paper compares against (reference [27]): linear
+algebra over *normalized* data produced by a key–foreign-key inner join in
+a single database. The normalized matrix is ``T = [S, K_1 R_1, ..., K_q R_q]``
+where ``S`` is the entity (fact) table's feature block, ``R_k`` the
+attribute (dimension) tables, and ``K_k`` the indicator matrices mapping
+each entity row to its dimension row. Columns of the sources are disjoint
+in the target and there is no redundancy handling — exactly the Area I
+cases of Figure 5.
+
+The original LMM rewrite (paper Eq. 1) is::
+
+    T X → S X[0:d_S, ] + Σ_k K_k (R_k X[offset_k : offset_k + d_k, ])
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import FactorizationError
+from repro.factorized.ops_counter import FlopCounter, dense_matmul_flops
+
+
+class MorpheusMatrix:
+    """Normalized matrix for a star-schema inner join (the Morpheus baseline)."""
+
+    def __init__(
+        self,
+        entity_block: Optional[np.ndarray],
+        attribute_tables: Sequence[np.ndarray],
+        indicators: Sequence[np.ndarray],
+        counter: Optional[FlopCounter] = None,
+    ):
+        """Create a normalized matrix.
+
+        Parameters
+        ----------
+        entity_block:
+            The ``n_s × d_s`` feature block of the entity table (may be
+            ``None``/empty when the entity table only carries keys).
+        attribute_tables:
+            Dimension-table feature blocks ``R_k`` of shape ``n_k × d_k``.
+        indicators:
+            For each dimension table, either a dense binary ``n_s × n_k``
+            matrix or a 1-D integer array of length ``n_s`` giving, per
+            entity row, the matching dimension row.
+        """
+        if len(attribute_tables) != len(indicators):
+            raise FactorizationError("need one indicator per attribute table")
+        if entity_block is None and not attribute_tables:
+            raise FactorizationError("normalized matrix needs at least one block")
+
+        self.counter = counter or FlopCounter()
+        self._attribute_tables = [np.atleast_2d(np.asarray(r, dtype=float)) for r in attribute_tables]
+        self._indicator_rows: List[np.ndarray] = []
+        n_rows = None
+        for table, indicator in zip(self._attribute_tables, indicators):
+            indicator = np.asarray(indicator)
+            if indicator.ndim == 2:
+                if (indicator.sum(axis=1) != 1).any():
+                    raise FactorizationError(
+                        "Morpheus indicators must map every entity row to exactly one "
+                        "dimension row (inner join, no redundancy)"
+                    )
+                indicator = indicator.argmax(axis=1)
+            indicator = indicator.astype(int)
+            if indicator.min(initial=0) < 0 or indicator.max(initial=0) >= table.shape[0]:
+                raise FactorizationError("indicator refers to a dimension row out of range")
+            if n_rows is None:
+                n_rows = indicator.shape[0]
+            elif indicator.shape[0] != n_rows:
+                raise FactorizationError("all indicators must have the same number of rows")
+            self._indicator_rows.append(indicator)
+
+        if entity_block is not None and np.asarray(entity_block).size:
+            self._entity_block: Optional[np.ndarray] = np.atleast_2d(
+                np.asarray(entity_block, dtype=float)
+            )
+            if n_rows is None:
+                n_rows = self._entity_block.shape[0]
+            elif self._entity_block.shape[0] != n_rows:
+                raise FactorizationError("entity block row count does not match indicators")
+        else:
+            self._entity_block = None
+        if n_rows is None:
+            raise FactorizationError("cannot determine the number of target rows")
+        self._n_rows = int(n_rows)
+
+    # -- shapes ---------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        d_s = self._entity_block.shape[1] if self._entity_block is not None else 0
+        return d_s + sum(r.shape[1] for r in self._attribute_tables)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_rows, self.n_columns)
+
+    def _column_offsets(self) -> List[Tuple[int, int]]:
+        """(start, end) column offsets of each block in the target."""
+        offsets = []
+        start = self._entity_block.shape[1] if self._entity_block is not None else 0
+        if self._entity_block is not None:
+            offsets.append((0, start))
+        for table in self._attribute_tables:
+            offsets.append((start, start + table.shape[1]))
+            start += table.shape[1]
+        return offsets
+
+    # -- operators --------------------------------------------------------------------
+    def lmm(self, x: np.ndarray) -> np.ndarray:
+        """``T @ X`` via the original Morpheus rewrite (paper Eq. 1)."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape[0] != self.n_columns:
+            raise FactorizationError(
+                f"LMM operand has {x.shape[0]} rows, target has {self.n_columns} columns"
+            )
+        result = np.zeros((self.n_rows, x.shape[1]))
+        offsets = iter(self._column_offsets())
+        if self._entity_block is not None:
+            start, end = next(offsets)
+            result += self._entity_block @ x[start:end]
+            self.counter.add(
+                "lmm.entity",
+                dense_matmul_flops(self.n_rows, end - start, x.shape[1]),
+            )
+        for table, indicator in zip(self._attribute_tables, self._indicator_rows):
+            start, end = next(offsets)
+            local = table @ x[start:end]
+            self.counter.add(
+                "lmm.attribute", dense_matmul_flops(table.shape[0], end - start, x.shape[1])
+            )
+            result += local[indicator]
+            self.counter.add("lmm.lift", float(self.n_rows) * x.shape[1])
+        return result
+
+    def transpose_lmm(self, x: np.ndarray) -> np.ndarray:
+        """``Tᵀ @ X`` via the Morpheus rewrite."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape[0] != self.n_rows:
+            raise FactorizationError(
+                f"Tᵀ X operand has {x.shape[0]} rows, target has {self.n_rows} rows"
+            )
+        result = np.zeros((self.n_columns, x.shape[1]))
+        offsets = iter(self._column_offsets())
+        if self._entity_block is not None:
+            start, end = next(offsets)
+            result[start:end] = self._entity_block.T @ x
+            self.counter.add(
+                "tlmm.entity",
+                dense_matmul_flops(end - start, self.n_rows, x.shape[1]),
+            )
+        for table, indicator in zip(self._attribute_tables, self._indicator_rows):
+            start, end = next(offsets)
+            grouped = np.zeros((table.shape[0], x.shape[1]))
+            np.add.at(grouped, indicator, x)
+            self.counter.add("tlmm.group", float(self.n_rows) * x.shape[1])
+            result[start:end] = table.T @ grouped
+            self.counter.add(
+                "tlmm.attribute",
+                dense_matmul_flops(end - start, table.shape[0], x.shape[1]),
+            )
+        return result
+
+    def rmm(self, x: np.ndarray) -> np.ndarray:
+        """``X @ T`` via the Morpheus rewrite."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.n_rows:
+            raise FactorizationError(
+                f"RMM operand has {x.shape[1]} columns, target has {self.n_rows} rows"
+            )
+        return self.transpose_lmm(x.T).T
+
+    def crossprod(self) -> np.ndarray:
+        """``Tᵀ T`` via per-block Gram computations."""
+        blocks: List[np.ndarray] = []
+        if self._entity_block is not None:
+            blocks.append(self._entity_block)
+        for table, indicator in zip(self._attribute_tables, self._indicator_rows):
+            blocks.append(table[indicator])
+        gram = np.zeros((self.n_columns, self.n_columns))
+        offsets = self._column_offsets()
+        for (start_a, end_a), block_a in zip(offsets, blocks):
+            for (start_b, end_b), block_b in zip(offsets, blocks):
+                if start_b < start_a:
+                    continue
+                product = block_a.T @ block_b
+                self.counter.add(
+                    "crossprod",
+                    dense_matmul_flops(block_a.shape[1], self.n_rows, block_b.shape[1]),
+                )
+                gram[start_a:end_a, start_b:end_b] = product
+                if start_a != start_b:
+                    gram[start_b:end_b, start_a:end_a] = product.T
+        return gram
+
+    def row_sums(self) -> np.ndarray:
+        return self.lmm(np.ones((self.n_columns, 1)))[:, 0]
+
+    def column_sums(self) -> np.ndarray:
+        return self.transpose_lmm(np.ones((self.n_rows, 1)))[:, 0]
+
+    def total_sum(self) -> float:
+        return float(self.column_sums().sum())
+
+    # -- materialization ---------------------------------------------------------------
+    def materialize(self) -> np.ndarray:
+        """Materialize the joined target table."""
+        blocks = []
+        if self._entity_block is not None:
+            blocks.append(self._entity_block)
+        for table, indicator in zip(self._attribute_tables, self._indicator_rows):
+            blocks.append(table[indicator])
+        self.counter.add("materialize", float(self.n_rows) * self.n_columns)
+        return np.hstack(blocks)
+
+    def __repr__(self) -> str:
+        return f"MorpheusMatrix(shape={self.shape}, dims={len(self._attribute_tables)})"

@@ -1,0 +1,359 @@
+"""The Amalur normalized matrix: factorized linear algebra with DI metadata.
+
+Implements the operator rewrites of paper §IV-A over an
+:class:`repro.matrices.IntegratedDataset`. Every operator is equivalent to
+applying the same operator to the materialized target table
+``T = Σ_k (I_k D_k M_kᵀ) ∘ R_k`` — the property tests assert this — but is
+computed in the source (silo) dimension:
+
+* ``lmm(X)``        = ``T @ X``            (Eq. 2 of the paper)
+* ``rmm(X)``        = ``X @ T``
+* ``transpose_lmm`` = ``Tᵀ @ X``
+* ``crossprod()``   = ``Tᵀ T``             (needed by normal equations)
+* element-wise scalar ops, row/column/total sums
+
+Redundant cells (marked by ``R_k``) are handled with a sparse correction
+term instead of a full Hadamard product: the rewrite computes the cheap
+``I_k (D_k (M_kᵀ X))`` and subtracts the contribution of the (few)
+redundant cells.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import FactorizationError
+from repro.factorized.ops_counter import FlopCounter, dense_matmul_flops
+from repro.matrices.builder import IntegratedDataset, SourceFactor
+
+
+class AmalurMatrix:
+    """Factorized view of a target table, backed by per-source factors."""
+
+    def __init__(self, dataset: IntegratedDataset, counter: Optional[FlopCounter] = None):
+        self.dataset = dataset
+        self.counter = counter or FlopCounter()
+        # Sparse per-factor correction matrices holding the values of
+        # redundant cells of T_k (zero rows/cols elsewhere). Computed lazily.
+        self._corrections: List[Optional[sparse.csr_matrix]] = [None] * dataset.n_sources
+
+    # -- shapes ---------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.dataset.shape
+
+    @property
+    def n_rows(self) -> int:
+        return self.dataset.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        return self.dataset.shape[1]
+
+    # -- helpers --------------------------------------------------------------------
+    def _correction(self, index: int) -> sparse.csr_matrix:
+        """Sparse matrix with the values of redundant cells of factor ``index``."""
+        cached = self._corrections[index]
+        if cached is not None:
+            return cached
+        factor = self.dataset.factors[index]
+        rows: List[int] = []
+        cols: List[int] = []
+        values: List[float] = []
+        complement = factor.redundancy.to_sparse_complement().tocoo()
+        compressed_rows = factor.indicator.compressed
+        compressed_cols = factor.mapping.compressed
+        for i, j in zip(complement.row, complement.col):
+            source_row = compressed_rows[i]
+            source_col = compressed_cols[j]
+            if source_row < 0 or source_col < 0:
+                continue
+            value = factor.data[source_row, source_col]
+            if value != 0.0:
+                rows.append(int(i))
+                cols.append(int(j))
+                values.append(float(value))
+        correction = sparse.csr_matrix(
+            (values, (rows, cols)), shape=(self.n_rows, self.n_columns)
+        )
+        self._corrections[index] = correction
+        return correction
+
+    def _check_lmm_operand(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape[0] != self.n_columns:
+            raise FactorizationError(
+                f"LMM operand has {x.shape[0]} rows, target has {self.n_columns} columns"
+            )
+        return x
+
+    def _check_rmm_operand(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.n_rows:
+            raise FactorizationError(
+                f"RMM operand has {x.shape[1]} columns, target has {self.n_rows} rows"
+            )
+        return x
+
+    def _check_transpose_operand(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape[0] != self.n_rows:
+            raise FactorizationError(
+                f"Tᵀ X operand has {x.shape[0]} rows, target has {self.n_rows} rows"
+            )
+        return x
+
+    # -- core operators -----------------------------------------------------------------
+    def lmm(self, x: np.ndarray) -> np.ndarray:
+        """Left matrix multiplication ``T @ X`` (paper Eq. 2), factorized."""
+        x = self._check_lmm_operand(x)
+        result = np.zeros((self.n_rows, x.shape[1]))
+        for index, factor in enumerate(self.dataset.factors):
+            # M_kᵀ X — a pure row gather on X (mapped target rows → source cols).
+            gathered = np.zeros((factor.n_columns, x.shape[1]))
+            compressed = factor.mapping.compressed
+            for target_col, source_col in enumerate(compressed):
+                if source_col >= 0:
+                    gathered[source_col] = x[target_col]
+            local = factor.data @ gathered  # (r_Sk × m)
+            self.counter.add(
+                "lmm.local", dense_matmul_flops(factor.n_rows, factor.n_columns, x.shape[1])
+            )
+            result += factor.indicator.apply(local)
+            self.counter.add("lmm.lift", float(self.n_rows) * x.shape[1])
+            if not factor.redundancy.is_trivial:
+                correction = self._correction(index)
+                result -= correction @ x
+                self.counter.add("lmm.correction", float(correction.nnz) * x.shape[1])
+        return result
+
+    def rmm(self, x: np.ndarray) -> np.ndarray:
+        """Right matrix multiplication ``X @ T``, factorized."""
+        x = self._check_rmm_operand(x)
+        result = np.zeros((x.shape[0], self.n_columns))
+        for index, factor in enumerate(self.dataset.factors):
+            # X I_k — accumulate the target-row columns of X onto source rows.
+            projected = factor.indicator.apply_transpose(x.T).T  # (m × r_Sk)
+            self.counter.add("rmm.project", float(x.shape[0]) * self.n_rows)
+            local = projected @ factor.data  # (m × c_Sk)
+            self.counter.add(
+                "rmm.local", dense_matmul_flops(x.shape[0], factor.n_rows, factor.n_columns)
+            )
+            # Scatter the source columns onto target columns (M_kᵀ on the right).
+            compressed = factor.mapping.compressed
+            for target_col, source_col in enumerate(compressed):
+                if source_col >= 0:
+                    result[:, target_col] += local[:, source_col]
+            if not factor.redundancy.is_trivial:
+                correction = self._correction(index)
+                result -= (correction.T @ x.T).T
+                self.counter.add("rmm.correction", float(correction.nnz) * x.shape[0])
+        return result
+
+    def transpose_lmm(self, x: np.ndarray) -> np.ndarray:
+        """``Tᵀ @ X``, factorized — the workhorse of model gradients."""
+        x = self._check_transpose_operand(x)
+        result = np.zeros((self.n_columns, x.shape[1]))
+        for index, factor in enumerate(self.dataset.factors):
+            projected = factor.indicator.apply_transpose(x)  # (r_Sk × m)
+            self.counter.add("tlmm.project", float(self.n_rows) * x.shape[1])
+            local = factor.data.T @ projected  # (c_Sk × m)
+            self.counter.add(
+                "tlmm.local", dense_matmul_flops(factor.n_columns, factor.n_rows, x.shape[1])
+            )
+            compressed = factor.mapping.compressed
+            for target_col, source_col in enumerate(compressed):
+                if source_col >= 0:
+                    result[target_col] += local[source_col]
+            if not factor.redundancy.is_trivial:
+                correction = self._correction(index)
+                result -= correction.T @ x
+                self.counter.add("tlmm.correction", float(correction.nnz) * x.shape[1])
+        return result
+
+    def crossprod(self) -> np.ndarray:
+        """``Tᵀ T`` — the Gram matrix needed by normal-equation solvers.
+
+        Same-source terms are computed in the source dimension
+        (``M_k D_kᵀ I_kᵀ I_k D_k M_kᵀ`` collapses to a per-source Gram over
+        the rows that reach the target); cross-source terms only involve
+        target rows covered by both sources and are computed on those rows.
+        """
+        gram = np.zeros((self.n_columns, self.n_columns))
+        effective = [self._effective_contribution(i) for i in range(self.dataset.n_sources)]
+        for k, (rows_k, block_k, cols_k) in enumerate(effective):
+            # Same-source term, computed in source dimensions.
+            local = block_k.T @ block_k
+            self.counter.add(
+                "crossprod.local",
+                dense_matmul_flops(block_k.shape[1], block_k.shape[0], block_k.shape[1]),
+            )
+            gram[np.ix_(cols_k, cols_k)] += local
+            for l in range(k + 1, self.dataset.n_sources):
+                rows_l, block_l, cols_l = effective[l]
+                shared, idx_k, idx_l = np.intersect1d(
+                    rows_k, rows_l, assume_unique=False, return_indices=True
+                )
+                if shared.size == 0:
+                    continue
+                cross = block_k[idx_k].T @ block_l[idx_l]
+                self.counter.add(
+                    "crossprod.cross",
+                    dense_matmul_flops(block_k.shape[1], shared.size, block_l.shape[1]),
+                )
+                gram[np.ix_(cols_k, cols_l)] += cross
+                gram[np.ix_(cols_l, cols_k)] += cross.T
+        return gram
+
+    def _effective_contribution(self, index: int) -> Tuple[np.ndarray, np.ndarray, List[int]]:
+        """Rows covered by factor ``index``, its deduplicated values there, and
+        the target column indices it maps."""
+        factor = self.dataset.factors[index]
+        rows = np.asarray(factor.indicator.mapped_target_rows(), dtype=int)
+        cols = factor.mapping.mapped_target_indices()
+        source_rows = factor.indicator.compressed[rows]
+        source_cols = [factor.mapping.compressed[c] for c in cols]
+        block = factor.data[np.ix_(source_rows, source_cols)].astype(float)
+        if not factor.redundancy.is_trivial:
+            mask = factor.redundancy.to_dense()[np.ix_(rows, cols)]
+            block = block * mask
+        return rows, block, cols
+
+    # -- element-wise and aggregation operators ----------------------------------------------
+    def scale(self, alpha: float) -> "AmalurMatrix":
+        """Return a factorized view of ``alpha * T`` (scalar multiplication).
+
+        Scalar multiplication distributes over the factorization, so only
+        the (small) source data matrices are touched.
+        """
+        factors = []
+        for factor in self.dataset.factors:
+            factors.append(
+                SourceFactor(
+                    factor.name,
+                    factor.data * alpha,
+                    list(factor.source_columns),
+                    factor.mapping,
+                    factor.indicator,
+                    factor.redundancy,
+                )
+            )
+            self.counter.add("scale", float(factor.data.size))
+        dataset = IntegratedDataset(
+            target_columns=list(self.dataset.target_columns),
+            n_target_rows=self.dataset.n_target_rows,
+            factors=factors,
+            scenario=self.dataset.scenario,
+            label_column=self.dataset.label_column,
+            name=self.dataset.name,
+        )
+        return AmalurMatrix(dataset, self.counter)
+
+    def row_sums(self) -> np.ndarray:
+        """``T @ 1`` — per-target-row sums, factorized."""
+        ones = np.ones((self.n_columns, 1))
+        return self.lmm(ones)[:, 0]
+
+    def column_sums(self) -> np.ndarray:
+        """``Tᵀ @ 1`` — per-target-column sums, factorized."""
+        ones = np.ones((self.n_rows, 1))
+        return self.transpose_lmm(ones)[:, 0]
+
+    def total_sum(self) -> float:
+        """Sum of every cell of the (virtual) target table."""
+        return float(self.column_sums().sum())
+
+    def column_means(self) -> np.ndarray:
+        return self.column_sums() / self.n_rows
+
+    # -- materialization ---------------------------------------------------------------
+    def materialize(self) -> np.ndarray:
+        """Materialize the target table (the alternative execution strategy)."""
+        self.counter.add("materialize", float(self.n_rows) * self.n_columns)
+        return self.dataset.materialize()
+
+    def column(self, name: str) -> np.ndarray:
+        """One target column, reconstructed without materializing the rest."""
+        if name not in self.dataset.target_columns:
+            raise FactorizationError(f"no target column named {name!r}")
+        selector = np.zeros((self.n_columns, 1))
+        selector[self.dataset.target_columns.index(name), 0] = 1.0
+        return self.lmm(selector)[:, 0]
+
+    def labels(self) -> np.ndarray:
+        if self.dataset.label_column is None:
+            raise FactorizationError("dataset has no label column")
+        return self.column(self.dataset.label_column)
+
+    def feature_matrix_view(self) -> "AmalurMatrix":
+        """A factorized view restricted to the feature (non-label) columns."""
+        if self.dataset.label_column is None:
+            return self
+        keep = [c for c in self.dataset.target_columns if c != self.dataset.label_column]
+        return self.select_columns(keep)
+
+    def select_columns(self, names: Sequence[str]) -> "AmalurMatrix":
+        """Project the factorized target onto a subset of its columns."""
+        missing = [n for n in names if n not in self.dataset.target_columns]
+        if missing:
+            raise FactorizationError(f"unknown target columns {missing}")
+        keep_indices = [self.dataset.target_columns.index(n) for n in names]
+        factors = []
+        for factor in self.dataset.factors:
+            new_correspondences = {
+                source_col: target_col
+                for source_col, target_col in factor.mapping.correspondences.items()
+                if target_col in names
+            }
+            kept_source_cols = [
+                c for c in factor.source_columns if c in new_correspondences
+            ]
+            if not kept_source_cols:
+                continue
+            col_indices = [factor.source_columns.index(c) for c in kept_source_cols]
+            from repro.matrices.mapping_matrix import MappingMatrix
+            from repro.matrices.redundancy_matrix import RedundancyMatrix
+
+            mapping = MappingMatrix(
+                factor.name, list(names), kept_source_cols,
+                {c: new_correspondences[c] for c in kept_source_cols},
+            )
+            redundancy = RedundancyMatrix(
+                factor.name, factor.redundancy.to_dense()[:, keep_indices]
+            )
+            factors.append(
+                SourceFactor(
+                    factor.name,
+                    factor.data[:, col_indices],
+                    kept_source_cols,
+                    mapping,
+                    factor.indicator,
+                    redundancy,
+                )
+            )
+        if not factors:
+            raise FactorizationError("column selection removed every source factor")
+        label = self.dataset.label_column if self.dataset.label_column in names else None
+        dataset = IntegratedDataset(
+            target_columns=list(names),
+            n_target_rows=self.dataset.n_target_rows,
+            factors=factors,
+            scenario=self.dataset.scenario,
+            label_column=label,
+            name=self.dataset.name,
+        )
+        return AmalurMatrix(dataset, self.counter)
+
+    def __repr__(self) -> str:
+        return (
+            f"AmalurMatrix(shape={self.shape}, sources={[f.name for f in self.dataset.factors]})"
+        )

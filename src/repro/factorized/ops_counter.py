@@ -1,0 +1,62 @@
+"""Floating-point operation accounting for factorized vs. materialized plans.
+
+The counters let benchmarks and the cost model compare plans analytically
+(in FLOPs) in addition to wall-clock time, which keeps the Table III /
+Figure 5 reproductions stable across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class FlopCounter:
+    """Accumulates multiply-add counts per labelled operation."""
+
+    total: float = 0.0
+    by_operation: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, operation: str, flops: float) -> None:
+        self.total += flops
+        self.by_operation[operation] = self.by_operation.get(operation, 0.0) + flops
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.by_operation.clear()
+
+    def merge(self, other: "FlopCounter") -> None:
+        for operation, flops in other.by_operation.items():
+            self.add(operation, flops)
+
+
+def dense_matmul_flops(n: int, k: int, m: int) -> float:
+    """Multiply-add count of an ``(n×k) @ (k×m)`` dense matrix product."""
+    return float(n) * float(k) * float(m)
+
+
+def materialized_lmm_flops(n_rows: int, n_cols: int, x_cols: int) -> float:
+    """FLOPs of ``T @ X`` on the materialized target."""
+    return dense_matmul_flops(n_rows, n_cols, x_cols)
+
+
+def factorized_lmm_flops(
+    source_shapes,
+    n_target_rows: int,
+    x_cols: int,
+    redundant_cells: int = 0,
+) -> float:
+    """FLOPs of the factorized rewrite ``Σ_k I_k (D_k (M_kᵀ X))``.
+
+    ``source_shapes`` is an iterable of ``(r_Sk, c_Sk)``; the mapping
+    application is a row gather (free), the indicator lift costs one add
+    per output cell, and each redundant cell adds one multiply-add of
+    correction per column of X.
+    """
+    flops = 0.0
+    for n_rows, n_cols in source_shapes:
+        flops += dense_matmul_flops(n_rows, n_cols, x_cols)  # D_k @ (M_kᵀ X)
+        flops += float(n_target_rows) * x_cols  # indicator lift / accumulate
+    flops += float(redundant_cells) * x_cols  # redundancy correction
+    return flops

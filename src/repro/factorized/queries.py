@@ -1,0 +1,147 @@
+"""Virtual (non-materialized) aggregate queries over an integrated dataset.
+
+Paper §III-C motivates the redundancy matrix with a query: *"how many
+patients aged above 30 are in S1 and S2?"* — the correct answer is three,
+not four, because Jane's overlapping row must be counted once. This module
+answers such aggregate queries directly over the factorized representation
+(the virtual-data-integration path of the paper's footnote 2): predicates
+and aggregates are evaluated column-by-column on the reconstructed target
+columns, redundancy is already resolved by the redundancy matrices, and
+cells no source covers are treated as NULL rather than zero.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import FactorizationError
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.matrices.builder import IntegratedDataset
+
+_OPERATORS: Dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+Predicate = Tuple[str, str, float]
+
+
+@dataclass
+class QueryResult:
+    """Result of a virtual aggregate query."""
+
+    value: float
+    n_matching_rows: int
+    columns_used: List[str]
+
+
+class VirtualQueryEngine:
+    """Answer aggregate queries over the virtual target table.
+
+    The engine never materializes the full target: it reconstructs only the
+    columns referenced by the query (each reconstruction is one factorized
+    LMM with a selector vector) together with their coverage masks, so the
+    deduplication guaranteed by the redundancy matrices carries over to the
+    query answers.
+    """
+
+    def __init__(self, dataset: Union[IntegratedDataset, AmalurMatrix]):
+        if isinstance(dataset, AmalurMatrix):
+            self.matrix = dataset
+            self.dataset = dataset.dataset
+        else:
+            self.dataset = dataset
+            self.matrix = AmalurMatrix(dataset)
+
+    # -- column reconstruction ---------------------------------------------------------
+    def _column_index(self, column: str) -> int:
+        try:
+            return self.dataset.target_columns.index(column)
+        except ValueError as exc:
+            raise FactorizationError(f"no target column named {column!r}") from exc
+
+    def column_values(self, column: str) -> np.ndarray:
+        """The reconstructed values of one target column (NULLs as 0)."""
+        self._column_index(column)
+        return self.matrix.column(column)
+
+    def column_coverage(self, column: str) -> np.ndarray:
+        """Boolean mask of target rows where some source provides ``column``."""
+        index = self._column_index(column)
+        covered = np.zeros(self.dataset.n_target_rows, dtype=bool)
+        for factor in self.dataset.factors:
+            if factor.mapping.compressed[index] < 0:
+                continue
+            covered |= factor.indicator.compressed >= 0
+        return covered
+
+    # -- predicates ---------------------------------------------------------------------
+    def _selection_mask(self, where: Optional[Sequence[Predicate]]) -> np.ndarray:
+        mask = np.ones(self.dataset.n_target_rows, dtype=bool)
+        if not where:
+            return mask
+        for column, op_name, value in where:
+            if op_name not in _OPERATORS:
+                raise FactorizationError(
+                    f"unsupported operator {op_name!r}; use one of {sorted(_OPERATORS)}"
+                )
+            values = self.column_values(column)
+            covered = self.column_coverage(column)
+            mask &= covered & _OPERATORS[op_name](values, float(value))
+        return mask
+
+    # -- aggregates ---------------------------------------------------------------------
+    def count(self, where: Optional[Sequence[Predicate]] = None) -> QueryResult:
+        """COUNT(*) over the virtual target, with optional predicates.
+
+        Overlapping entities are counted once — the §III-C example.
+        """
+        mask = self._selection_mask(where)
+        columns = [column for column, _, _ in (where or [])]
+        return QueryResult(float(mask.sum()), int(mask.sum()), columns)
+
+    def _aggregate(
+        self,
+        column: str,
+        where: Optional[Sequence[Predicate]],
+        reducer: Callable[[np.ndarray], float],
+    ) -> QueryResult:
+        mask = self._selection_mask(where) & self.column_coverage(column)
+        values = self.column_values(column)[mask]
+        if values.size == 0:
+            raise FactorizationError(
+                f"aggregate over {column!r} has no qualifying rows"
+            )
+        used = [column] + [c for c, _, _ in (where or [])]
+        return QueryResult(float(reducer(values)), int(mask.sum()), used)
+
+    def sum(self, column: str, where: Optional[Sequence[Predicate]] = None) -> QueryResult:
+        return self._aggregate(column, where, np.sum)
+
+    def avg(self, column: str, where: Optional[Sequence[Predicate]] = None) -> QueryResult:
+        return self._aggregate(column, where, np.mean)
+
+    def min(self, column: str, where: Optional[Sequence[Predicate]] = None) -> QueryResult:
+        return self._aggregate(column, where, np.min)
+
+    def max(self, column: str, where: Optional[Sequence[Predicate]] = None) -> QueryResult:
+        return self._aggregate(column, where, np.max)
+
+    def group_by_count(
+        self, column: str, where: Optional[Sequence[Predicate]] = None
+    ) -> Dict[float, int]:
+        """COUNT(*) grouped by the (discrete) values of one target column."""
+        mask = self._selection_mask(where) & self.column_coverage(column)
+        values = self.column_values(column)[mask]
+        groups: Dict[float, int] = {}
+        for value in values:
+            groups[float(value)] = groups.get(float(value), 0) + 1
+        return groups

@@ -1,0 +1,92 @@
+"""A federated-learning party: one silo's local view of the training data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import FederatedError
+from repro.matrices.indicator_matrix import IndicatorMatrix
+from repro.matrices.mapping_matrix import MappingMatrix
+
+
+@dataclass
+class Party:
+    """One participant in a federated computation.
+
+    Attributes
+    ----------
+    name:
+        Party / silo identifier.
+    data:
+        The local data matrix ``D_k`` (rows = local entities, columns =
+        local features). Never leaves the party.
+    feature_names:
+        Column names of ``data``.
+    labels:
+        Local label vector, or ``None`` for label-less (passive) parties.
+    entity_ids:
+        Identifier per local row, used only by private alignment.
+    mapping / indicator:
+        The DI matrices describing how the local data populates the
+        (virtual) target table — this is how §V-A writes the VFL feature
+        space as ``X_k = I_k D_k M_kᵀ``.
+    """
+
+    name: str
+    data: np.ndarray
+    feature_names: List[str]
+    labels: Optional[np.ndarray] = None
+    entity_ids: Optional[List] = None
+    mapping: Optional[MappingMatrix] = None
+    indicator: Optional[IndicatorMatrix] = None
+
+    def __post_init__(self) -> None:
+        self.data = np.atleast_2d(np.asarray(self.data, dtype=float))
+        if self.data.shape[1] != len(self.feature_names):
+            raise FederatedError(
+                f"party {self.name!r}: {self.data.shape[1]} data columns but "
+                f"{len(self.feature_names)} feature names"
+            )
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels, dtype=float).ravel()
+            if self.labels.shape[0] != self.data.shape[0]:
+                raise FederatedError(
+                    f"party {self.name!r}: labels length {self.labels.shape[0]} does not match "
+                    f"{self.data.shape[0]} rows"
+                )
+        if self.entity_ids is not None and len(self.entity_ids) != self.data.shape[0]:
+            raise FederatedError(
+                f"party {self.name!r}: entity_ids length does not match data rows"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def has_labels(self) -> bool:
+        return self.labels is not None
+
+    def aligned_features(self, row_order: Sequence[int]) -> np.ndarray:
+        """Local features re-ordered to the shared (aligned) sample space.
+
+        ``row_order`` holds local row indices in the order agreed during
+        alignment; it is the compressed indicator restricted to the
+        overlapping rows, so this is ``I_k D_k`` for the aligned block.
+        """
+        row_order = np.asarray(row_order, dtype=int)
+        if row_order.min(initial=0) < 0 or row_order.max(initial=-1) >= self.n_rows:
+            raise FederatedError(f"party {self.name!r}: alignment refers to unknown rows")
+        return self.data[row_order]
+
+    def aligned_labels(self, row_order: Sequence[int]) -> np.ndarray:
+        if self.labels is None:
+            raise FederatedError(f"party {self.name!r} holds no labels")
+        return self.labels[np.asarray(row_order, dtype=int)]

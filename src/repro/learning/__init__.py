@@ -1,0 +1,36 @@
+"""Machine-learning algorithms that run over materialized or factorized data.
+
+Every estimator accepts either a dense ``numpy`` feature matrix or a
+factorized matrix (:class:`repro.factorized.AmalurMatrix` /
+:class:`repro.factorized.MorpheusMatrix`). The algorithms only touch the
+data through left/transpose matrix multiplications, so factorized and
+materialized training produce identical parameters — the equivalence the
+paper's §IV relies on ("factorized learning does not affect model
+training accuracy").
+"""
+
+from repro.learning.base import DenseMatrix, as_linop, LinearOperand
+from repro.learning.linear_regression import LinearRegression
+from repro.learning.logistic_regression import LogisticRegression
+from repro.learning.kmeans import KMeans
+from repro.learning.gaussian_nmf import GaussianNMF
+from repro.learning.metrics import (
+    mean_squared_error,
+    r2_score,
+    accuracy_score,
+    log_loss,
+)
+
+__all__ = [
+    "DenseMatrix",
+    "as_linop",
+    "LinearOperand",
+    "LinearRegression",
+    "LogisticRegression",
+    "KMeans",
+    "GaussianNMF",
+    "mean_squared_error",
+    "r2_score",
+    "accuracy_score",
+    "log_loss",
+]

@@ -1,0 +1,140 @@
+"""K-means clustering over dense or factorized feature matrices.
+
+Lloyd's algorithm needs, per iteration, the pairwise squared distances
+between data rows and the current centroids:
+
+    ``dist² = rowSums(T∘T) · 1ᵀ − 2 · T Cᵀ + 1 · rowSums(C∘C)ᵀ``
+
+Only the middle term touches the data, and it is an LMM — so k-means is
+factorizable with exactly the rewrites of §IV (this is the classic
+Morpheus observation the paper builds on). The squared-row-norm term is
+computed once with an element-wise square, which also distributes over the
+source factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.learning.base import OperandLike, as_linop
+
+
+@dataclass
+class KMeans:
+    """Lloyd's k-means with k-means++-style seeding on a data sample."""
+
+    n_clusters: int = 3
+    n_iterations: int = 50
+    tolerance: float = 1e-6
+    random_state: int = 0
+    cluster_centers_: Optional[np.ndarray] = field(default=None, init=False)
+    labels_: Optional[np.ndarray] = field(default=None, init=False)
+    inertia_: float = field(default=0.0, init=False)
+    n_iter_: int = field(default=0, init=False)
+
+    def _row_square_sums(self, operand) -> np.ndarray:
+        """Per-row sums of squared values, computed without materializing."""
+        if hasattr(operand, "dataset"):  # AmalurMatrix: square the source factors
+            squared = _square_amalur(operand)
+            return squared.row_sums()
+        data = operand.materialize()
+        return np.sum(data * data, axis=1)
+
+    def fit(self, features: OperandLike) -> "KMeans":
+        operand = as_linop(features)
+        n_rows, n_columns = operand.shape
+        if self.n_clusters > n_rows:
+            raise ValueError("more clusters than rows")
+        rng = np.random.default_rng(self.random_state)
+
+        row_norms = self._row_square_sums(operand)
+        centers = self._init_centers(operand, rng)
+
+        labels = np.zeros(n_rows, dtype=int)
+        for iteration in range(self.n_iterations):
+            distances = self._distances(operand, centers, row_norms)
+            labels = distances.argmin(axis=1)
+            new_centers = np.zeros_like(centers)
+            counts = np.bincount(labels, minlength=self.n_clusters).astype(float)
+            # Cluster sums = Gᵀ T where G is the one-hot assignment matrix —
+            # a transpose-LMM on the data.
+            assignment = np.zeros((n_rows, self.n_clusters))
+            assignment[np.arange(n_rows), labels] = 1.0
+            sums = operand.transpose_lmm(assignment).T  # (k × d)
+            nonempty = counts > 0
+            new_centers[nonempty] = sums[nonempty] / counts[nonempty, None]
+            # Re-seed empty clusters at the farthest points.
+            if (~nonempty).any():
+                farthest = np.argsort(distances.min(axis=1))[::-1]
+                for idx, cluster in enumerate(np.where(~nonempty)[0]):
+                    new_centers[cluster] = self._row(operand, int(farthest[idx]))
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            self.n_iter_ = iteration + 1
+            if shift < self.tolerance:
+                break
+        distances = self._distances(operand, centers, row_norms)
+        self.labels_ = distances.argmin(axis=1)
+        self.inertia_ = float(distances[np.arange(n_rows), self.labels_].sum())
+        self.cluster_centers_ = centers
+        return self
+
+    def _init_centers(self, operand, rng: np.random.Generator) -> np.ndarray:
+        n_rows = operand.shape[0]
+        indices = rng.choice(n_rows, size=self.n_clusters, replace=False)
+        return np.vstack([self._row(operand, int(i)) for i in indices])
+
+    def _row(self, operand, index: int) -> np.ndarray:
+        selector = np.zeros((operand.shape[0], 1))
+        selector[index, 0] = 1.0
+        return operand.transpose_lmm(selector)[:, 0]
+
+    def _distances(self, operand, centers: np.ndarray, row_norms: np.ndarray) -> np.ndarray:
+        cross = operand.lmm(centers.T)  # (n × k) — the only data-touching term
+        center_norms = np.sum(centers * centers, axis=1)
+        distances = row_norms[:, None] - 2.0 * cross + center_norms[None, :]
+        return np.maximum(distances, 0.0)
+
+    def predict(self, features: OperandLike) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise ValueError("model is not fitted")
+        operand = as_linop(features)
+        row_norms = self._row_square_sums(operand)
+        return self._distances(operand, self.cluster_centers_, row_norms).argmin(axis=1)
+
+
+def _square_amalur(operand):
+    """Element-wise square of an AmalurMatrix, staying factorized.
+
+    Squaring distributes over the factorization because each target cell is
+    contributed by exactly one source (redundant duplicates are zeroed by
+    the redundancy mask before squaring would double-count them), so we
+    square the deduplicated source values.
+    """
+    from repro.factorized.normalized_matrix import AmalurMatrix
+    from repro.matrices.builder import IntegratedDataset, SourceFactor
+
+    factors = []
+    for factor in operand.dataset.factors:
+        factors.append(
+            SourceFactor(
+                factor.name,
+                factor.data * factor.data,
+                list(factor.source_columns),
+                factor.mapping,
+                factor.indicator,
+                factor.redundancy,
+            )
+        )
+    dataset = IntegratedDataset(
+        target_columns=list(operand.dataset.target_columns),
+        n_target_rows=operand.dataset.n_target_rows,
+        factors=factors,
+        scenario=operand.dataset.scenario,
+        label_column=operand.dataset.label_column,
+        name=operand.dataset.name,
+    )
+    return AmalurMatrix(dataset, operand.counter)

@@ -1,0 +1,100 @@
+"""Linear regression over dense or factorized feature matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.learning.base import OperandLike, as_linop
+from repro.learning.metrics import mean_squared_error
+
+
+@dataclass
+class LinearRegression:
+    """Least-squares linear regression.
+
+    Two solvers are available:
+
+    * ``solver="gd"`` — full-batch gradient descent; every iteration needs
+      one LMM (predictions) and one transpose-LMM (gradient), the two
+      operators the paper's factorization rewrite targets.
+    * ``solver="normal"`` — the normal equations ``(XᵀX + λI) w = Xᵀ y``,
+      which exercises the factorized cross-product.
+
+    Attributes set after :meth:`fit`: ``coef_`` (weights), ``intercept_``,
+    ``loss_history_`` (for gd).
+    """
+
+    solver: str = "gd"
+    learning_rate: float = 0.01
+    n_iterations: int = 200
+    l2_penalty: float = 0.0
+    fit_intercept: bool = True
+    tolerance: float = 0.0
+    coef_: Optional[np.ndarray] = field(default=None, init=False)
+    intercept_: float = field(default=0.0, init=False)
+    loss_history_: List[float] = field(default_factory=list, init=False)
+
+    def fit(self, features: OperandLike, targets: np.ndarray) -> "LinearRegression":
+        operand = as_linop(features)
+        targets = np.asarray(targets, dtype=float).ravel()
+        n_rows, n_columns = operand.shape
+        if targets.shape[0] != n_rows:
+            raise ValueError(
+                f"target vector has {targets.shape[0]} rows, features have {n_rows}"
+            )
+        centered_targets = targets
+        target_offset = 0.0
+        if self.fit_intercept:
+            target_offset = float(targets.mean())
+            centered_targets = targets - target_offset
+        if self.solver == "normal":
+            self.coef_ = self._fit_normal(operand, centered_targets, n_columns)
+        elif self.solver == "gd":
+            self.coef_ = self._fit_gd(operand, centered_targets, n_columns)
+        else:
+            raise ValueError(f"unknown solver {self.solver!r}")
+        # Features are left uncentred (centring would break the factorized
+        # representation), so the intercept is simply the target mean.
+        self.intercept_ = target_offset if self.fit_intercept else 0.0
+        return self
+
+    def _fit_normal(self, operand, targets: np.ndarray, n_columns: int) -> np.ndarray:
+        gram = operand.crossprod()
+        if self.l2_penalty:
+            gram = gram + self.l2_penalty * np.eye(n_columns)
+        moment = operand.transpose_lmm(targets[:, None])[:, 0]
+        return np.linalg.solve(gram + 1e-12 * np.eye(n_columns), moment)
+
+    def _fit_gd(self, operand, targets: np.ndarray, n_columns: int) -> np.ndarray:
+        weights = np.zeros(n_columns)
+        n_rows = operand.shape[0]
+        self.loss_history_ = []
+        for _ in range(self.n_iterations):
+            predictions = operand.lmm(weights[:, None])[:, 0]
+            residuals = predictions - targets
+            loss = mean_squared_error(targets, predictions)
+            self.loss_history_.append(loss)
+            gradient = operand.transpose_lmm(residuals[:, None])[:, 0] / n_rows
+            if self.l2_penalty:
+                gradient = gradient + self.l2_penalty * weights / n_rows
+            new_weights = weights - self.learning_rate * gradient
+            if self.tolerance and np.linalg.norm(new_weights - weights) < self.tolerance:
+                weights = new_weights
+                break
+            weights = new_weights
+        return weights
+
+    def predict(self, features: OperandLike) -> np.ndarray:
+        if self.coef_ is None:
+            raise ValueError("model is not fitted")
+        operand = as_linop(features)
+        return operand.lmm(self.coef_[:, None])[:, 0] + self.intercept_
+
+    def score(self, features: OperandLike, targets: np.ndarray) -> float:
+        """Return the R² score on the given data."""
+        from repro.learning.metrics import r2_score
+
+        return r2_score(targets, self.predict(features))

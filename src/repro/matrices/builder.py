@@ -1,0 +1,434 @@
+"""Build the integrated (factorized) representation of a set of silo tables.
+
+The builder turns relational tables plus DI metadata (column matches from
+schema matching, row matches from entity resolution, a Table I scenario)
+into one :class:`SourceFactor` per source — the quadruple
+``(D_k, M_k, I_k, R_k)`` of the paper — bundled in an
+:class:`IntegratedDataset`. The integrated dataset can reconstruct
+(materialize) the target table, and is the input to the factorized
+linear-algebra layer in :mod:`repro.factorized`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import MappingError
+from repro.matrices.indicator_matrix import IndicatorMatrix
+from repro.matrices.mapping_matrix import MappingMatrix
+from repro.matrices.redundancy_matrix import RedundancyMatrix
+from repro.metadata.entity_resolution import RowMatch
+from repro.metadata.mappings import ScenarioType
+from repro.metadata.schema_matching import ColumnMatch
+from repro.relational.table import Table
+from repro.relational.types import is_null
+
+
+@dataclass
+class SourceFactor:
+    """One source table in factorized form: ``(D_k, M_k, I_k, R_k)``.
+
+    ``data`` holds the mapped numeric columns of the source (the processed
+    matrix ``D_k``); ``source_columns`` names its columns in order.
+    """
+
+    name: str
+    data: np.ndarray
+    source_columns: List[str]
+    mapping: MappingMatrix
+    indicator: IndicatorMatrix
+    redundancy: RedundancyMatrix
+
+    def __post_init__(self) -> None:
+        self.data = np.atleast_2d(np.asarray(self.data, dtype=np.float64))
+        if self.data.shape[1] != len(self.source_columns):
+            raise MappingError(
+                f"data for {self.name!r} has {self.data.shape[1]} columns but "
+                f"{len(self.source_columns)} column names were given"
+            )
+        if self.mapping.n_source_columns != self.data.shape[1]:
+            raise MappingError(
+                f"mapping matrix for {self.name!r} expects {self.mapping.n_source_columns} "
+                f"source columns, data has {self.data.shape[1]}"
+            )
+        if self.indicator.n_source_rows != self.data.shape[0]:
+            raise MappingError(
+                f"indicator matrix for {self.name!r} expects {self.indicator.n_source_rows} "
+                f"source rows, data has {self.data.shape[0]}"
+            )
+        expected_shape = (self.indicator.n_target_rows, self.mapping.n_target_columns)
+        if self.redundancy.shape != expected_shape:
+            raise MappingError(
+                f"redundancy matrix for {self.name!r} has shape {self.redundancy.shape}, "
+                f"expected {expected_shape}"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        return self.data.shape[1]
+
+    def contribution(self) -> np.ndarray:
+        """The raw contribution ``T_k = I_k D_k M_kᵀ`` (dense, target-shaped).
+
+        ``M_k`` is a (partial) permutation, so the multiplication is executed
+        as a column scatter instead of a dense matmul.
+        """
+        lifted = self.indicator.apply(self.data)  # (r_T, c_Sk)
+        out = np.zeros((self.indicator.n_target_rows, self.mapping.n_target_columns))
+        for target_col, source_col in enumerate(self.mapping.compressed):
+            if source_col >= 0:
+                out[:, target_col] = lifted[:, source_col]
+        return out
+
+    def masked_contribution(self) -> np.ndarray:
+        """The deduplicated contribution ``(I_k D_k M_kᵀ) ∘ R_k``."""
+        return self.redundancy.apply(self.contribution())
+
+
+@dataclass
+class IntegratedDataset:
+    """A target table kept in factorized form over its source factors.
+
+    Attributes
+    ----------
+    target_columns:
+        Names of the target (mediated) schema columns, all numeric.
+    n_target_rows:
+        Number of rows of the (virtual) target table.
+    factors:
+        One :class:`SourceFactor` per source; the first factor is the base
+        table whose redundancy matrix is all ones.
+    scenario:
+        The Table I scenario the dataset was built under (if known).
+    label_column:
+        Name of the supervised-learning label column, if any.
+    """
+
+    target_columns: List[str]
+    n_target_rows: int
+    factors: List[SourceFactor]
+    scenario: Optional[ScenarioType] = None
+    label_column: Optional[str] = None
+    name: str = "T"
+
+    def __post_init__(self) -> None:
+        if not self.factors:
+            raise MappingError("an integrated dataset needs at least one source factor")
+        for factor in self.factors:
+            if factor.mapping.n_target_columns != len(self.target_columns):
+                raise MappingError(
+                    f"factor {factor.name!r} maps {factor.mapping.n_target_columns} target "
+                    f"columns, dataset has {len(self.target_columns)}"
+                )
+            if factor.indicator.n_target_rows != self.n_target_rows:
+                raise MappingError(
+                    f"factor {factor.name!r} indicates {factor.indicator.n_target_rows} target "
+                    f"rows, dataset has {self.n_target_rows}"
+                )
+        if self.label_column is not None and self.label_column not in self.target_columns:
+            raise MappingError(f"label column {self.label_column!r} not in target columns")
+
+    # -- shapes ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_target_rows, len(self.target_columns))
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.factors)
+
+    @property
+    def base(self) -> SourceFactor:
+        return self.factors[0]
+
+    @property
+    def feature_columns(self) -> List[str]:
+        return [c for c in self.target_columns if c != self.label_column]
+
+    def factor(self, name: str) -> SourceFactor:
+        for factor in self.factors:
+            if factor.name == name:
+                return factor
+        raise MappingError(f"no source factor named {name!r}")
+
+    # -- statistics used by the cost model ------------------------------------------------
+    def total_source_cells(self) -> int:
+        return sum(f.data.size for f in self.factors)
+
+    def target_cells(self) -> int:
+        return self.n_target_rows * len(self.target_columns)
+
+    def tuple_ratio(self) -> float:
+        """r_T / max_k r_Sk — how much the target replicates source rows."""
+        largest_source = max(f.n_rows for f in self.factors)
+        return self.n_target_rows / largest_source if largest_source else 0.0
+
+    def feature_ratio(self) -> float:
+        """c_T / max_k c_Sk — how much wider the target is than any source."""
+        widest_source = max(f.n_columns for f in self.factors)
+        return len(self.target_columns) / widest_source if widest_source else 0.0
+
+    def redundancy_in_target(self) -> float:
+        """Fraction of target cells that are covered by more than one source."""
+        coverage = np.zeros(self.shape)
+        for factor in self.factors:
+            covered = (np.abs(factor.contribution()) > 0) | self._coverage_mask(factor)
+            coverage += covered.astype(float)
+        overlapping = np.sum(coverage > 1)
+        return float(overlapping) / coverage.size if coverage.size else 0.0
+
+    def _coverage_mask(self, factor: SourceFactor) -> np.ndarray:
+        """Cells structurally covered by a factor (mapped row AND mapped column)."""
+        row_mask = factor.indicator.compressed >= 0
+        col_mask = factor.mapping.compressed >= 0
+        return np.outer(row_mask, col_mask)
+
+    # -- materialization -------------------------------------------------------------
+    def materialize(self) -> np.ndarray:
+        """Reconstruct the target table ``T = Σ_k (I_k D_k M_kᵀ) ∘ R_k``."""
+        total = np.zeros(self.shape)
+        for factor in self.factors:
+            total += factor.masked_contribution()
+        return total
+
+    def materialize_table(self) -> Table:
+        """Materialize into a relational :class:`Table` (floats, NULLs as 0)."""
+        return Table.from_matrix(
+            self.name, self.materialize(), self.target_columns, label_column=self.label_column
+        )
+
+    def labels(self) -> np.ndarray:
+        """The label column of the materialized target as a 1-D array."""
+        if self.label_column is None:
+            raise MappingError("dataset has no label column")
+        index = self.target_columns.index(self.label_column)
+        return self.materialize()[:, index]
+
+    def features(self) -> np.ndarray:
+        """The non-label columns of the materialized target."""
+        indices = [i for i, c in enumerate(self.target_columns) if c != self.label_column]
+        return self.materialize()[:, indices]
+
+
+# ---------------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------------
+
+
+def _target_rows_for_scenario(
+    base: Table,
+    other: Table,
+    row_matches: Sequence[RowMatch],
+    scenario: ScenarioType,
+) -> Tuple[List[int], List[int]]:
+    """Return, per target row, the originating base row and other row (-1 if none)."""
+    matched_other_by_base: Dict[int, int] = {m.left_row: m.right_row for m in row_matches}
+    matched_other_rows = set(matched_other_by_base.values())
+
+    base_rows: List[int] = []
+    other_rows: List[int] = []
+
+    if scenario is ScenarioType.INNER_JOIN:
+        for i in range(base.n_rows):
+            if i in matched_other_by_base:
+                base_rows.append(i)
+                other_rows.append(matched_other_by_base[i])
+    elif scenario is ScenarioType.LEFT_JOIN:
+        for i in range(base.n_rows):
+            base_rows.append(i)
+            other_rows.append(matched_other_by_base.get(i, -1))
+    elif scenario is ScenarioType.FULL_OUTER_JOIN:
+        for i in range(base.n_rows):
+            base_rows.append(i)
+            other_rows.append(matched_other_by_base.get(i, -1))
+        for j in range(other.n_rows):
+            if j not in matched_other_rows:
+                base_rows.append(-1)
+                other_rows.append(j)
+    elif scenario is ScenarioType.UNION:
+        for i in range(base.n_rows):
+            base_rows.append(i)
+            other_rows.append(-1)
+        for j in range(other.n_rows):
+            base_rows.append(-1)
+            other_rows.append(j)
+    else:  # pragma: no cover - exhaustive enum
+        raise MappingError(f"unknown scenario {scenario!r}")
+    return base_rows, other_rows
+
+
+def _numeric_mapped_columns(
+    table: Table, correspondences: Dict[str, str], target_columns: Sequence[str]
+) -> List[str]:
+    """Source columns that map into the numeric target schema, in source order."""
+    wanted = {
+        source_column
+        for source_column, target_column in correspondences.items()
+        if target_column in target_columns
+    }
+    return [
+        column.name
+        for column in table.schema
+        if column.name in wanted and column.dtype.is_numeric
+    ]
+
+
+def _contribution_mask(
+    table: Table,
+    row_map: Sequence[int],
+    correspondences: Dict[str, str],
+    target_columns: Sequence[str],
+) -> np.ndarray:
+    """Boolean mask of target cells where this source provides a non-null value."""
+    target_index = {c: i for i, c in enumerate(target_columns)}
+    mask = np.zeros((len(row_map), len(target_columns)), dtype=bool)
+    for source_column, target_column in correspondences.items():
+        if target_column not in target_index:
+            continue
+        j = target_index[target_column]
+        for i, source_row in enumerate(row_map):
+            if source_row < 0:
+                continue
+            mask[i, j] = not is_null(table.cell(source_row, source_column))
+    return mask
+
+
+def _build_factor(
+    table: Table,
+    row_map: Sequence[int],
+    correspondences: Dict[str, str],
+    target_columns: Sequence[str],
+    redundancy_mask: np.ndarray,
+) -> SourceFactor:
+    source_columns = _numeric_mapped_columns(table, correspondences, target_columns)
+    if not source_columns:
+        raise MappingError(f"source {table.name!r} maps no numeric target columns")
+    data = table.to_matrix(source_columns)
+    mapping = MappingMatrix(
+        table.name,
+        target_columns,
+        source_columns,
+        {c: correspondences[c] for c in source_columns},
+    )
+    pairs = [(i, j) for i, j in enumerate(row_map) if j >= 0]
+    indicator = IndicatorMatrix.from_row_pairs(table.name, len(row_map), table.n_rows, pairs)
+    redundancy = RedundancyMatrix(table.name, redundancy_mask.astype(float))
+    return SourceFactor(table.name, data, source_columns, mapping, indicator, redundancy)
+
+
+def integrate_tables(
+    base: Table,
+    other: Table,
+    column_matches: Sequence[ColumnMatch],
+    row_matches: Sequence[RowMatch],
+    target_columns: Sequence[str],
+    scenario: ScenarioType,
+    label_column: Optional[str] = None,
+    name: str = "T",
+) -> IntegratedDataset:
+    """Build an :class:`IntegratedDataset` for the two-source Table I scenarios.
+
+    Parameters
+    ----------
+    base, other:
+        The base table ``S_1`` and the discovered table ``S_2``.
+    column_matches:
+        Column correspondences *between the two sources* (left = base).
+    row_matches:
+        Row correspondences between the two sources (left = base row index).
+    target_columns:
+        The mediated schema: numeric columns named after the base table's
+        columns where the base provides them, otherwise after the other
+        table's columns.
+    scenario:
+        One of the four Table I scenarios.
+    label_column:
+        Optional label column name (must appear in ``target_columns``).
+    """
+    target_columns = list(target_columns)
+    matched_base_by_other = {m.right_column: m.left_column for m in column_matches}
+
+    base_correspondences = {
+        column: column for column in base.schema.names if column in target_columns
+    }
+    other_correspondences: Dict[str, str] = {}
+    for column in other.schema.names:
+        target = matched_base_by_other.get(column, column)
+        if target in target_columns:
+            other_correspondences[column] = target
+
+    base_rows, other_rows = _target_rows_for_scenario(base, other, row_matches, scenario)
+    n_target_rows = len(base_rows)
+
+    base_mask = _contribution_mask(base, base_rows, base_correspondences, target_columns)
+    other_mask = _contribution_mask(other, other_rows, other_correspondences, target_columns)
+
+    # Base table: nothing redundant. Other table: redundant where the base
+    # already contributed a (non-null) value to the same target cell.
+    base_redundancy = np.ones((n_target_rows, len(target_columns)))
+    other_redundancy = np.where(base_mask & other_mask, 0.0, 1.0)
+
+    base_factor = _build_factor(base, base_rows, base_correspondences, target_columns, base_redundancy)
+    other_factor = _build_factor(
+        other, other_rows, other_correspondences, target_columns, other_redundancy
+    )
+    return IntegratedDataset(
+        target_columns=target_columns,
+        n_target_rows=n_target_rows,
+        factors=[base_factor, other_factor],
+        scenario=scenario,
+        label_column=label_column,
+        name=name,
+    )
+
+
+def build_integrated_dataset(
+    sources: Sequence[Table],
+    correspondences: Dict[str, Dict[str, str]],
+    row_maps: Dict[str, Sequence[int]],
+    target_columns: Sequence[str],
+    n_target_rows: int,
+    scenario: Optional[ScenarioType] = None,
+    label_column: Optional[str] = None,
+    name: str = "T",
+) -> IntegratedDataset:
+    """General n-source builder from explicit correspondences and row maps.
+
+    ``correspondences[source_name]`` maps source column → target column;
+    ``row_maps[source_name]`` gives, per target row, the source row index
+    (or -1). The first source is the base; redundancy is resolved in source
+    order (earlier sources win), cell-wise on non-null contributions.
+    """
+    if not sources:
+        raise MappingError("need at least one source table")
+    target_columns = list(target_columns)
+    factors: List[SourceFactor] = []
+    claimed = np.zeros((n_target_rows, len(target_columns)), dtype=bool)
+    for table in sources:
+        table_correspondences = correspondences.get(table.name, {})
+        row_map = list(row_maps.get(table.name, []))
+        if len(row_map) != n_target_rows:
+            raise MappingError(
+                f"row map for {table.name!r} has length {len(row_map)}, expected {n_target_rows}"
+            )
+        mask = _contribution_mask(table, row_map, table_correspondences, target_columns)
+        redundancy = np.where(claimed & mask, 0.0, 1.0)
+        factors.append(
+            _build_factor(table, row_map, table_correspondences, target_columns, redundancy)
+        )
+        claimed |= mask
+    return IntegratedDataset(
+        target_columns=target_columns,
+        n_target_rows=n_target_rows,
+        factors=factors,
+        scenario=scenario,
+        label_column=label_column,
+        name=name,
+    )

@@ -1,0 +1,186 @@
+"""Mapping matrices ``M_k`` and their compressed form ``CM_k`` (paper §III-A)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import MappingError
+
+
+class MappingMatrix:
+    """Column correspondences between a source table and the target table.
+
+    ``M_k`` has shape ``(c_T, c_Sk)`` with ``M_k[i, j] = 1`` iff the ``j``-th
+    (mapped) source column corresponds to the ``i``-th target column. Each
+    source column maps to at most one target column and vice versa, so the
+    matrix has at most one ``1`` per row and per column.
+
+    The compressed form ``CM_k`` is a vector of length ``c_T`` whose ``i``-th
+    entry is the source column index mapped to target column ``i`` (or
+    ``-1``).
+    """
+
+    def __init__(
+        self,
+        source_name: str,
+        target_columns: Sequence[str],
+        source_columns: Sequence[str],
+        correspondences: Dict[str, str],
+    ):
+        """Build from explicit correspondences ``{source_column: target_column}``."""
+        self.source_name = source_name
+        self.target_columns = list(target_columns)
+        self.source_columns = list(source_columns)
+        self.correspondences = dict(correspondences)
+
+        target_index = {name: i for i, name in enumerate(self.target_columns)}
+        source_index = {name: j for j, name in enumerate(self.source_columns)}
+        compressed = np.full(len(self.target_columns), -1, dtype=np.int64)
+        seen_targets: set = set()
+        for source_column, target_column in self.correspondences.items():
+            if source_column not in source_index:
+                raise MappingError(
+                    f"source column {source_column!r} not among mapped columns of "
+                    f"{source_name!r}: {self.source_columns}"
+                )
+            if target_column not in target_index:
+                raise MappingError(
+                    f"target column {target_column!r} not in target schema {self.target_columns}"
+                )
+            if target_column in seen_targets:
+                raise MappingError(
+                    f"target column {target_column!r} mapped twice from source {source_name!r}"
+                )
+            seen_targets.add(target_column)
+            compressed[target_index[target_column]] = source_index[source_column]
+        self._compressed = compressed
+
+    # -- shapes ------------------------------------------------------------------
+    @property
+    def n_target_columns(self) -> int:
+        return len(self.target_columns)
+
+    @property
+    def n_source_columns(self) -> int:
+        return len(self.source_columns)
+
+    @property
+    def shape(self) -> tuple:
+        return (self.n_target_columns, self.n_source_columns)
+
+    @property
+    def n_mapped(self) -> int:
+        """Number of target columns this source populates (c_Sk mapped)."""
+        return int(np.sum(self._compressed >= 0))
+
+    # -- representations ------------------------------------------------------------
+    @property
+    def compressed(self) -> np.ndarray:
+        """The compressed mapping vector ``CM_k`` (copy)."""
+        return self._compressed.copy()
+
+    def to_dense(self) -> np.ndarray:
+        """The full binary matrix ``M_k`` of shape ``(c_T, c_Sk)``."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        for i, j in enumerate(self._compressed):
+            if j >= 0:
+                dense[i, j] = 1.0
+        return dense
+
+    def to_sparse(self) -> sparse.csr_matrix:
+        """The full matrix in CSR form (the physical-level choice of §III-D)."""
+        rows = [i for i, j in enumerate(self._compressed) if j >= 0]
+        cols = [int(j) for j in self._compressed if j >= 0]
+        data = np.ones(len(rows), dtype=np.float64)
+        return sparse.csr_matrix((data, (rows, cols)), shape=self.shape)
+
+    @property
+    def density(self) -> float:
+        total = self.n_target_columns * self.n_source_columns
+        return self.n_mapped / total if total else 0.0
+
+    # -- lookups ------------------------------------------------------------------
+    def target_index_of(self, source_column: str) -> Optional[int]:
+        target = self.correspondences.get(source_column)
+        if target is None:
+            return None
+        return self.target_columns.index(target)
+
+    def source_index_of(self, target_column: str) -> Optional[int]:
+        i = self.target_columns.index(target_column)
+        j = int(self._compressed[i])
+        return j if j >= 0 else None
+
+    def mapped_target_indices(self) -> List[int]:
+        return [i for i, j in enumerate(self._compressed) if j >= 0]
+
+    def mapped_source_indices(self) -> List[int]:
+        return [int(j) for j in self._compressed if j >= 0]
+
+    # -- round-trips ----------------------------------------------------------------
+    @classmethod
+    def from_compressed(
+        cls,
+        source_name: str,
+        target_columns: Sequence[str],
+        source_columns: Sequence[str],
+        compressed: Sequence[int],
+    ) -> "MappingMatrix":
+        """Rebuild a mapping matrix from its compressed vector."""
+        if len(compressed) != len(target_columns):
+            raise MappingError(
+                f"compressed vector length {len(compressed)} != number of target "
+                f"columns {len(target_columns)}"
+            )
+        correspondences = {}
+        for i, j in enumerate(compressed):
+            if j < 0:
+                continue
+            if j >= len(source_columns):
+                raise MappingError(f"compressed entry {j} out of range for source columns")
+            correspondences[source_columns[int(j)]] = target_columns[i]
+        return cls(source_name, target_columns, source_columns, correspondences)
+
+    @classmethod
+    def from_dense(
+        cls,
+        source_name: str,
+        target_columns: Sequence[str],
+        source_columns: Sequence[str],
+        dense: np.ndarray,
+    ) -> "MappingMatrix":
+        """Rebuild a mapping matrix from its full binary form."""
+        dense = np.asarray(dense)
+        if dense.shape != (len(target_columns), len(source_columns)):
+            raise MappingError(
+                f"dense shape {dense.shape} does not match ({len(target_columns)}, "
+                f"{len(source_columns)})"
+            )
+        if not np.array_equal(dense, dense.astype(bool).astype(dense.dtype)):
+            raise MappingError("mapping matrix must be binary")
+        if (dense.sum(axis=1) > 1).any() or (dense.sum(axis=0) > 1).any():
+            raise MappingError("mapping matrix must have at most one 1 per row and column")
+        correspondences = {}
+        for i in range(dense.shape[0]):
+            for j in range(dense.shape[1]):
+                if dense[i, j]:
+                    correspondences[source_columns[j]] = target_columns[i]
+        return cls(source_name, target_columns, source_columns, correspondences)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MappingMatrix):
+            return NotImplemented
+        return (
+            self.target_columns == other.target_columns
+            and self.source_columns == other.source_columns
+            and np.array_equal(self._compressed, other._compressed)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MappingMatrix({self.source_name!r}, shape={self.shape}, "
+            f"mapped={self.n_mapped})"
+        )

@@ -1,0 +1,96 @@
+"""Redundancy matrices ``R_k`` (paper §III-C)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import MappingError
+
+
+class RedundancyMatrix:
+    """Marks redundant cells in a source's contribution to the target.
+
+    ``R_k`` has the shape of the target table ``(r_T, c_T)``;
+    ``R_k[i, j] = 0`` when the cell ``T_k[i, j]`` of the contribution
+    ``T_k = I_k D_k M_kᵀ`` repeats a value already provided by an earlier
+    source (typically the base table), and ``1`` otherwise. The base
+    table's redundancy matrix is all ones.
+
+    The matrix is stored as a boolean mask; redundant cells are usually a
+    small rectangle (overlapping rows × overlapping columns), so a sparse
+    complement view is also available.
+    """
+
+    def __init__(self, source_name: str, mask: np.ndarray):
+        mask = np.asarray(mask)
+        if mask.ndim != 2:
+            raise MappingError("redundancy matrix must be 2-D")
+        if not np.isin(mask, (0, 1)).all():
+            raise MappingError("redundancy matrix must be binary")
+        self.source_name = source_name
+        self._mask = mask.astype(np.float64)
+        self._n_redundant = int(self._mask.size - self._mask.sum())
+
+    @classmethod
+    def all_ones(cls, source_name: str, n_target_rows: int, n_target_columns: int) -> "RedundancyMatrix":
+        """The base table's redundancy matrix: nothing is redundant."""
+        return cls(source_name, np.ones((n_target_rows, n_target_columns)))
+
+    # -- shapes ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self._mask.shape
+
+    @property
+    def n_redundant(self) -> int:
+        return self._n_redundant
+
+    @property
+    def redundancy_ratio(self) -> float:
+        return self.n_redundant / self._mask.size if self._mask.size else 0.0
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when nothing is redundant (all-ones matrix)."""
+        return self.n_redundant == 0
+
+    # -- representations ------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        return self._mask.copy()
+
+    def to_sparse_complement(self) -> sparse.csr_matrix:
+        """Sparse matrix of the redundant (zero) cells — usually tiny."""
+        return sparse.csr_matrix(1.0 - self._mask)
+
+    # -- application ----------------------------------------------------------------
+    def apply(self, contribution: np.ndarray) -> np.ndarray:
+        """Hadamard-product the mask onto a contribution ``T_k``."""
+        contribution = np.asarray(contribution, dtype=np.float64)
+        if contribution.shape != self._mask.shape:
+            raise MappingError(
+                f"contribution shape {contribution.shape} does not match redundancy "
+                f"matrix shape {self._mask.shape}"
+            )
+        return contribution * self._mask
+
+    def column_mask(self) -> np.ndarray:
+        """Per-target-column redundancy: fraction of redundant rows per column."""
+        return 1.0 - self._mask.mean(axis=0)
+
+    def row_mask(self) -> np.ndarray:
+        """Per-target-row redundancy: fraction of redundant columns per row."""
+        return 1.0 - self._mask.mean(axis=1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RedundancyMatrix):
+            return NotImplemented
+        return np.array_equal(self._mask, other._mask)
+
+    def __repr__(self) -> str:
+        return (
+            f"RedundancyMatrix({self.source_name!r}, shape={self.shape}, "
+            f"redundant={self.n_redundant})"
+        )

@@ -1,0 +1,249 @@
+"""Schema mappings as source-to-target tuple-generating dependencies.
+
+Section III-A of the paper formalizes the relationship between source
+tables and the target table with s-t tgds of the form
+``∀x (ϕ(x) → ∃y ψ(x, y))``. Table I classifies the four integration
+scenarios relevant for feature augmentation and federated learning: full
+outer join, inner join, left join and union. This module provides a small
+first-order representation of those tgds plus the classification logic
+that the cost model (Example IV.1) uses as pruning rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import MappingError
+from repro.metadata.schema_matching import ColumnMatch
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(x1, ..., xn)`` appearing in a tgd."""
+
+    relation: str
+    variables: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"
+
+
+@dataclass(frozen=True)
+class TGD:
+    """A source-to-target tuple-generating dependency.
+
+    ``body`` is a conjunction of source atoms, ``head`` a single target
+    atom; ``existential_variables`` are the head variables not bound in the
+    body (the ``∃`` variables of the paper's m2/m3 examples).
+    """
+
+    name: str
+    body: Tuple[Atom, ...]
+    head: Atom
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise MappingError(f"tgd {self.name!r} needs at least one body atom")
+
+    @property
+    def body_variables(self) -> Set[str]:
+        return {v for atom in self.body for v in atom.variables}
+
+    @property
+    def head_variables(self) -> Set[str]:
+        return set(self.head.variables)
+
+    @property
+    def existential_variables(self) -> Set[str]:
+        return self.head_variables - self.body_variables
+
+    @property
+    def is_full(self) -> bool:
+        """A *full* tgd has no existentially quantified head variables.
+
+        Example IV.1 of the paper uses this property as a pruning rule:
+        a full tgd means the target cannot contain more redundancy than the
+        sources, so materialization is the straightforward choice.
+        """
+        return not self.existential_variables
+
+    @property
+    def source_relations(self) -> Tuple[str, ...]:
+        return tuple(atom.relation for atom in self.body)
+
+    def __str__(self) -> str:
+        body = " ∧ ".join(str(atom) for atom in self.body)
+        existentials = sorted(self.existential_variables)
+        prefix = f"∃{','.join(existentials)} " if existentials else ""
+        return f"{self.name}: ∀({body}) → {prefix}{self.head}"
+
+
+class ScenarioType(enum.Enum):
+    """The four dataset relationships of Table I."""
+
+    FULL_OUTER_JOIN = "full_outer_join"
+    INNER_JOIN = "inner_join"
+    LEFT_JOIN = "left_join"
+    UNION = "union"
+
+
+@dataclass
+class SchemaMapping:
+    """A schema mapping M = ⟨S, T, Σ⟩ between source schemas and a target.
+
+    Besides the logical tgds, the mapping records the concrete column
+    correspondences per source (``source_to_target``) that the mapping
+    matrices of §III-A are generated from.
+    """
+
+    source_names: List[str]
+    target_name: str
+    tgds: List[TGD] = field(default_factory=list)
+    source_to_target: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    target_columns: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for source in self.source_to_target:
+            if source not in self.source_names:
+                raise MappingError(f"correspondences refer to unknown source {source!r}")
+
+    def add_tgd(self, tgd: TGD) -> None:
+        unknown = set(tgd.source_relations) - set(self.source_names)
+        if unknown:
+            raise MappingError(f"tgd {tgd.name!r} refers to unknown sources {sorted(unknown)}")
+        self.tgds.append(tgd)
+
+    def mapped_target_columns(self, source: str) -> List[str]:
+        """Target columns populated by ``source`` (ordered like the target)."""
+        correspondences = self.source_to_target.get(source, {})
+        mapped = set(correspondences.values())
+        return [c for c in self.target_columns if c in mapped]
+
+    def mapped_source_columns(self, source: str) -> List[str]:
+        """Source columns of ``source`` that map into the target."""
+        return list(self.source_to_target.get(source, {}).keys())
+
+    def classify(self) -> ScenarioType:
+        """Classify the mapping into one of the Table I scenarios.
+
+        The classification follows the structure of the tgd set:
+
+        * a join tgd (two-atom body) plus per-source single-atom tgds for
+          every source → full outer join;
+        * only a join tgd → inner join;
+        * a join tgd plus a single-atom tgd for a strict subset of the
+          sources → left join (the sources with their own tgd are "kept");
+        * only single-atom tgds, and the sources map the same target
+          columns → union.
+        """
+        join_tgds = [t for t in self.tgds if len(t.body) >= 2]
+        single_tgds = [t for t in self.tgds if len(t.body) == 1]
+        singles_by_source = {t.body[0].relation for t in single_tgds}
+
+        if join_tgds and singles_by_source >= set(self.source_names):
+            return ScenarioType.FULL_OUTER_JOIN
+        if join_tgds and singles_by_source:
+            return ScenarioType.LEFT_JOIN
+        if join_tgds:
+            return ScenarioType.INNER_JOIN
+        if single_tgds:
+            return ScenarioType.UNION
+        raise MappingError("schema mapping has no tgds to classify")
+
+    def has_full_tgd_only(self) -> bool:
+        """True when every tgd is full (no existential variables).
+
+        Used as the Example IV.1 pruning rule in the cost model.
+        """
+        return all(tgd.is_full for tgd in self.tgds)
+
+    def __str__(self) -> str:
+        return "\n".join(str(tgd) for tgd in self.tgds)
+
+
+def _correspondences_from_matches(
+    base: Table,
+    other: Table,
+    matches: Sequence[ColumnMatch],
+    target_columns: Sequence[str],
+) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Map each source's columns onto target column names.
+
+    The target column takes the base table's column name when the base
+    maps it; otherwise the other table's name.
+    """
+    base_map: Dict[str, str] = {}
+    other_map: Dict[str, str] = {}
+    matched_other = {m.right_column: m.left_column for m in matches}
+    for column in target_columns:
+        if column in base.schema:
+            base_map[column] = column
+            # A matched column of `other` also populates this target column.
+            for other_column, base_column in matched_other.items():
+                if base_column == column:
+                    other_map[other_column] = column
+        elif column in other.schema:
+            other_map[column] = column
+    return base_map, other_map
+
+
+def build_scenario_mapping(
+    base: Table,
+    other: Table,
+    matches: Sequence[ColumnMatch],
+    target_columns: Sequence[str],
+    scenario: ScenarioType,
+    target_name: str = "T",
+) -> SchemaMapping:
+    """Build the Table I schema mapping for two source tables.
+
+    ``matches`` are the column correspondences between ``base`` and
+    ``other`` (from schema matching); ``target_columns`` is the mediated
+    schema chosen by the user/feature selection.
+    """
+    base_map, other_map = _correspondences_from_matches(base, other, matches, target_columns)
+    mapping = SchemaMapping(
+        source_names=[base.name, other.name],
+        target_name=target_name,
+        source_to_target={base.name: base_map, other.name: other_map},
+        target_columns=list(target_columns),
+    )
+
+    base_vars = tuple(base.schema.names)
+    other_vars = tuple(
+        name if name not in matched_vars(matches) else matched_vars(matches)[name]
+        for name in other.schema.names
+    )
+    target_vars = tuple(target_columns)
+
+    base_atom = Atom(base.name, base_vars)
+    other_atom = Atom(other.name, other_vars)
+    target_atom = Atom(target_name, target_vars)
+
+    join_tgd = TGD("m1", (base_atom, other_atom), target_atom)
+    base_only_tgd = TGD("m2", (base_atom,), target_atom)
+    other_only_tgd = TGD("m3", (other_atom,), target_atom)
+
+    if scenario is ScenarioType.FULL_OUTER_JOIN:
+        mapping.add_tgd(join_tgd)
+        mapping.add_tgd(base_only_tgd)
+        mapping.add_tgd(other_only_tgd)
+    elif scenario is ScenarioType.INNER_JOIN:
+        mapping.add_tgd(join_tgd)
+    elif scenario is ScenarioType.LEFT_JOIN:
+        mapping.add_tgd(join_tgd)
+        mapping.add_tgd(base_only_tgd)
+    elif scenario is ScenarioType.UNION:
+        mapping.add_tgd(base_only_tgd)
+        mapping.add_tgd(other_only_tgd)
+    else:  # pragma: no cover - exhaustive enum
+        raise MappingError(f"unknown scenario {scenario!r}")
+    return mapping
+
+
+def matched_vars(matches: Sequence[ColumnMatch]) -> Dict[str, str]:
+    """Map right-table column names to the left-table variable they share."""
+    return {m.right_column: m.left_column for m in matches}

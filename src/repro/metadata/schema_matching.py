@@ -1,0 +1,176 @@
+"""Schema matching: discover column correspondences between tables.
+
+The output — a list of :class:`ColumnMatch` — is the paper's "column
+relationships from schema matching" (§II-A) and feeds directly into the
+mapping matrices of §III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import MatchingError
+from repro.metadata.similarity import (
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    ngram_jaccard_similarity,
+    token_sort_similarity,
+    value_overlap,
+)
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnMatch:
+    """A correspondence between one column of each of two tables."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+    score: float
+
+    def reversed(self) -> "ColumnMatch":
+        return ColumnMatch(
+            self.right_table, self.right_column, self.left_table, self.left_column, self.score
+        )
+
+
+class SchemaMatcher:
+    """Base class for schema matchers.
+
+    Subclasses implement :meth:`score` for a single column pair; the base
+    class provides stable-greedy 1:1 match extraction over the full score
+    matrix.
+    """
+
+    def __init__(self, threshold: float = 0.6):
+        if not 0.0 <= threshold <= 1.0:
+            raise MatchingError(f"threshold must be in [0, 1], got {threshold}")
+        self.threshold = threshold
+
+    def score(self, left: Table, left_column: str, right: Table, right_column: str) -> float:
+        raise NotImplementedError
+
+    def score_matrix(self, left: Table, right: Table) -> Dict[Tuple[str, str], float]:
+        """Score every column pair of the two tables."""
+        scores: Dict[Tuple[str, str], float] = {}
+        for left_column in left.schema.names:
+            for right_column in right.schema.names:
+                scores[(left_column, right_column)] = self.score(
+                    left, left_column, right, right_column
+                )
+        return scores
+
+    def match(self, left: Table, right: Table) -> List[ColumnMatch]:
+        """Extract 1:1 matches greedily by descending score above threshold."""
+        scores = self.score_matrix(left, right)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        used_left: set = set()
+        used_right: set = set()
+        matches: List[ColumnMatch] = []
+        for (left_column, right_column), score in ranked:
+            if score < self.threshold:
+                break
+            if left_column in used_left or right_column in used_right:
+                continue
+            used_left.add(left_column)
+            used_right.add(right_column)
+            matches.append(
+                ColumnMatch(left.name, left_column, right.name, right_column, score)
+            )
+        return matches
+
+
+class NameBasedMatcher(SchemaMatcher):
+    """Match columns by name similarity.
+
+    Combines Levenshtein, Jaro-Winkler, trigram-Jaccard and token-sort
+    similarity; the maximum of the four is used so that each measure's
+    strength (typos, prefixes, re-ordered words) is captured.
+    """
+
+    def score(self, left: Table, left_column: str, right: Table, right_column: str) -> float:
+        a, b = left_column.lower(), right_column.lower()
+        if a == b:
+            return 1.0
+        return max(
+            levenshtein_similarity(a, b),
+            jaro_winkler_similarity(a, b),
+            ngram_jaccard_similarity(a, b),
+            token_sort_similarity(a, b),
+        )
+
+
+class InstanceBasedMatcher(SchemaMatcher):
+    """Match columns by the overlap of their value sets.
+
+    Columns of different data types never match; numeric columns are also
+    compared through range overlap so e.g. two age columns with few shared
+    exact values still score well.
+    """
+
+    def __init__(self, threshold: float = 0.5, sample_size: int = 1000):
+        super().__init__(threshold)
+        self.sample_size = sample_size
+
+    def score(self, left: Table, left_column: str, right: Table, right_column: str) -> float:
+        left_dtype = left.schema[left_column].dtype
+        right_dtype = right.schema[right_column].dtype
+        if left_dtype.is_numeric != right_dtype.is_numeric:
+            return 0.0
+        left_values = list(left.distinct_values(left_column))[: self.sample_size]
+        right_values = list(right.distinct_values(right_column))[: self.sample_size]
+        if not left_values or not right_values:
+            return 0.0
+        overlap = value_overlap(left_values, right_values)
+        if left_dtype.is_numeric and right_dtype.is_numeric:
+            overlap = max(overlap, _range_overlap(left_values, right_values))
+        return overlap
+
+
+def _range_overlap(left_values: Sequence[float], right_values: Sequence[float]) -> float:
+    left_lo, left_hi = min(left_values), max(left_values)
+    right_lo, right_hi = min(right_values), max(right_values)
+    intersection = min(left_hi, right_hi) - max(left_lo, right_lo)
+    if intersection <= 0:
+        return 0.0
+    union = max(left_hi, right_hi) - min(left_lo, right_lo)
+    if union <= 0:
+        return 1.0
+    return intersection / union
+
+
+class HybridMatcher(SchemaMatcher):
+    """Weighted combination of name-based and instance-based matching."""
+
+    def __init__(
+        self,
+        threshold: float = 0.6,
+        name_weight: float = 0.6,
+        instance_weight: float = 0.4,
+    ):
+        super().__init__(threshold)
+        total = name_weight + instance_weight
+        if total <= 0:
+            raise MatchingError("weights must sum to a positive value")
+        self.name_weight = name_weight / total
+        self.instance_weight = instance_weight / total
+        self._name_matcher = NameBasedMatcher(threshold=0.0)
+        self._instance_matcher = InstanceBasedMatcher(threshold=0.0)
+
+    def score(self, left: Table, left_column: str, right: Table, right_column: str) -> float:
+        name_score = self._name_matcher.score(left, left_column, right, right_column)
+        instance_score = self._instance_matcher.score(left, left_column, right, right_column)
+        return self.name_weight * name_score + self.instance_weight * instance_score
+
+
+def match_schemas(
+    left: Table,
+    right: Table,
+    matcher: Optional[SchemaMatcher] = None,
+) -> List[ColumnMatch]:
+    """Convenience wrapper: match two tables with the default hybrid matcher."""
+    matcher = matcher or HybridMatcher()
+    return matcher.match(left, right)

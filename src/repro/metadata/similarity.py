@@ -1,0 +1,151 @@
+"""String and set similarity measures used by schema matching and ER.
+
+The measures are classic data-integration primitives (Rahm & Bernstein
+2001 survey): edit distance, Jaro-Winkler, q-gram Jaccard for names, and
+value-overlap / Jaccard for instance-based matching.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic dynamic-programming edit distance between two strings."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (0 if char_a == char_b else 1)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalized to [0, 1], 1.0 for identical strings."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity between two strings."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    match_window = max(len(a), len(b)) // 2 - 1
+    match_window = max(match_window, 0)
+    a_matched = [False] * len(a)
+    b_matched = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(b))
+        for j in range(start, end):
+            if b_matched[j] or b[j] != char_a:
+                continue
+            a_matched[i] = True
+            b_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(a_matched):
+        if not matched:
+            continue
+        while not b_matched[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler similarity boosting shared prefixes (up to 4 chars)."""
+    jaro = jaro_similarity(a, b)
+    prefix_length = 0
+    for char_a, char_b in zip(a[:4], b[:4]):
+        if char_a != char_b:
+            break
+        prefix_length += 1
+    return jaro + prefix_length * prefix_weight * (1.0 - jaro)
+
+
+def _ngrams(text: str, n: int) -> Set[str]:
+    padded = f"{'#' * (n - 1)}{text.lower()}{'#' * (n - 1)}"
+    return {padded[i : i + n] for i in range(len(padded) - n + 1)}
+
+
+def ngram_jaccard_similarity(a: str, b: str, n: int = 3) -> float:
+    """Jaccard similarity of character n-gram sets (default trigrams)."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    grams_a, grams_b = _ngrams(a, n), _ngrams(b, n)
+    return len(grams_a & grams_b) / len(grams_a | grams_b)
+
+
+def jaccard_set_similarity(a: Iterable, b: Iterable) -> float:
+    """Jaccard similarity of two value sets."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def value_overlap(a: Iterable, b: Iterable) -> float:
+    """Containment-style overlap: |A ∩ B| / min(|A|, |B|).
+
+    This is the standard instance-based matching signal for detecting that
+    two columns draw values from the same domain even when one is a subset
+    of the other (e.g. a department table vs. the whole hospital).
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def token_sort_similarity(a: str, b: str) -> float:
+    """Levenshtein similarity after splitting on non-alphanumerics and sorting.
+
+    Useful for names such as ``resting_heart_rate`` vs ``heart rate resting``.
+    """
+    tokens_a = sorted(_tokenize(a))
+    tokens_b = sorted(_tokenize(b))
+    return levenshtein_similarity(" ".join(tokens_a), " ".join(tokens_b))
+
+
+def _tokenize(text: str) -> Sequence[str]:
+    tokens = []
+    current = []
+    for char in text.lower():
+        if char.isalnum():
+            current.append(char)
+        elif current:
+            tokens.append("".join(current))
+            current = []
+    if current:
+        tokens.append("".join(current))
+    return tokens

@@ -1,0 +1,36 @@
+"""In-memory relational substrate used by the Amalur reproduction.
+
+This package provides the minimal relational machinery a data-integration
+system needs: typed schemas, column-oriented tables, the join flavours of
+Table I in the paper (inner, left, full outer, union) with row provenance,
+and CSV import/export.
+"""
+
+from repro.relational.types import DataType, NULL, coerce_value, infer_type
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.joins import (
+    JoinResult,
+    inner_join,
+    left_join,
+    full_outer_join,
+    union_all,
+)
+from repro.relational.io import read_csv, write_csv
+
+__all__ = [
+    "DataType",
+    "NULL",
+    "coerce_value",
+    "infer_type",
+    "Column",
+    "Schema",
+    "Table",
+    "JoinResult",
+    "inner_join",
+    "left_join",
+    "full_outer_join",
+    "union_all",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,70 @@
+"""CSV import/export for the relational substrate."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.exceptions import TableError
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import NULL, infer_type, is_null, parse_cell
+
+PathLike = Union[str, Path]
+
+
+def read_csv(
+    path: PathLike,
+    name: Optional[str] = None,
+    key_columns: Sequence[str] = (),
+    label_column: Optional[str] = None,
+    delimiter: str = ",",
+) -> Table:
+    """Read a CSV file into a :class:`Table`, inferring column types.
+
+    Empty cells and the literals ``null``/``none``/``na``/``nan`` become NULL.
+    """
+    path = Path(path)
+    if name is None:
+        name = path.stem
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise TableError(f"CSV file {path} is empty") from exc
+        raw_rows = [row for row in reader if row]
+
+    columns = {col: [] for col in header}
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise TableError(
+                f"CSV row width {len(row)} does not match header width {len(header)}"
+            )
+        for col, cell in zip(header, row):
+            columns[col].append(parse_cell(cell))
+
+    schema = Schema(
+        [
+            Column(
+                col,
+                infer_type(columns[col]),
+                is_key=col in key_columns,
+                is_label=(col == label_column),
+            )
+            for col in header
+        ]
+    )
+    return Table(name, schema, columns)
+
+
+def write_csv(table: Table, path: PathLike, delimiter: str = ",") -> None:
+    """Write a :class:`Table` to CSV; NULLs become empty cells."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.schema.names)
+        for row in table.rows():
+            writer.writerow(["" if is_null(v) else v for v in row])

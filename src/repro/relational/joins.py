@@ -1,0 +1,281 @@
+"""Join operators with row provenance.
+
+The Amalur paper (Table I) characterizes the dataset relationships that
+matter for ML over silos as four join flavours: full outer join, inner
+join, left join and union. The operators here return a :class:`JoinResult`
+that, besides the materialized target table, records *row provenance*: for
+every output row, which source row (if any) of each input produced it.
+That provenance is exactly what the indicator matrices of Section III-B
+encode, so the matrix builder derives ``I_k`` from these results and the
+property tests can check that factorized reconstruction equals the join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import JoinError
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import NULL, is_null
+
+
+@dataclass
+class JoinResult:
+    """Result of a two-table integration operator.
+
+    Attributes
+    ----------
+    table:
+        The materialized target table ``T``.
+    left_rows / right_rows:
+        For each output row, the index of the originating row in the left /
+        right input, or ``-1`` when the output row has no counterpart there
+        (e.g. right-only rows of a full outer join).
+    left_columns / right_columns:
+        For each target column, the name of the source column it was taken
+        from, or ``None`` when the source does not map that column.
+    """
+
+    table: Table
+    left_rows: List[int]
+    right_rows: List[int]
+    left_columns: Dict[str, Optional[str]] = field(default_factory=dict)
+    right_columns: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    @property
+    def n_overlapping_rows(self) -> int:
+        return sum(1 for l, r in zip(self.left_rows, self.right_rows) if l >= 0 and r >= 0)
+
+
+def _key_tuple(table: Table, row: int, keys: Sequence[str]) -> Tuple[Any, ...]:
+    values = tuple(table.cell(row, k) for k in keys)
+    if any(is_null(v) for v in values):
+        return ("__null__", row)  # NULL keys never match anything
+    return values
+
+
+def _build_key_index(table: Table, keys: Sequence[str]) -> Dict[Tuple[Any, ...], List[int]]:
+    index: Dict[Tuple[Any, ...], List[int]] = {}
+    for i in range(table.n_rows):
+        index.setdefault(_key_tuple(table, i, keys), []).append(i)
+    return index
+
+
+def _validate_join_inputs(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    target_columns: Sequence[str],
+) -> None:
+    if not on:
+        raise JoinError("join requires at least one key column")
+    for key in on:
+        if key not in left.schema:
+            raise JoinError(f"left table {left.name!r} missing join key {key!r}")
+        if key not in right.schema:
+            raise JoinError(f"right table {right.name!r} missing join key {key!r}")
+    for name in target_columns:
+        if name not in left.schema and name not in right.schema:
+            raise JoinError(f"target column {name!r} exists in neither input")
+
+
+def _default_target_columns(left: Table, right: Table) -> List[str]:
+    names = list(left.schema.names)
+    names.extend(name for name in right.schema.names if name not in names)
+    return names
+
+
+def _target_schema(
+    left: Table, right: Table, target_columns: Sequence[str], name: str
+) -> Schema:
+    columns: List[Column] = []
+    for col_name in target_columns:
+        if col_name in left.schema:
+            source = left.schema[col_name]
+        else:
+            source = right.schema[col_name]
+        columns.append(source)
+    return Schema(columns)
+
+
+def _emit_row(
+    left: Table,
+    right: Table,
+    left_row: int,
+    right_row: int,
+    target_columns: Sequence[str],
+    prefer_left: bool = True,
+) -> List[Any]:
+    """Produce one output row, filling from the preferred side first."""
+    out: List[Any] = []
+    for name in target_columns:
+        value = NULL
+        in_left = name in left.schema and left_row >= 0
+        in_right = name in right.schema and right_row >= 0
+        if prefer_left:
+            if in_left:
+                value = left.cell(left_row, name)
+            if is_null(value) and in_right:
+                value = right.cell(right_row, name)
+        else:
+            if in_right:
+                value = right.cell(right_row, name)
+            if is_null(value) and in_left:
+                value = left.cell(left_row, name)
+        out.append(value)
+    return out
+
+
+def _column_provenance(table: Table, target_columns: Sequence[str]) -> Dict[str, Optional[str]]:
+    return {name: (name if name in table.schema else None) for name in target_columns}
+
+
+def _join(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    target_columns: Optional[Sequence[str]],
+    *,
+    keep_left_unmatched: bool,
+    keep_right_unmatched: bool,
+    result_name: str,
+) -> JoinResult:
+    if target_columns is None:
+        target_columns = _default_target_columns(left, right)
+    _validate_join_inputs(left, right, on, target_columns)
+    schema = _target_schema(left, right, target_columns, result_name)
+    right_index = _build_key_index(right, on)
+
+    rows: List[List[Any]] = []
+    left_rows: List[int] = []
+    right_rows: List[int] = []
+    matched_right: set = set()
+
+    for i in range(left.n_rows):
+        key = _key_tuple(left, i, on)
+        matches = right_index.get(key, [])
+        real_matches = [j for j in matches if key[0] != "__null__"]
+        if real_matches:
+            for j in real_matches:
+                rows.append(_emit_row(left, right, i, j, target_columns))
+                left_rows.append(i)
+                right_rows.append(j)
+                matched_right.add(j)
+        elif keep_left_unmatched:
+            rows.append(_emit_row(left, right, i, -1, target_columns))
+            left_rows.append(i)
+            right_rows.append(-1)
+
+    if keep_right_unmatched:
+        for j in range(right.n_rows):
+            if j in matched_right:
+                continue
+            rows.append(_emit_row(left, right, -1, j, target_columns))
+            left_rows.append(-1)
+            right_rows.append(j)
+
+    table = Table.from_rows(result_name, schema, rows)
+    return JoinResult(
+        table=table,
+        left_rows=left_rows,
+        right_rows=right_rows,
+        left_columns=_column_provenance(left, target_columns),
+        right_columns=_column_provenance(right, target_columns),
+    )
+
+
+def inner_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    target_columns: Optional[Sequence[str]] = None,
+    result_name: str = "T",
+) -> JoinResult:
+    """Inner join (Table I, Example 2): only matched rows survive."""
+    return _join(
+        left,
+        right,
+        on,
+        target_columns,
+        keep_left_unmatched=False,
+        keep_right_unmatched=False,
+        result_name=result_name,
+    )
+
+
+def left_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    target_columns: Optional[Sequence[str]] = None,
+    result_name: str = "T",
+) -> JoinResult:
+    """Left join (Table I, Example 3): all left rows, matched right values."""
+    return _join(
+        left,
+        right,
+        on,
+        target_columns,
+        keep_left_unmatched=True,
+        keep_right_unmatched=False,
+        result_name=result_name,
+    )
+
+
+def full_outer_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    target_columns: Optional[Sequence[str]] = None,
+    result_name: str = "T",
+) -> JoinResult:
+    """Full outer join (Table I, Example 1): all rows of both inputs."""
+    return _join(
+        left,
+        right,
+        on,
+        target_columns,
+        keep_left_unmatched=True,
+        keep_right_unmatched=True,
+        result_name=result_name,
+    )
+
+
+def union_all(
+    left: Table,
+    right: Table,
+    target_columns: Optional[Sequence[str]] = None,
+    result_name: str = "T",
+) -> JoinResult:
+    """Union (Table I, Example 4): stack rows of sources that share columns."""
+    if target_columns is None:
+        target_columns = [
+            name for name in left.schema.names if name in right.schema
+        ]
+        if not target_columns:
+            raise JoinError("union requires at least one shared column")
+    for name in target_columns:
+        if name not in left.schema or name not in right.schema:
+            raise JoinError(f"union target column {name!r} missing from one input")
+    schema = Schema([left.schema[name] for name in target_columns])
+    rows: List[List[Any]] = []
+    left_rows: List[int] = []
+    right_rows: List[int] = []
+    for i in range(left.n_rows):
+        rows.append([left.cell(i, name) for name in target_columns])
+        left_rows.append(i)
+        right_rows.append(-1)
+    for j in range(right.n_rows):
+        rows.append([right.cell(j, name) for name in target_columns])
+        left_rows.append(-1)
+        right_rows.append(j)
+    table = Table.from_rows(result_name, schema, rows)
+    return JoinResult(
+        table=table,
+        left_rows=left_rows,
+        right_rows=right_rows,
+        left_columns={name: name for name in target_columns},
+        right_columns={name: name for name in target_columns},
+    )

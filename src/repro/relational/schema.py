@@ -1,0 +1,180 @@
+"""Schemas and columns for the relational substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    Attributes
+    ----------
+    name:
+        Column name, unique within its schema.
+    dtype:
+        The column's :class:`DataType`.
+    is_key:
+        Whether the column is (part of) the table's entity key, used by
+        key-based entity resolution.
+    is_label:
+        Whether the column is the supervised-learning label.
+    description:
+        Optional free-text description kept in the metadata catalog.
+    """
+
+    name: str
+    dtype: DataType = DataType.FLOAT
+    is_key: bool = False
+    is_label: bool = False
+    description: str = ""
+
+    def renamed(self, new_name: str) -> "Column":
+        return Column(new_name, self.dtype, self.is_key, self.is_label, self.description)
+
+    def with_role(self, *, is_key: Optional[bool] = None, is_label: Optional[bool] = None) -> "Column":
+        return Column(
+            self.name,
+            self.dtype,
+            self.is_key if is_key is None else is_key,
+            self.is_label if is_label is None else is_label,
+            self.description,
+        )
+
+
+class Schema:
+    """An ordered collection of uniquely named :class:`Column` objects."""
+
+    def __init__(self, columns: Sequence[Column]):
+        names = [column.name for column in columns]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names in schema: {sorted(duplicates)}")
+        self._columns: Tuple[Column, ...] = tuple(columns)
+        self._index: Dict[str, int] = {column.name: i for i, column in enumerate(self._columns)}
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key) -> Column:
+        if isinstance(key, str):
+            try:
+                return self._columns[self._index[key]]
+            except KeyError as exc:
+                raise SchemaError(f"no column named {key!r}") from exc
+        return self._columns[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.dtype.value}" for c in self._columns)
+        return f"Schema({cols})"
+
+    # -- accessors -----------------------------------------------------------------
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> List[str]:
+        return [column.name for column in self._columns]
+
+    @property
+    def key_columns(self) -> List[Column]:
+        return [column for column in self._columns if column.is_key]
+
+    @property
+    def label_columns(self) -> List[Column]:
+        return [column for column in self._columns if column.is_label]
+
+    @property
+    def feature_columns(self) -> List[Column]:
+        """Numeric, non-key, non-label columns usable as ML features."""
+        return [
+            column
+            for column in self._columns
+            if column.dtype.is_numeric and not column.is_key and not column.is_label
+        ]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise SchemaError(f"no column named {name!r}") from exc
+
+    def dtype_of(self, name: str) -> DataType:
+        return self[name].dtype
+
+    # -- construction helpers --------------------------------------------------------
+    @classmethod
+    def of(cls, **name_to_dtype: DataType) -> "Schema":
+        """Build a schema from keyword arguments, e.g. ``Schema.of(a=DataType.INT)``."""
+        return cls([Column(name, dtype) for name, dtype in name_to_dtype.items()])
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        return Schema([self[name] for name in names])
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        dropped = set(names)
+        missing = dropped - set(self.names)
+        if missing:
+            raise SchemaError(f"cannot drop unknown columns: {sorted(missing)}")
+        return Schema([column for column in self._columns if column.name not in dropped])
+
+    def rename(self, renames: Dict[str, str]) -> "Schema":
+        unknown = set(renames) - set(self.names)
+        if unknown:
+            raise SchemaError(f"cannot rename unknown columns: {sorted(unknown)}")
+        return Schema(
+            [column.renamed(renames.get(column.name, column.name)) for column in self._columns]
+        )
+
+    def with_column(self, column: Column) -> "Schema":
+        return Schema(list(self._columns) + [column])
+
+    def merge_disjoint(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas with disjoint column names."""
+        overlap = set(self.names) & set(other.names)
+        if overlap:
+            raise SchemaError(f"schemas overlap on columns: {sorted(overlap)}")
+        return Schema(list(self._columns) + list(other.columns))
+
+
+@dataclass
+class SourceDescription:
+    """Basic metadata describing a source table (paper §II-A).
+
+    This is the "basic metadata" kept by the hybrid metadata catalog:
+    schema, row count, null ratio per column, and provenance (silo name).
+    """
+
+    name: str
+    schema: Schema
+    n_rows: int
+    null_ratio: Dict[str, float] = field(default_factory=dict)
+    silo: str = ""
+    provenance: str = ""
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.schema)
+
+    def overall_null_ratio(self) -> float:
+        if not self.null_ratio:
+            return 0.0
+        return sum(self.null_ratio.values()) / len(self.null_ratio)

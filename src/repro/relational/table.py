@@ -1,0 +1,290 @@
+"""Column-oriented in-memory tables."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SchemaError, TableError
+from repro.relational.schema import Column, Schema, SourceDescription
+from repro.relational.types import NULL, DataType, coerce_value, infer_type, is_null
+
+
+class Table:
+    """An immutable, column-oriented relational table.
+
+    Data is stored as one Python list per column; numeric projections are
+    exported to numpy arrays on demand (:meth:`to_matrix`). The class is the
+    substrate under both the materialization path (joins) and the factorized
+    path (per-source data matrices ``D_k``).
+    """
+
+    def __init__(self, name: str, schema: Schema, columns: Dict[str, List[Any]]):
+        if set(columns) != set(schema.names):
+            raise TableError(
+                f"column data {sorted(columns)} does not match schema {schema.names}"
+            )
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise TableError(f"ragged columns with lengths {sorted(lengths)}")
+        self._name = name
+        self._schema = schema
+        self._n_rows = lengths.pop() if lengths else 0
+        self._columns: Dict[str, List[Any]] = {
+            column.name: [coerce_value(v, column.dtype) for v in columns[column.name]]
+            for column in schema
+        }
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]],
+    ) -> "Table":
+        """Build a table from row tuples ordered like the schema."""
+        rows = list(rows)
+        columns: Dict[str, List[Any]] = {column.name: [] for column in schema}
+        for row in rows:
+            if len(row) != len(schema):
+                raise TableError(
+                    f"row of width {len(row)} does not match schema of width {len(schema)}"
+                )
+            for column, value in zip(schema, row):
+                columns[column.name].append(value)
+        return cls(name, schema, columns)
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, List[Any]], **column_kwargs: Dict[str, Any]) -> "Table":
+        """Build a table from a column dict, inferring data types.
+
+        ``column_kwargs`` may carry per-column overrides, e.g.
+        ``Table.from_dict("s1", data, m={"is_label": True})``.
+        """
+        columns = []
+        for col_name, values in data.items():
+            overrides = column_kwargs.get(col_name, {})
+            dtype = overrides.get("dtype", infer_type(values))
+            columns.append(
+                Column(
+                    col_name,
+                    dtype,
+                    is_key=overrides.get("is_key", False),
+                    is_label=overrides.get("is_label", False),
+                    description=overrides.get("description", ""),
+                )
+            )
+        return cls(name, Schema(columns), {k: list(v) for k, v in data.items()})
+
+    @classmethod
+    def from_matrix(
+        cls,
+        name: str,
+        matrix: np.ndarray,
+        column_names: Optional[Sequence[str]] = None,
+        label_column: Optional[str] = None,
+    ) -> "Table":
+        """Build a numeric table from a 2-D numpy array."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise TableError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        n_cols = matrix.shape[1]
+        if column_names is None:
+            column_names = [f"c{i}" for i in range(n_cols)]
+        if len(column_names) != n_cols:
+            raise TableError("column_names length does not match matrix width")
+        columns = [
+            Column(col, DataType.FLOAT, is_label=(col == label_column)) for col in column_names
+        ]
+        data = {col: [NULL if np.isnan(v) else float(v) for v in matrix[:, i]]
+                for i, col in enumerate(column_names)}
+        return cls(name, Schema(columns), data)
+
+    @classmethod
+    def empty(cls, name: str, schema: Schema) -> "Table":
+        return cls(name, schema, {column.name: [] for column in schema})
+
+    # -- basic accessors -----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._schema)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._n_rows, len(self._schema))
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self._name!r}, rows={self._n_rows}, cols={self._schema.names})"
+
+    def column(self, name: str) -> List[Any]:
+        """Return the values of one column (a copy)."""
+        if name not in self._schema:
+            raise TableError(f"table {self._name!r} has no column {name!r}")
+        return list(self._columns[name])
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        if not 0 <= index < self._n_rows:
+            raise TableError(f"row index {index} out of range for {self._n_rows} rows")
+        return tuple(self._columns[name][index] for name in self._schema.names)
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        for i in range(self._n_rows):
+            yield self.row(i)
+
+    def cell(self, row: int, column: str) -> Any:
+        if not 0 <= row < self._n_rows:
+            raise TableError(f"row index {row} out of range")
+        return self._columns[column][row]
+
+    # -- relational operators --------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Table":
+        schema = self._schema.project(names)
+        return Table(self._name, schema, {name: list(self._columns[name]) for name in names})
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        schema = self._schema.drop(names)
+        return Table(
+            self._name, schema, {c.name: list(self._columns[c.name]) for c in schema}
+        )
+
+    def rename(self, renames: Dict[str, str]) -> "Table":
+        schema = self._schema.rename(renames)
+        data = {}
+        for old_name, column in zip(self._schema.names, schema):
+            data[column.name] = list(self._columns[old_name])
+        return Table(self._name, schema, data)
+
+    def renamed_table(self, new_name: str) -> "Table":
+        return Table(new_name, self._schema, {k: list(v) for k, v in self._columns.items()})
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Table":
+        """Select rows where ``predicate(row_dict)`` is truthy."""
+        keep = [
+            i
+            for i in range(self._n_rows)
+            if predicate({name: self._columns[name][i] for name in self._schema.names})
+        ]
+        return self.take(keep)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Return a table containing the given row indices, in order."""
+        for i in indices:
+            if not 0 <= i < self._n_rows:
+                raise TableError(f"row index {i} out of range for {self._n_rows} rows")
+        data = {
+            name: [self._columns[name][i] for i in indices] for name in self._schema.names
+        }
+        return Table(self._name, self._schema, data)
+
+    def head(self, n: int = 5) -> "Table":
+        return self.take(list(range(min(n, self._n_rows))))
+
+    def with_column(self, column: Column, values: Sequence[Any]) -> "Table":
+        if len(values) != self._n_rows:
+            raise TableError("new column length does not match table")
+        schema = self._schema.with_column(column)
+        data = {k: list(v) for k, v in self._columns.items()}
+        data[column.name] = list(values)
+        return Table(self._name, schema, data)
+
+    def set_roles(self, *, keys: Sequence[str] = (), label: Optional[str] = None) -> "Table":
+        """Return a copy with key/label roles set on the named columns."""
+        new_columns = []
+        for column in self._schema:
+            is_key = column.name in keys if keys else column.is_key
+            is_label = (column.name == label) if label is not None else column.is_label
+            new_columns.append(column.with_role(is_key=is_key, is_label=is_label))
+        return Table(self._name, Schema(new_columns), {k: list(v) for k, v in self._columns.items()})
+
+    # -- analytics helpers -------------------------------------------------------------
+    def null_ratio(self, column: Optional[str] = None) -> float:
+        """Fraction of NULL cells in one column (or the whole table)."""
+        if self._n_rows == 0:
+            return 0.0
+        if column is not None:
+            values = self._columns[column]
+            return sum(1 for v in values if is_null(v)) / self._n_rows
+        total = self._n_rows * len(self._schema)
+        nulls = sum(
+            1 for values in self._columns.values() for v in values if is_null(v)
+        )
+        return nulls / total if total else 0.0
+
+    def distinct_values(self, column: str) -> set:
+        return {v for v in self._columns[column] if not is_null(v)}
+
+    def to_matrix(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        null_value: float = 0.0,
+    ) -> np.ndarray:
+        """Export numeric columns to a dense float matrix.
+
+        NULLs are replaced by ``null_value`` (0.0 by default, matching the
+        paper's Figure 4 where unmatched cells contribute zeros).
+        """
+        if columns is None:
+            columns = [c.name for c in self._schema if c.dtype.is_numeric]
+        for name in columns:
+            if not self._schema[name].dtype.is_numeric:
+                raise TableError(f"column {name!r} is not numeric")
+        out = np.empty((self._n_rows, len(columns)), dtype=float)
+        for j, name in enumerate(columns):
+            values = self._columns[name]
+            out[:, j] = [null_value if is_null(v) else float(v) for v in values]
+        return out
+
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        return list(self.rows())
+
+    def to_dict(self) -> Dict[str, List[Any]]:
+        return {name: list(values) for name, values in self._columns.items()}
+
+    def describe(self, silo: str = "") -> SourceDescription:
+        """Produce the basic-metadata record for the metadata catalog."""
+        return SourceDescription(
+            name=self._name,
+            schema=self._schema,
+            n_rows=self._n_rows,
+            null_ratio={name: self.null_ratio(name) for name in self._schema.names},
+            silo=silo,
+        )
+
+    def equals(self, other: "Table", *, check_name: bool = False) -> bool:
+        """Structural equality on schema names, dtypes and cell values."""
+        if check_name and self._name != other._name:
+            return False
+        if self._schema.names != other.schema.names:
+            return False
+        if self._n_rows != other.n_rows:
+            return False
+        for name in self._schema.names:
+            left, right = self._columns[name], other._columns[name]
+            for a, b in zip(left, right):
+                if is_null(a) and is_null(b):
+                    continue
+                if is_null(a) != is_null(b):
+                    return False
+                if isinstance(a, float) or isinstance(b, float):
+                    if not np.isclose(float(a), float(b)):
+                        return False
+                elif a != b:
+                    return False
+        return True

@@ -1,0 +1,176 @@
+"""Value types for the relational substrate.
+
+The substrate supports the four types a tabular ML pipeline needs:
+integers, floats, strings and booleans, plus an explicit ``NULL`` sentinel
+that survives joins and is distinguishable from ``0``/``""``/``False``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Iterable, Optional
+
+from repro.exceptions import SchemaError
+
+
+class _NullType:
+    """Singleton sentinel for SQL-style NULL values."""
+
+    _instance: Optional["_NullType"] = None
+
+    def __new__(cls) -> "_NullType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self or isinstance(other, _NullType)
+
+    def __hash__(self) -> int:
+        return hash("__amalur_null__")
+
+
+NULL = _NullType()
+
+
+def is_null(value: Any) -> bool:
+    """Return True for the NULL sentinel, Python None, or float NaN."""
+    if value is NULL or value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    return False
+
+
+class DataType(enum.Enum):
+    """Column data types supported by the substrate."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    @property
+    def python_type(self) -> type:
+        return {
+            DataType.INT: int,
+            DataType.FLOAT: float,
+            DataType.STRING: str,
+            DataType.BOOL: bool,
+        }[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.FLOAT)
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce ``value`` to ``dtype``, preserving NULLs.
+
+    Raises :class:`SchemaError` if the value cannot be represented in the
+    requested type.
+    """
+    if is_null(value):
+        return NULL
+    try:
+        if dtype is DataType.INT:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, float) and not value.is_integer():
+                raise SchemaError(f"cannot coerce non-integral float {value!r} to INT")
+            return int(value)
+        if dtype is DataType.FLOAT:
+            return float(value)
+        if dtype is DataType.STRING:
+            return str(value)
+        if dtype is DataType.BOOL:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "t", "1", "yes"):
+                    return True
+                if lowered in ("false", "f", "0", "no"):
+                    return False
+                raise SchemaError(f"cannot coerce string {value!r} to BOOL")
+            return bool(value)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"cannot coerce {value!r} to {dtype.value}") from exc
+    raise SchemaError(f"unknown data type {dtype!r}")  # pragma: no cover
+
+
+def infer_type(values: Iterable[Any]) -> DataType:
+    """Infer the narrowest :class:`DataType` able to hold all ``values``.
+
+    NULLs are ignored; an all-NULL column defaults to FLOAT so it can hold
+    NaN in matrix form.
+    """
+    seen_float = False
+    seen_int = False
+    seen_bool = False
+    seen_str = False
+    any_value = False
+    for value in values:
+        if is_null(value):
+            continue
+        any_value = True
+        if isinstance(value, bool):
+            seen_bool = True
+        elif isinstance(value, int):
+            seen_int = True
+        elif isinstance(value, float):
+            seen_float = True
+        elif isinstance(value, str):
+            parsed = _parse_string(value)
+            if isinstance(parsed, bool):
+                seen_bool = True
+            elif isinstance(parsed, int):
+                seen_int = True
+            elif isinstance(parsed, float):
+                seen_float = True
+            else:
+                seen_str = True
+        else:
+            seen_str = True
+    if not any_value:
+        return DataType.FLOAT
+    if seen_str:
+        return DataType.STRING
+    if seen_float:
+        return DataType.FLOAT
+    if seen_int:
+        return DataType.INT
+    if seen_bool:
+        return DataType.BOOL
+    return DataType.STRING  # pragma: no cover - unreachable
+
+
+def _parse_string(text: str) -> Any:
+    """Parse a string into bool/int/float if possible, else return it."""
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        return text
+
+
+def parse_cell(text: str) -> Any:
+    """Parse a raw CSV cell into a typed Python value (NULL for empties)."""
+    if text is None:
+        return NULL
+    stripped = text.strip()
+    if stripped == "" or stripped.lower() in ("null", "none", "na", "nan"):
+        return NULL
+    return _parse_string(stripped)

@@ -1,0 +1,21 @@
+"""Data silos, a simulated network, and a central orchestrator (paper §II).
+
+The paper's deployment target — geographically distributed silos with a
+central orchestrator shipping compiled executables and aggregating results
+— is simulated in-process: each :class:`DataSilo` holds its tables and
+privacy constraints, every byte that crosses a silo boundary is accounted
+by :class:`SimulatedNetwork`, and :class:`Orchestrator` coordinates
+factorized execution and materialization across silos.
+"""
+
+from repro.silos.silo import DataSilo, PrivacyLevel
+from repro.silos.network import SimulatedNetwork, TransferRecord
+from repro.silos.orchestrator import Orchestrator
+
+__all__ = [
+    "DataSilo",
+    "PrivacyLevel",
+    "SimulatedNetwork",
+    "TransferRecord",
+    "Orchestrator",
+]

@@ -1,0 +1,71 @@
+"""Data silos: local table stores with privacy constraints."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.exceptions import CatalogError, PrivacyError
+from repro.relational.table import Table
+
+
+class PrivacyLevel(enum.Enum):
+    """How data may leave a silo.
+
+    * ``OPEN`` — raw rows may be exported (materialization allowed).
+    * ``AGGREGATES_ONLY`` — only aggregated/derived results (e.g. partial
+      LMM results, gradients) may leave; raw rows may not. Factorized
+      execution is allowed, materialization is not.
+    * ``PRIVATE`` — nothing derived from raw values may leave unencrypted;
+      only federated learning with encrypted exchanges is allowed.
+    """
+
+    OPEN = "open"
+    AGGREGATES_ONLY = "aggregates_only"
+    PRIVATE = "private"
+
+
+class DataSilo:
+    """A named collection of tables that (optionally) cannot be exported."""
+
+    def __init__(self, name: str, privacy: PrivacyLevel = PrivacyLevel.OPEN):
+        self.name = name
+        self.privacy = privacy
+        self._tables: Dict[str, Table] = {}
+
+    def add_table(self, table: Table) -> None:
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise CatalogError(f"silo {self.name!r} has no table {name!r}") from exc
+
+    @property
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- privacy checks -----------------------------------------------------------
+    @property
+    def allows_export(self) -> bool:
+        return self.privacy is PrivacyLevel.OPEN
+
+    @property
+    def allows_factorized_pushdown(self) -> bool:
+        return self.privacy in (PrivacyLevel.OPEN, PrivacyLevel.AGGREGATES_ONLY)
+
+    def export_table(self, name: str) -> Table:
+        """Export raw rows out of the silo, enforcing the privacy level."""
+        if not self.allows_export:
+            raise PrivacyError(
+                f"silo {self.name!r} has privacy level {self.privacy.value!r}; "
+                "raw rows may not leave the silo"
+            )
+        return self.table(name)
+
+    def __repr__(self) -> str:
+        return f"DataSilo({self.name!r}, privacy={self.privacy.value}, tables={self.table_names})"

@@ -1,0 +1,22 @@
+"""The Amalur system facade (paper §II, Figure 3).
+
+Wires the other packages together: the metadata catalog and discovery, the
+matrix builder, the optimizer that chooses factorization, materialization
+or federated learning, and the executor that trains the requested model
+under the chosen strategy while accounting silo-boundary traffic.
+"""
+
+from repro.system.plan import ExecutionPlan, PlanStep, ModelSpec, TrainingResult
+from repro.system.optimizer import Optimizer
+from repro.system.executor import Executor
+from repro.system.amalur import Amalur
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanStep",
+    "ModelSpec",
+    "TrainingResult",
+    "Optimizer",
+    "Executor",
+    "Amalur",
+]

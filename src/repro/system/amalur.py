@@ -1,0 +1,142 @@
+"""The Amalur facade: end-to-end ML over data silos (paper Figure 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.costmodel.amalur_cost import AmalurCostModel
+from repro.exceptions import CatalogError
+from repro.matrices.builder import IntegratedDataset, integrate_tables
+from repro.metadata.catalog import MetadataCatalog, ModelMetadata
+from repro.metadata.discovery import AugmentationCandidate, DataDiscovery
+from repro.metadata.entity_resolution import resolve_entities
+from repro.metadata.mappings import ScenarioType, build_scenario_mapping
+from repro.metadata.schema_matching import HybridMatcher, SchemaMatcher, match_schemas
+from repro.relational.table import Table
+from repro.silos.network import SimulatedNetwork
+from repro.silos.orchestrator import Orchestrator
+from repro.silos.silo import DataSilo, PrivacyLevel
+from repro.system.executor import Executor
+from repro.system.optimizer import Optimizer
+from repro.system.plan import ExecutionPlan, ModelSpec, TrainingResult
+
+
+class Amalur:
+    """An ML-oriented data integration system over data silos.
+
+    Typical workflow (mirroring Figure 3)::
+
+        amalur = Amalur()
+        amalur.add_silo("er", privacy=PrivacyLevel.OPEN)
+        amalur.add_table("er", s1)
+        amalur.add_silo("pulmonary")
+        amalur.add_table("pulmonary", s2)
+
+        candidates = amalur.discover(base="S1", label_column="m")
+        dataset = amalur.integrate("S1", "S2", target_columns=["m", "a", "hr", "o"],
+                                   scenario=ScenarioType.FULL_OUTER_JOIN, label_column="m")
+        plan = amalur.plan(dataset, ModelSpec(task="classification"))
+        result = amalur.train(dataset, ModelSpec(task="classification"))
+    """
+
+    def __init__(
+        self,
+        matcher: Optional[SchemaMatcher] = None,
+        cost_model: Optional[AmalurCostModel] = None,
+        network: Optional[SimulatedNetwork] = None,
+    ):
+        self.catalog = MetadataCatalog()
+        self.orchestrator = Orchestrator(network=network)
+        self.matcher = matcher or HybridMatcher()
+        self.optimizer = Optimizer(orchestrator=self.orchestrator, cost_model=cost_model)
+        self.executor = Executor(orchestrator=self.orchestrator)
+        self._model_counter = 0
+
+    # -- silo & catalog management ------------------------------------------------------
+    def add_silo(self, name: str, privacy: PrivacyLevel = PrivacyLevel.OPEN) -> DataSilo:
+        silo = DataSilo(name, privacy=privacy)
+        self.orchestrator.register_silo(silo)
+        return silo
+
+    def add_table(self, silo_name: str, table: Table) -> None:
+        silo = self.orchestrator.silo(silo_name)
+        silo.add_table(table)
+        self.orchestrator.register_silo(silo)  # refresh the table→silo index
+        self.catalog.register_source(table, silo=silo_name)
+
+    @property
+    def tables(self) -> List[str]:
+        return self.catalog.source_names
+
+    # -- discovery and integration --------------------------------------------------------
+    def discover(
+        self, base: str, label_column: str, top_k: Optional[int] = None
+    ) -> List[AugmentationCandidate]:
+        """Rank catalog tables as feature-augmentation candidates for ``base``."""
+        discovery = DataDiscovery(self.catalog, matcher=self.matcher)
+        return discovery.discover(self.catalog.table(base), label_column, top_k=top_k)
+
+    def integrate(
+        self,
+        base_name: str,
+        other_name: str,
+        target_columns: Sequence[str],
+        scenario: ScenarioType,
+        label_column: Optional[str] = None,
+    ) -> IntegratedDataset:
+        """Match, resolve and build the factorized representation of two sources.
+
+        Schema matching and entity resolution run automatically and their
+        outputs (the DI metadata) are recorded in the catalog together with
+        the generated schema mapping.
+        """
+        base = self.catalog.table(base_name)
+        other = self.catalog.table(other_name)
+        column_matches = match_schemas(base, other, matcher=self.matcher)
+        self.catalog.record_column_matches(base_name, other_name, column_matches)
+        row_matches = resolve_entities(base, other, column_matches=column_matches)
+        self.catalog.record_row_matches(base_name, other_name, row_matches)
+        mapping = build_scenario_mapping(base, other, column_matches, target_columns, scenario)
+        self.catalog.record_schema_mapping(base_name, other_name, mapping)
+        return integrate_tables(
+            base=base,
+            other=other,
+            column_matches=column_matches,
+            row_matches=row_matches,
+            target_columns=target_columns,
+            scenario=scenario,
+            label_column=label_column,
+        )
+
+    # -- planning and training --------------------------------------------------------------
+    def plan(self, dataset: IntegratedDataset, model: ModelSpec) -> ExecutionPlan:
+        return self.optimizer.plan(dataset, model)
+
+    def train(
+        self,
+        dataset: IntegratedDataset,
+        model: ModelSpec,
+        plan: Optional[ExecutionPlan] = None,
+    ) -> TrainingResult:
+        """Plan (unless given) and execute training, registering the model."""
+        plan = plan or self.optimizer.plan(dataset, model)
+        result = self.executor.execute(plan)
+        self._model_counter += 1
+        metadata = ModelMetadata(
+            name=f"model_{self._model_counter}",
+            model_type=model.task,
+            hyperparameters={
+                "learning_rate": model.learning_rate,
+                "n_iterations": model.n_iterations,
+                "l2_penalty": model.l2_penalty,
+            },
+            metrics=dict(result.metrics),
+            training_datasets=[factor.name for factor in dataset.factors],
+        )
+        self.catalog.register_model(metadata)
+        return result
+
+    # -- traffic accounting ---------------------------------------------------------------
+    @property
+    def network(self) -> SimulatedNetwork:
+        return self.orchestrator.network

@@ -1,0 +1,266 @@
+"""Execute an :class:`repro.system.plan.ExecutionPlan` and train the model."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.costmodel.decision import Decision
+from repro.exceptions import PlanError
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.federated.horizontal import FederatedAveraging
+from repro.federated.party import Party
+from repro.federated.vertical_lr import VerticalFederatedLinearRegression
+from repro.learning.base import DenseMatrix
+from repro.learning.gaussian_nmf import GaussianNMF
+from repro.learning.kmeans import KMeans
+from repro.learning.linear_regression import LinearRegression
+from repro.learning.logistic_regression import LogisticRegression
+from repro.learning.metrics import accuracy_score, mean_squared_error, r2_score
+from repro.matrices.builder import IntegratedDataset, SourceFactor
+from repro.metadata.mappings import ScenarioType
+from repro.silos.orchestrator import Orchestrator
+from repro.system.plan import ExecutionPlan, ModelSpec, TrainingResult
+
+
+class Executor:
+    """Runs plans produced by :class:`repro.system.optimizer.Optimizer`."""
+
+    def __init__(self, orchestrator: Optional[Orchestrator] = None):
+        self.orchestrator = orchestrator or Orchestrator()
+
+    def execute(self, plan: ExecutionPlan) -> TrainingResult:
+        baseline_bytes = self.orchestrator.network.total_bytes
+        baseline_messages = self.orchestrator.network.n_messages
+
+        if plan.strategy is Decision.FEDERATE:
+            result = self._execute_federated(plan)
+        else:
+            result = self._execute_central(plan)
+
+        result.bytes_transferred = self.orchestrator.network.total_bytes - baseline_bytes
+        result.n_messages = self.orchestrator.network.n_messages - baseline_messages
+        return result
+
+    # -- centralized strategies (materialize / factorize) ---------------------------------
+    def _execute_central(self, plan: ExecutionPlan) -> TrainingResult:
+        dataset = plan.dataset
+        model_spec = plan.model
+        if plan.strategy is Decision.MATERIALIZE:
+            target = self.orchestrator.materialize_target(dataset)
+            features, labels = self._split_features_labels(dataset, target)
+            operand = DenseMatrix(features)
+        elif plan.strategy is Decision.FACTORIZE:
+            matrix = AmalurMatrix(dataset)
+            labels = matrix.labels() if dataset.label_column else None
+            operand = matrix.feature_matrix_view()
+            # Account the per-iteration silo traffic of pushdown: the operand
+            # (weights) goes out, the partial results come back, once per
+            # training iteration and per source.
+            self._account_factorized_traffic(dataset, model_spec)
+        else:  # pragma: no cover - defensive
+            raise PlanError(f"unsupported central strategy {plan.strategy!r}")
+
+        model, metrics, predictions = self._train_central(operand, labels, model_spec)
+        return TrainingResult(plan=plan, model=model, metrics=metrics, predictions=predictions)
+
+    def _account_factorized_traffic(self, dataset: IntegratedDataset, model_spec: ModelSpec) -> None:
+        operand_bytes = np.zeros(len(dataset.feature_columns))
+        partial_bytes = np.zeros(dataset.n_target_rows)
+        for _ in range(max(model_spec.n_iterations, 1)):
+            for factor in dataset.factors:
+                silo_name = factor.name
+                self.orchestrator.network.send(
+                    Orchestrator.ORCHESTRATOR, silo_name, "weights", operand_bytes
+                )
+                self.orchestrator.network.send(
+                    silo_name, Orchestrator.ORCHESTRATOR, "partial_result", partial_bytes
+                )
+
+    def _split_features_labels(
+        self, dataset: IntegratedDataset, target: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        if dataset.label_column is None:
+            return target, None
+        label_index = dataset.target_columns.index(dataset.label_column)
+        feature_indices = [i for i in range(target.shape[1]) if i != label_index]
+        return target[:, feature_indices], target[:, label_index]
+
+    def _train_central(self, operand, labels, model_spec: ModelSpec):
+        task = model_spec.task
+        if task == "classification":
+            if labels is None:
+                raise PlanError("classification requires a label column")
+            model = LogisticRegression(
+                learning_rate=model_spec.learning_rate,
+                n_iterations=model_spec.n_iterations,
+                l2_penalty=model_spec.l2_penalty,
+            ).fit(operand, labels)
+            predictions = model.predict(operand)
+            metrics = {
+                "accuracy": accuracy_score(labels, predictions),
+                "log_loss": model.loss_history_[-1] if model.loss_history_ else float("nan"),
+            }
+            return model, metrics, predictions
+        if task == "regression":
+            if labels is None:
+                raise PlanError("regression requires a label column")
+            model = LinearRegression(
+                solver="gd",
+                learning_rate=model_spec.learning_rate,
+                n_iterations=model_spec.n_iterations,
+                l2_penalty=model_spec.l2_penalty,
+            ).fit(operand, labels)
+            predictions = model.predict(operand)
+            metrics = {
+                "mse": mean_squared_error(labels, predictions),
+                "r2": r2_score(labels, predictions),
+            }
+            return model, metrics, predictions
+        if task == "clustering":
+            model = KMeans(
+                n_clusters=model_spec.n_clusters, n_iterations=model_spec.n_iterations
+            ).fit(operand)
+            return model, {"inertia": model.inertia_}, model.labels_
+        if task == "nmf":
+            model = GaussianNMF(
+                n_components=model_spec.n_components, n_iterations=model_spec.n_iterations
+            ).fit(operand)
+            return model, {"reconstruction_error": model.reconstruction_error_}, None
+        raise PlanError(f"unknown task {task!r}")
+
+    # -- federated strategy --------------------------------------------------------------
+    def _execute_federated(self, plan: ExecutionPlan) -> TrainingResult:
+        dataset = plan.dataset
+        if dataset.scenario is ScenarioType.UNION:
+            return self._execute_horizontal(plan)
+        return self._execute_vertical(plan)
+
+    def _execute_vertical(self, plan: ExecutionPlan) -> TrainingResult:
+        dataset = plan.dataset
+        model_spec = plan.model
+        if dataset.label_column is None:
+            raise PlanError("vertical federated learning requires a label column")
+        parties, alignment = self._parties_from_dataset(dataset)
+        model = VerticalFederatedLinearRegression(
+            learning_rate=model_spec.learning_rate,
+            n_iterations=model_spec.n_iterations,
+            l2_penalty=model_spec.l2_penalty,
+            use_encryption=True,
+            network=self.orchestrator.network,
+        ).fit(parties, alignment=alignment)
+        report = model.report_
+        metrics = {
+            "final_loss": report.final_loss,
+            "aligned_rows": float(report.n_aligned_rows),
+            "encryption_operations": float(report.encryption_operations),
+        }
+        predictions = model.predict(parties, alignment=alignment)
+        return TrainingResult(plan=plan, model=model, metrics=metrics, predictions=predictions)
+
+    def _execute_horizontal(self, plan: ExecutionPlan) -> TrainingResult:
+        dataset = plan.dataset
+        model_spec = plan.model
+        if dataset.label_column is None:
+            raise PlanError("horizontal federated learning requires a label column")
+        parties = []
+        label = dataset.label_column
+        feature_columns = dataset.feature_columns
+        for factor in dataset.factors:
+            mapped_targets = [
+                factor.mapping.correspondences[c] for c in factor.source_columns
+            ]
+            if label not in mapped_targets:
+                raise PlanError(
+                    f"HFL requires every source to hold the label column; {factor.name!r} does not"
+                )
+            label_local = factor.source_columns[mapped_targets.index(label)]
+            feature_locals = [
+                source_col
+                for source_col, target_col in zip(factor.source_columns, mapped_targets)
+                if target_col in feature_columns
+            ]
+            column_indices = [factor.source_columns.index(c) for c in feature_locals]
+            label_index = factor.source_columns.index(label_local)
+            parties.append(
+                Party(
+                    name=factor.name,
+                    data=factor.data[:, column_indices],
+                    feature_names=[
+                        factor.mapping.correspondences[c] for c in feature_locals
+                    ],
+                    labels=factor.data[:, label_index],
+                )
+            )
+        task_model = "logistic" if plan.model.task == "classification" else "linear"
+        model = FederatedAveraging(
+            model=task_model,
+            n_rounds=model_spec.n_iterations,
+            learning_rate=model_spec.learning_rate,
+            network=self.orchestrator.network,
+        ).fit(parties)
+        metrics = {"final_loss": model.report_.final_loss}
+        return TrainingResult(plan=plan, model=model, metrics=metrics)
+
+    def _parties_from_dataset(
+        self, dataset: IntegratedDataset
+    ) -> Tuple[List[Party], Dict[str, List[int]]]:
+        """Build one VFL party per source factor, aligned on shared target rows.
+
+        The shared sample space is the set of target rows covered by every
+        source (the inner-join rows); each party's aligned row order is its
+        compressed indicator restricted to those rows — the §V-A
+        construction ``X_k = I_k D_k M_kᵀ``.
+        """
+        label = dataset.label_column
+        shared_rows = None
+        for factor in dataset.factors:
+            covered = set(factor.indicator.mapped_target_rows())
+            shared_rows = covered if shared_rows is None else (shared_rows & covered)
+        shared_rows = sorted(shared_rows or [])
+        if not shared_rows:
+            raise PlanError("the sources share no rows; vertical federated learning is impossible")
+
+        parties: List[Party] = []
+        alignment: Dict[str, List[int]] = {}
+        label_assigned = False
+        for factor in dataset.factors:
+            compressed = factor.indicator.compressed
+            local_rows = [int(compressed[i]) for i in shared_rows]
+            mapped_targets = [factor.mapping.correspondences[c] for c in factor.source_columns]
+            labels = None
+            if label is not None and label in mapped_targets and not label_assigned:
+                label_index = mapped_targets.index(label)
+                labels = factor.data[:, label_index]
+                label_assigned = True
+            feature_locals = [
+                source_col
+                for source_col, target_col in zip(factor.source_columns, mapped_targets)
+                if target_col != label
+            ]
+            # Drop feature columns whose every shared-row cell is redundant —
+            # another party already contributes them.
+            redundancy = factor.redundancy.to_dense()
+            keep = []
+            for source_col in feature_locals:
+                target_col = factor.mapping.correspondences[source_col]
+                target_index = dataset.target_columns.index(target_col)
+                if redundancy[np.asarray(shared_rows), target_index].sum() > 0:
+                    keep.append(source_col)
+            if not keep and labels is None:
+                continue
+            column_indices = [factor.source_columns.index(c) for c in keep]
+            parties.append(
+                Party(
+                    name=factor.name,
+                    data=factor.data[:, column_indices] if column_indices else
+                    np.zeros((factor.n_rows, 0)),
+                    feature_names=[factor.mapping.correspondences[c] for c in keep],
+                    labels=labels,
+                )
+            )
+            alignment[factor.name] = local_rows
+        if not any(p.has_labels for p in parties):
+            raise PlanError("no party ended up holding the label column")
+        return parties, alignment

@@ -1,0 +1,115 @@
+"""The Amalur optimizer: choose factorize, materialize or federate (Figure 3).
+
+Given the integrated dataset (hence its DI metadata), the model to train
+and the privacy constraints of the silos holding the sources, the
+optimizer produces an :class:`repro.system.plan.ExecutionPlan`:
+
+1. if any participating silo forbids exporting even derived aggregates,
+   the learning process is split across silos — federated learning;
+2. otherwise the DI-metadata cost model of §IV-B (amortized over the
+   model's training iterations) decides between factorized pushdown and
+   central materialization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.costmodel.amalur_cost import AmalurCostModel
+from repro.costmodel.decision import Decision, DecisionAdvisor
+from repro.costmodel.parameters import CostParameters
+from repro.matrices.builder import IntegratedDataset
+from repro.metadata.mappings import ScenarioType
+from repro.silos.orchestrator import Orchestrator
+from repro.system.plan import ExecutionPlan, ModelSpec, PlanStep
+
+
+class Optimizer:
+    """Cost- and constraint-based strategy selection."""
+
+    def __init__(
+        self,
+        orchestrator: Optional[Orchestrator] = None,
+        cost_model: Optional[AmalurCostModel] = None,
+    ):
+        self.orchestrator = orchestrator
+        self.cost_model = cost_model or AmalurCostModel()
+
+    def plan(self, dataset: IntegratedDataset, model: ModelSpec) -> ExecutionPlan:
+        """Produce an execution plan for training ``model`` over ``dataset``."""
+        federated_reason = self._federation_required(dataset)
+        if federated_reason:
+            return self._federated_plan(dataset, model, federated_reason)
+
+        cost_model = AmalurCostModel(
+            write_weight=self.cost_model.write_weight,
+            read_weight=self.cost_model.read_weight,
+            lift_weight=self.cost_model.lift_weight,
+            per_source_overhead=self.cost_model.per_source_overhead,
+            transfer_weight=self.cost_model.transfer_weight,
+            reuse=max(model.n_iterations, 1),
+        )
+        advisor = DecisionAdvisor(method="amalur", cost_model=cost_model)
+        parameters = CostParameters.from_dataset(dataset)
+        outcome = advisor.decide(parameters)
+
+        steps = []
+        if outcome.decision is Decision.FACTORIZE:
+            for factor in dataset.factors:
+                steps.append(
+                    PlanStep("push model operators down to the silo", target=factor.name)
+                )
+            steps.append(PlanStep("assemble local results with redundancy masks"))
+            steps.append(PlanStep("iterate gradient updates centrally"))
+        else:
+            for factor in dataset.factors:
+                steps.append(PlanStep("export source table to the orchestrator", target=factor.name))
+            steps.append(PlanStep("materialize the target table (join + dedup)"))
+            steps.append(PlanStep("train the model on the materialized target"))
+        return ExecutionPlan(
+            strategy=outcome.decision,
+            dataset=dataset,
+            model=model,
+            steps=steps,
+            cost_breakdown=outcome.breakdown,
+            explanation=outcome.explanation,
+        )
+
+    # -- helpers ------------------------------------------------------------------
+    def _federation_required(self, dataset: IntegratedDataset) -> str:
+        """Return a reason string when privacy constraints force FL, else ''."""
+        if self.orchestrator is None:
+            return ""
+        for factor in dataset.factors:
+            try:
+                silo = self.orchestrator.silo_of_table(factor.name)
+            except Exception:
+                continue
+            if not silo.allows_factorized_pushdown:
+                return (
+                    f"silo {silo.name!r} holding {factor.name!r} is private; "
+                    "training must be split across silos"
+                )
+            if not silo.allows_export and dataset.scenario is ScenarioType.UNION:
+                return (
+                    f"silo {silo.name!r} cannot export rows and the union scenario has no "
+                    "shared sample space for pushdown; use horizontal federated learning"
+                )
+        return ""
+
+    def _federated_plan(
+        self, dataset: IntegratedDataset, model: ModelSpec, reason: str
+    ) -> ExecutionPlan:
+        steps = [PlanStep("run private entity alignment (PSI) across silos")]
+        if dataset.scenario is ScenarioType.UNION:
+            steps.append(PlanStep("run federated averaging over the shared feature space"))
+        else:
+            steps.append(PlanStep("split the model vertically over the parties"))
+            steps.append(PlanStep("exchange encrypted partial predictions and gradients"))
+        return ExecutionPlan(
+            strategy=Decision.FEDERATE,
+            dataset=dataset,
+            model=model,
+            steps=steps,
+            explanation=reason,
+        )

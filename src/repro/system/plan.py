@@ -1,0 +1,73 @@
+"""Execution plans, model specifications and training results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.costmodel.amalur_cost import CostBreakdown
+from repro.costmodel.decision import Decision
+from repro.matrices.builder import IntegratedDataset
+
+
+@dataclass
+class ModelSpec:
+    """What the user wants trained (the "ML model" input of Figure 3)."""
+
+    task: str = "classification"  # classification | regression | clustering | nmf
+    learning_rate: float = 0.05
+    n_iterations: int = 200
+    l2_penalty: float = 0.0
+    n_clusters: int = 3
+    n_components: int = 2
+    hyperparameters: Dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return f"{self.task} (lr={self.learning_rate}, iters={self.n_iterations})"
+
+
+@dataclass
+class PlanStep:
+    """One step of an execution plan, for explainability/logging."""
+
+    description: str
+    target: str = ""
+
+
+@dataclass
+class ExecutionPlan:
+    """The optimizer's output: a strategy plus the steps to run it."""
+
+    strategy: Decision
+    dataset: IntegratedDataset
+    model: ModelSpec
+    steps: List[PlanStep] = field(default_factory=list)
+    cost_breakdown: Optional[CostBreakdown] = None
+    explanation: str = ""
+
+    def describe(self) -> str:
+        lines = [f"strategy: {self.strategy.value}", f"model: {self.model.describe()}"]
+        if self.explanation:
+            lines.append(f"reason: {self.explanation}")
+        for index, step in enumerate(self.steps, start=1):
+            suffix = f" [{step.target}]" if step.target else ""
+            lines.append(f"  {index}. {step.description}{suffix}")
+        return "\n".join(lines)
+
+
+@dataclass
+class TrainingResult:
+    """The executor's output: the trained model plus execution evidence."""
+
+    plan: ExecutionPlan
+    model: object
+    metrics: Dict[str, float] = field(default_factory=dict)
+    predictions: Optional[np.ndarray] = None
+    bytes_transferred: int = 0
+    n_messages: int = 0
+
+    @property
+    def strategy(self) -> Decision:
+        return self.plan.strategy

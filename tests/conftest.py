@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.hospital import (
+    hospital_column_matches,
+    hospital_integrated_dataset,
+    hospital_row_matches,
+    hospital_tables,
+)
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_dataset
+from repro.datagen.synthetic import SyntheticSiloSpec, generate_integrated_pair
+from repro.metadata.mappings import ScenarioType
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def hospital():
+    """The running example's source tables (S1, S2)."""
+    return hospital_tables()
+
+
+@pytest.fixture
+def hospital_matches():
+    return hospital_column_matches(), hospital_row_matches()
+
+
+@pytest.fixture
+def hospital_dataset():
+    """The running example integrated with a full outer join (Figure 4)."""
+    return hospital_integrated_dataset(ScenarioType.FULL_OUTER_JOIN)
+
+
+@pytest.fixture(params=list(ScenarioType), ids=lambda s: s.value)
+def scenario_dataset(request):
+    """A small integrated dataset for each of the four Table I scenarios."""
+    spec = ScenarioSpec(
+        scenario=request.param,
+        base_rows=25,
+        other_rows=18,
+        base_features=3,
+        other_features=4,
+        overlap_rows=9,
+        overlap_columns=1,
+        seed=7,
+    )
+    return generate_scenario_dataset(spec)
+
+
+@pytest.fixture
+def synthetic_redundant_dataset():
+    """A synthetic two-silo dataset with both redundancy axes enabled."""
+    spec = SyntheticSiloSpec(
+        base_rows=120,
+        base_columns=3,
+        other_rows=24,
+        other_columns=8,
+        redundancy_in_target=True,
+        redundancy_in_sources=True,
+        seed=3,
+    )
+    return generate_integrated_pair(spec)

@@ -1,0 +1,155 @@
+"""Tests for repro.factorized.normalized_matrix (the Eq. 2 rewrites)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FactorizationError
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.factorized.ops_counter import FlopCounter
+
+
+@pytest.fixture
+def hospital_matrix(hospital_dataset):
+    return AmalurMatrix(hospital_dataset), hospital_dataset.materialize()
+
+
+@pytest.fixture
+def scenario_matrix(scenario_dataset):
+    return AmalurMatrix(scenario_dataset), scenario_dataset.materialize()
+
+
+class TestOperatorEquivalence:
+    """Every factorized operator equals its materialized counterpart."""
+
+    def test_lmm(self, scenario_matrix, rng):
+        matrix, target = scenario_matrix
+        operand = rng.standard_normal((target.shape[1], 3))
+        assert np.allclose(matrix.lmm(operand), target @ operand)
+
+    def test_lmm_vector_operand(self, scenario_matrix, rng):
+        matrix, target = scenario_matrix
+        operand = rng.standard_normal(target.shape[1])
+        assert np.allclose(matrix.lmm(operand)[:, 0], target @ operand)
+
+    def test_rmm(self, scenario_matrix, rng):
+        matrix, target = scenario_matrix
+        operand = rng.standard_normal((2, target.shape[0]))
+        assert np.allclose(matrix.rmm(operand), operand @ target)
+
+    def test_transpose_lmm(self, scenario_matrix, rng):
+        matrix, target = scenario_matrix
+        operand = rng.standard_normal((target.shape[0], 4))
+        assert np.allclose(matrix.transpose_lmm(operand), target.T @ operand)
+
+    def test_crossprod(self, scenario_matrix):
+        matrix, target = scenario_matrix
+        assert np.allclose(matrix.crossprod(), target.T @ target)
+
+    def test_row_sums_column_sums_total(self, scenario_matrix):
+        matrix, target = scenario_matrix
+        assert np.allclose(matrix.row_sums(), target.sum(axis=1))
+        assert np.allclose(matrix.column_sums(), target.sum(axis=0))
+        assert matrix.total_sum() == pytest.approx(target.sum())
+        assert np.allclose(matrix.column_means(), target.mean(axis=0))
+
+    def test_scale(self, scenario_matrix, rng):
+        matrix, target = scenario_matrix
+        scaled = matrix.scale(2.5)
+        assert np.allclose(scaled.materialize(), 2.5 * target)
+        operand = rng.standard_normal((target.shape[1], 2))
+        assert np.allclose(scaled.lmm(operand), 2.5 * (target @ operand))
+
+    def test_materialize(self, scenario_matrix):
+        matrix, target = scenario_matrix
+        assert np.allclose(matrix.materialize(), target)
+
+
+class TestRedundancyHandling:
+    def test_hospital_lmm_with_redundancy(self, hospital_matrix, rng):
+        matrix, target = hospital_matrix
+        operand = rng.standard_normal((4, 3))
+        assert np.allclose(matrix.lmm(operand), target @ operand)
+
+    def test_synthetic_redundant_all_ops(self, synthetic_redundant_dataset, rng):
+        matrix = AmalurMatrix(synthetic_redundant_dataset)
+        target = synthetic_redundant_dataset.materialize()
+        x = rng.standard_normal((target.shape[1], 2))
+        y = rng.standard_normal((target.shape[0], 2))
+        z = rng.standard_normal((3, target.shape[0]))
+        assert np.allclose(matrix.lmm(x), target @ x)
+        assert np.allclose(matrix.transpose_lmm(y), target.T @ y)
+        assert np.allclose(matrix.rmm(z), z @ target)
+        assert np.allclose(matrix.crossprod(), target.T @ target)
+
+    def test_correction_matrices_cached(self, synthetic_redundant_dataset, rng):
+        matrix = AmalurMatrix(synthetic_redundant_dataset)
+        operand = rng.standard_normal((matrix.n_columns, 1))
+        matrix.lmm(operand)
+        first = matrix._correction(1)
+        matrix.lmm(operand)
+        assert matrix._correction(1) is first
+
+
+class TestColumnSelection:
+    def test_column_extraction(self, hospital_matrix):
+        matrix, target = hospital_matrix
+        assert np.allclose(matrix.column("hr"), target[:, 2])
+        assert np.allclose(matrix.labels(), target[:, 0])
+
+    def test_unknown_column(self, hospital_matrix):
+        matrix, _ = hospital_matrix
+        with pytest.raises(FactorizationError):
+            matrix.column("zzz")
+
+    def test_feature_matrix_view_drops_label(self, hospital_matrix, rng):
+        matrix, target = hospital_matrix
+        features = matrix.feature_matrix_view()
+        assert features.n_columns == 3
+        operand = rng.standard_normal((3, 2))
+        assert np.allclose(features.lmm(operand), target[:, 1:] @ operand)
+
+    def test_select_columns_equivalence(self, scenario_matrix, rng):
+        matrix, target = scenario_matrix
+        dataset = matrix.dataset
+        keep = dataset.target_columns[1:]
+        selected = matrix.select_columns(keep)
+        indices = [dataset.target_columns.index(c) for c in keep]
+        operand = rng.standard_normal((len(keep), 2))
+        assert np.allclose(selected.lmm(operand), target[:, indices] @ operand)
+        assert np.allclose(selected.materialize(), target[:, indices])
+
+    def test_select_columns_unknown(self, hospital_matrix):
+        matrix, _ = hospital_matrix
+        with pytest.raises(FactorizationError):
+            matrix.select_columns(["nope"])
+
+
+class TestOperandValidation:
+    def test_bad_shapes_rejected(self, hospital_matrix):
+        matrix, _ = hospital_matrix
+        with pytest.raises(FactorizationError):
+            matrix.lmm(np.ones((7, 1)))
+        with pytest.raises(FactorizationError):
+            matrix.transpose_lmm(np.ones((7, 1)))
+        with pytest.raises(FactorizationError):
+            matrix.rmm(np.ones((1, 7)))
+
+
+class TestFlopAccounting:
+    def test_counter_accumulates(self, hospital_dataset, rng):
+        counter = FlopCounter()
+        matrix = AmalurMatrix(hospital_dataset, counter)
+        matrix.lmm(rng.standard_normal((4, 2)))
+        assert counter.total > 0
+        assert "lmm.local" in counter.by_operation
+        assert "lmm.correction" in counter.by_operation
+
+    def test_counter_reset_and_merge(self):
+        counter = FlopCounter()
+        counter.add("op", 10)
+        other = FlopCounter()
+        other.add("op", 5)
+        counter.merge(other)
+        assert counter.total == 15
+        counter.reset()
+        assert counter.total == 0 and counter.by_operation == {}

@@ -1,0 +1,54 @@
+"""Tests for repro.factorized.ops_counter."""
+
+import pytest
+
+from repro.factorized.ops_counter import (
+    FlopCounter,
+    dense_matmul_flops,
+    factorized_lmm_flops,
+    materialized_lmm_flops,
+)
+
+
+class TestFlopFormulas:
+    def test_dense_matmul(self):
+        assert dense_matmul_flops(10, 20, 30) == 6000.0
+
+    def test_materialized_lmm(self):
+        assert materialized_lmm_flops(100, 5, 2) == 1000.0
+
+    def test_factorized_lmm_without_redundancy(self):
+        flops = factorized_lmm_flops([(10, 2), (4, 3)], n_target_rows=10, x_cols=2)
+        # 10*2*2 + 10*2 (lift) + 4*3*2 + 10*2 (lift) = 40 + 20 + 24 + 20
+        assert flops == 104.0
+
+    def test_factorized_lmm_redundancy_correction(self):
+        base = factorized_lmm_flops([(10, 2)], 10, 2)
+        with_redundancy = factorized_lmm_flops([(10, 2)], 10, 2, redundant_cells=5)
+        assert with_redundancy - base == 10.0
+
+    def test_factorization_wins_with_high_tuple_ratio(self):
+        """Sanity: the formulas reproduce the classic factorization win."""
+        n_target, dim_rows, dim_cols = 100_000, 100, 50
+        materialized = materialized_lmm_flops(n_target, dim_cols + 1, 1)
+        factorized = factorized_lmm_flops([(n_target, 1), (dim_rows, dim_cols)], n_target, 1)
+        assert factorized < materialized
+
+
+class TestFlopCounter:
+    def test_add_and_total(self):
+        counter = FlopCounter()
+        counter.add("a", 10)
+        counter.add("a", 5)
+        counter.add("b", 1)
+        assert counter.total == 16
+        assert counter.by_operation == {"a": 15.0, "b": 1.0}
+
+    def test_merge_keeps_labels(self):
+        left, right = FlopCounter(), FlopCounter()
+        left.add("x", 2)
+        right.add("x", 3)
+        right.add("y", 4)
+        left.merge(right)
+        assert left.by_operation == {"x": 5.0, "y": 4.0}
+        assert left.total == 9.0

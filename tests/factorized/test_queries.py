@@ -1,0 +1,87 @@
+"""Tests for repro.factorized.queries (virtual aggregate queries, §III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.hospital import hospital_integrated_dataset
+from repro.exceptions import FactorizationError
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.factorized.queries import VirtualQueryEngine
+from repro.metadata.mappings import ScenarioType
+
+
+@pytest.fixture
+def engine(hospital_dataset):
+    return VirtualQueryEngine(hospital_dataset)
+
+
+class TestSection3CExample:
+    def test_patients_aged_above_30_counted_once(self, engine):
+        """The paper's motivating query: the correct answer is 3, not 4."""
+        result = engine.count(where=[("a", ">", 30)])
+        assert result.value == 3
+        assert result.n_matching_rows == 3
+
+    def test_all_rows_count(self, engine):
+        assert engine.count().value == 6
+
+    def test_mortality_group_by(self, engine):
+        groups = engine.group_by_count("m")
+        assert groups == {0.0: 3, 1.0: 3}
+
+
+class TestAggregates:
+    def test_avg_ignores_uncovered_cells(self, engine):
+        # Only three patients have an oxygen reading; the zeros standing in
+        # for missing values must not drag the average down.
+        result = engine.avg("o")
+        assert result.value == pytest.approx((92 + 95 + 97) / 3)
+        assert result.n_matching_rows == 3
+
+    def test_sum_min_max(self, engine):
+        assert engine.sum("hr").value == pytest.approx(60 + 58 + 65 + 70)
+        assert engine.min("a").value == 20
+        assert engine.max("a").value == 45
+
+    def test_predicates_combine_conjunctively(self, engine):
+        result = engine.count(where=[("a", ">", 30), ("m", "==", 1)])
+        assert result.value == 3  # Sam, Jane, Rose
+
+    def test_aggregate_with_predicate(self, engine):
+        result = engine.avg("o", where=[("a", ">", 30)])
+        assert result.value == pytest.approx((92 + 95) / 2)
+
+    def test_empty_selection_raises(self, engine):
+        with pytest.raises(FactorizationError):
+            engine.avg("o", where=[("a", ">", 1000)])
+
+    def test_unknown_column_and_operator(self, engine):
+        with pytest.raises(FactorizationError):
+            engine.count(where=[("zzz", ">", 1)])
+        with pytest.raises(FactorizationError):
+            engine.count(where=[("a", "~", 1)])
+
+
+class TestAgainstMaterializedAnswers:
+    def test_counts_match_materialized_target(self, scenario_dataset):
+        engine = VirtualQueryEngine(scenario_dataset)
+        target = scenario_dataset.materialize()
+        label_index = scenario_dataset.target_columns.index("label")
+        expected = int((target[:, label_index] == 1).sum())
+        assert engine.count(where=[("label", "==", 1)]).value == expected
+
+    def test_accepts_amalur_matrix_input(self, hospital_dataset):
+        engine = VirtualQueryEngine(AmalurMatrix(hospital_dataset))
+        assert engine.count().value == 6
+
+    def test_inner_join_scenario_counts(self):
+        dataset = hospital_integrated_dataset(ScenarioType.INNER_JOIN)
+        engine = VirtualQueryEngine(dataset)
+        assert engine.count().value == 1  # only Jane overlaps
+        assert engine.count(where=[("a", ">", 30)]).value == 1
+
+    def test_coverage_mask(self, engine):
+        coverage = engine.column_coverage("hr")
+        assert coverage.tolist() == [True, True, True, True, False, False]
+        coverage_o = engine.column_coverage("o")
+        assert coverage_o.sum() == 3

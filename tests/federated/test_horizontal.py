@@ -1,0 +1,98 @@
+"""Tests for repro.federated.horizontal (FedAvg over the union scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FederatedError
+from repro.federated.horizontal import FederatedAveraging
+from repro.federated.party import Party
+from repro.silos.network import SimulatedNetwork
+
+
+@pytest.fixture
+def hfl_parties(rng):
+    """Three parties with the same feature schema and disjoint samples."""
+    weights = np.array([2.0, -1.0, 0.5])
+    parties = []
+    all_features = []
+    all_labels = []
+    for index, n in enumerate((60, 80, 40)):
+        features = rng.standard_normal((n, 3))
+        labels = (features @ weights + 0.05 * rng.standard_normal(n) > 0).astype(float)
+        parties.append(Party(f"silo_{index}", features, ["f0", "f1", "f2"], labels=labels))
+        all_features.append(features)
+        all_labels.append(labels)
+    return parties, np.vstack(all_features), np.concatenate(all_labels)
+
+
+class TestFedAvg:
+    def test_logistic_fedavg_learns(self, hfl_parties):
+        parties, features, labels = hfl_parties
+        model = FederatedAveraging(
+            model="logistic", n_rounds=60, local_epochs=3, learning_rate=0.5
+        ).fit(parties)
+        accuracy = float(np.mean(model.predict(features) == labels))
+        assert accuracy > 0.9
+
+    def test_linear_fedavg_loss_decreases(self, hfl_parties, rng):
+        parties, _, _ = hfl_parties
+        linear_parties = [
+            Party(p.name, p.data, p.feature_names, labels=p.data @ np.array([1.0, 2.0, -1.0]))
+            for p in parties
+        ]
+        model = FederatedAveraging(model="linear", n_rounds=40, learning_rate=0.2).fit(
+            linear_parties
+        )
+        assert model.report_.loss_history[-1] < model.report_.loss_history[0]
+
+    def test_single_party_fedavg_equals_local_training(self, hfl_parties):
+        parties, _, _ = hfl_parties
+        single = FederatedAveraging(model="logistic", n_rounds=30, learning_rate=0.5).fit(
+            [parties[0]]
+        )
+        assert single.coef_ is not None
+
+    def test_communication_accounting(self, hfl_parties):
+        parties, _, _ = hfl_parties
+        network = SimulatedNetwork()
+        model = FederatedAveraging(model="logistic", n_rounds=5, network=network).fit(parties)
+        # one weights-down and one weights-up message per party per round
+        assert model.report_.n_messages == 5 * len(parties) * 2
+        assert model.report_.bytes_transferred > 0
+        assert model.report_.participants == [p.name for p in parties]
+
+    def test_differential_privacy_adds_noise(self, hfl_parties):
+        parties, _, _ = hfl_parties
+        clean = FederatedAveraging(model="logistic", n_rounds=10, learning_rate=0.5).fit(parties)
+        noisy = FederatedAveraging(
+            model="logistic", n_rounds=10, learning_rate=0.5, dp_epsilon=0.5
+        ).fit(parties)
+        assert not np.allclose(clean.coef_, noisy.coef_)
+
+
+class TestValidation:
+    def test_needs_parties(self):
+        with pytest.raises(FederatedError):
+            FederatedAveraging().fit([])
+
+    def test_unknown_model(self, hfl_parties):
+        parties, _, _ = hfl_parties
+        with pytest.raises(FederatedError):
+            FederatedAveraging(model="svm").fit(parties)
+
+    def test_feature_schema_mismatch(self, hfl_parties, rng):
+        parties, _, _ = hfl_parties
+        bad = Party("bad", rng.standard_normal((5, 3)), ["x", "y", "z"], labels=np.zeros(5))
+        with pytest.raises(FederatedError):
+            FederatedAveraging().fit([parties[0], bad])
+
+    def test_label_free_party_rejected(self, hfl_parties, rng):
+        parties, _, _ = hfl_parties
+        unlabeled = Party("nolabels", rng.standard_normal((5, 3)), ["f0", "f1", "f2"])
+        with pytest.raises(FederatedError):
+            FederatedAveraging().fit([parties[0], unlabeled])
+
+    def test_predict_before_fit(self, hfl_parties):
+        _, features, _ = hfl_parties
+        with pytest.raises(FederatedError):
+            FederatedAveraging().predict(features)

@@ -1,0 +1,74 @@
+"""Tests for repro.federated.party and repro.federated.alignment."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FederatedError
+from repro.federated.alignment import build_alignment, private_set_intersection
+from repro.federated.party import Party
+
+
+class TestParty:
+    def test_basic_construction(self, rng):
+        party = Party("A", rng.standard_normal((5, 2)), ["x", "y"], labels=np.zeros(5))
+        assert party.n_rows == 5
+        assert party.n_features == 2
+        assert party.has_labels
+
+    def test_validation(self, rng):
+        with pytest.raises(FederatedError):
+            Party("A", rng.standard_normal((5, 2)), ["x"])
+        with pytest.raises(FederatedError):
+            Party("A", rng.standard_normal((5, 2)), ["x", "y"], labels=np.zeros(3))
+        with pytest.raises(FederatedError):
+            Party("A", rng.standard_normal((5, 2)), ["x", "y"], entity_ids=[1, 2])
+
+    def test_aligned_features_and_labels(self, rng):
+        data = rng.standard_normal((4, 2))
+        party = Party("A", data, ["x", "y"], labels=np.array([0.0, 1.0, 2.0, 3.0]))
+        assert np.allclose(party.aligned_features([2, 0]), data[[2, 0]])
+        assert party.aligned_labels([2, 0]).tolist() == [2.0, 0.0]
+        with pytest.raises(FederatedError):
+            party.aligned_features([9])
+        labelless = Party("B", data, ["x", "y"])
+        with pytest.raises(FederatedError):
+            labelless.aligned_labels([0])
+
+
+class TestPrivateSetIntersection:
+    def test_intersection_preserves_first_party_order(self):
+        shared = private_set_intersection([["c", "a", "b", "z"], ["b", "a", "c", "y"]])
+        assert shared == ["c", "a", "b"]
+
+    def test_empty_inputs(self):
+        assert private_set_intersection([]) == []
+        assert private_set_intersection([["a"], []]) == []
+
+    def test_duplicates_counted_once(self):
+        shared = private_set_intersection([["a", "a", "b"], ["a"]])
+        assert shared == ["a"]
+
+    def test_salt_changes_hashes_not_result(self):
+        ids = [["x", "y"], ["y", "x"]]
+        assert private_set_intersection(ids, salt="one") == private_set_intersection(
+            ids, salt="two"
+        )
+
+
+class TestBuildAlignment:
+    def test_alignment_row_indices(self, rng):
+        party_a = Party(
+            "A", rng.standard_normal((4, 1)), ["x"], entity_ids=["p1", "p2", "p3", "p4"]
+        )
+        party_b = Party(
+            "B", rng.standard_normal((3, 1)), ["y"], entity_ids=["p3", "p9", "p1"]
+        )
+        alignment = build_alignment([party_a, party_b])
+        assert alignment["A"] == [0, 2]  # p1, p3 in A's order
+        assert alignment["B"] == [2, 0]
+
+    def test_missing_entity_ids_rejected(self, rng):
+        party_a = Party("A", rng.standard_normal((2, 1)), ["x"], entity_ids=["a", "b"])
+        party_b = Party("B", rng.standard_normal((2, 1)), ["y"])
+        with pytest.raises(FederatedError):
+            build_alignment([party_a, party_b])

@@ -1,0 +1,85 @@
+"""Tests for repro.learning.gaussian_nmf."""
+
+import numpy as np
+import pytest
+
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.learning.gaussian_nmf import GaussianNMF
+
+
+@pytest.fixture
+def low_rank_data(rng):
+    weights = rng.random((60, 3))
+    components = rng.random((3, 8))
+    return weights @ components
+
+
+class TestNMF:
+    def test_reconstruction_error_decreases(self, low_rank_data):
+        model = GaussianNMF(n_components=3, n_iterations=100, random_state=0).fit(low_rank_data)
+        assert model.error_history_[-1] < model.error_history_[0]
+
+    def test_low_rank_matrix_reconstructed_well(self, low_rank_data):
+        model = GaussianNMF(n_components=3, n_iterations=300, random_state=0).fit(low_rank_data)
+        relative_error = np.linalg.norm(low_rank_data - model.reconstruct()) / np.linalg.norm(
+            low_rank_data
+        )
+        assert relative_error < 0.05
+
+    def test_factors_are_non_negative(self, low_rank_data):
+        model = GaussianNMF(n_components=3, n_iterations=50).fit(low_rank_data)
+        assert (model.weights_ >= 0).all()
+        assert (model.components_ >= 0).all()
+
+    def test_transform_shape(self, low_rank_data):
+        model = GaussianNMF(n_components=3, n_iterations=50).fit(low_rank_data)
+        projected = model.transform(low_rank_data[:10])
+        assert projected.shape == (10, 3)
+
+    def test_unfitted_errors(self, low_rank_data):
+        with pytest.raises(ValueError):
+            GaussianNMF().transform(low_rank_data)
+        with pytest.raises(ValueError):
+            GaussianNMF().reconstruct()
+
+
+class TestFactorizedEquivalence:
+    def test_factorized_equals_materialized_updates(self, synthetic_redundant_dataset):
+        """GNMF touches T only through LMM/transpose-LMM, so updates match."""
+        matrix = AmalurMatrix(synthetic_redundant_dataset)
+        target = synthetic_redundant_dataset.materialize()
+        # NMF needs non-negative data: shift via the factorized scale trick —
+        # here we simply compare on the absolute values of the same target.
+        shifted = np.abs(target)
+        factorized_input = AmalurMatrix(_abs_dataset(synthetic_redundant_dataset))
+        factorized = GaussianNMF(n_components=2, n_iterations=30, random_state=1).fit(
+            factorized_input
+        )
+        materialized = GaussianNMF(n_components=2, n_iterations=30, random_state=1).fit(shifted)
+        assert np.allclose(factorized.components_, materialized.components_, atol=1e-8)
+        assert np.allclose(factorized.weights_, materialized.weights_, atol=1e-8)
+
+
+def _abs_dataset(dataset):
+    """Clone a dataset with element-wise absolute values of the source data."""
+    from repro.matrices.builder import IntegratedDataset, SourceFactor
+
+    factors = [
+        SourceFactor(
+            factor.name,
+            np.abs(factor.data),
+            list(factor.source_columns),
+            factor.mapping,
+            factor.indicator,
+            factor.redundancy,
+        )
+        for factor in dataset.factors
+    ]
+    return IntegratedDataset(
+        target_columns=list(dataset.target_columns),
+        n_target_rows=dataset.n_target_rows,
+        factors=factors,
+        scenario=dataset.scenario,
+        label_column=dataset.label_column,
+        name=dataset.name,
+    )

@@ -1,0 +1,110 @@
+"""Tests for repro.learning.linear_regression."""
+
+import numpy as np
+import pytest
+
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.learning.base import DenseMatrix
+from repro.learning.linear_regression import LinearRegression
+
+
+@pytest.fixture
+def regression_data(rng):
+    n, d = 200, 4
+    features = rng.standard_normal((n, d))
+    true_weights = np.array([1.5, -2.0, 0.5, 3.0])
+    targets = features @ true_weights + 0.01 * rng.standard_normal(n)
+    return features, targets, true_weights
+
+
+class TestSolvers:
+    def test_normal_equations_recover_weights(self, regression_data):
+        features, targets, true_weights = regression_data
+        model = LinearRegression(solver="normal", fit_intercept=False).fit(features, targets)
+        assert np.allclose(model.coef_, true_weights, atol=0.05)
+
+    def test_gradient_descent_converges(self, regression_data):
+        features, targets, true_weights = regression_data
+        model = LinearRegression(
+            solver="gd", learning_rate=0.1, n_iterations=500, fit_intercept=False
+        ).fit(features, targets)
+        assert np.allclose(model.coef_, true_weights, atol=0.1)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_unknown_solver(self, regression_data):
+        features, targets, _ = regression_data
+        with pytest.raises(ValueError):
+            LinearRegression(solver="banana").fit(features, targets)
+
+    def test_l2_penalty_shrinks_weights(self, regression_data):
+        features, targets, _ = regression_data
+        plain = LinearRegression(solver="normal", fit_intercept=False).fit(features, targets)
+        ridge = LinearRegression(solver="normal", l2_penalty=100.0, fit_intercept=False).fit(
+            features, targets
+        )
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(plain.coef_)
+
+    def test_intercept_captures_target_mean(self, rng):
+        features = rng.standard_normal((100, 2))
+        targets = features @ np.array([1.0, 1.0]) + 10.0
+        model = LinearRegression(solver="normal").fit(features, targets)
+        assert model.intercept_ == pytest.approx(10.0, abs=0.5)
+
+    def test_early_stopping_tolerance(self, regression_data):
+        features, targets, _ = regression_data
+        model = LinearRegression(
+            solver="gd", learning_rate=0.1, n_iterations=1000, tolerance=1e-3,
+            fit_intercept=False,
+        ).fit(features, targets)
+        assert len(model.loss_history_) < 1000
+
+
+class TestValidation:
+    def test_shape_mismatch(self, regression_data):
+        features, targets, _ = regression_data
+        with pytest.raises(ValueError):
+            LinearRegression().fit(features, targets[:-5])
+
+    def test_predict_before_fit(self, regression_data):
+        features, _, _ = regression_data
+        with pytest.raises(ValueError):
+            LinearRegression().predict(features)
+
+    def test_score_r2(self, regression_data):
+        features, targets, _ = regression_data
+        model = LinearRegression(solver="normal", fit_intercept=False).fit(features, targets)
+        assert model.score(features, targets) > 0.99
+
+
+class TestFactorizedEquivalence:
+    def test_factorized_equals_materialized_training(self, scenario_dataset):
+        """Paper §IV: factorized learning does not affect accuracy."""
+        matrix = AmalurMatrix(scenario_dataset)
+        target = scenario_dataset.materialize()
+        label_index = scenario_dataset.target_columns.index("label")
+        feature_indices = [i for i in range(target.shape[1]) if i != label_index]
+        dense_features = target[:, feature_indices]
+        labels = target[:, label_index]
+
+        factorized_model = LinearRegression(
+            solver="gd", learning_rate=0.05, n_iterations=60, fit_intercept=False
+        ).fit(matrix.feature_matrix_view(), labels)
+        materialized_model = LinearRegression(
+            solver="gd", learning_rate=0.05, n_iterations=60, fit_intercept=False
+        ).fit(DenseMatrix(dense_features), labels)
+        assert np.allclose(factorized_model.coef_, materialized_model.coef_)
+        assert np.allclose(factorized_model.loss_history_, materialized_model.loss_history_)
+
+    def test_normal_solver_on_factorized_data(self, synthetic_redundant_dataset):
+        matrix = AmalurMatrix(synthetic_redundant_dataset)
+        target = synthetic_redundant_dataset.materialize()
+        labels = target[:, 0]
+        features_factorized = matrix.select_columns(synthetic_redundant_dataset.target_columns[1:])
+        features_dense = target[:, 1:]
+        factorized = LinearRegression(solver="normal", fit_intercept=False).fit(
+            features_factorized, labels
+        )
+        materialized = LinearRegression(solver="normal", fit_intercept=False).fit(
+            features_dense, labels
+        )
+        assert np.allclose(factorized.coef_, materialized.coef_, atol=1e-8)

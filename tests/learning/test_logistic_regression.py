@@ -1,0 +1,97 @@
+"""Tests for repro.learning.logistic_regression."""
+
+import numpy as np
+import pytest
+
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.learning.base import DenseMatrix
+from repro.learning.logistic_regression import LogisticRegression
+
+
+@pytest.fixture
+def classification_data(rng):
+    n, d = 300, 3
+    features = rng.standard_normal((n, d))
+    logits = features @ np.array([2.0, -1.5, 1.0])
+    labels = (logits + 0.1 * rng.standard_normal(n) > 0).astype(float)
+    return features, labels
+
+
+class TestTraining:
+    def test_reaches_high_accuracy_on_separable_data(self, classification_data):
+        features, labels = classification_data
+        model = LogisticRegression(learning_rate=0.5, n_iterations=300).fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_loss_decreases(self, classification_data):
+        features, labels = classification_data
+        model = LogisticRegression(learning_rate=0.3, n_iterations=100).fit(features, labels)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_predict_proba_bounds(self, classification_data):
+        features, labels = classification_data
+        model = LogisticRegression(n_iterations=50).fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert probabilities.min() >= 0.0 and probabilities.max() <= 1.0
+
+    def test_l2_penalty_shrinks_weights(self, classification_data):
+        features, labels = classification_data
+        plain = LogisticRegression(n_iterations=200).fit(features, labels)
+        ridge = LogisticRegression(n_iterations=200, l2_penalty=50.0).fit(features, labels)
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(plain.coef_)
+
+    def test_intercept_learns_class_imbalance(self, rng):
+        features = rng.standard_normal((200, 2)) * 0.01
+        labels = np.ones(200)
+        labels[:20] = 0.0
+        model = LogisticRegression(n_iterations=300, learning_rate=0.5).fit(features, labels)
+        assert model.intercept_ > 0.0
+
+    def test_tolerance_early_stop(self, classification_data):
+        features, labels = classification_data
+        model = LogisticRegression(n_iterations=1000, tolerance=1e-4).fit(features, labels)
+        assert len(model.loss_history_) <= 1000
+
+
+class TestValidation:
+    def test_non_binary_labels_rejected(self, classification_data):
+        features, labels = classification_data
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(features, labels * 3)
+
+    def test_shape_mismatch(self, classification_data):
+        features, labels = classification_data
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(features, labels[:-1])
+
+    def test_predict_before_fit(self, classification_data):
+        features, _ = classification_data
+        with pytest.raises(ValueError):
+            LogisticRegression().predict(features)
+
+
+class TestFactorizedEquivalence:
+    def test_factorized_equals_materialized_training(self, scenario_dataset):
+        matrix = AmalurMatrix(scenario_dataset)
+        target = scenario_dataset.materialize()
+        label_index = scenario_dataset.target_columns.index("label")
+        feature_indices = [i for i in range(target.shape[1]) if i != label_index]
+        labels = target[:, label_index]
+
+        factorized = LogisticRegression(learning_rate=0.1, n_iterations=40).fit(
+            matrix.feature_matrix_view(), labels
+        )
+        materialized = LogisticRegression(learning_rate=0.1, n_iterations=40).fit(
+            DenseMatrix(target[:, feature_indices]), labels
+        )
+        assert np.allclose(factorized.coef_, materialized.coef_)
+        assert factorized.intercept_ == pytest.approx(materialized.intercept_)
+
+    def test_hospital_mortality_prediction(self, hospital_dataset):
+        """The running example's downstream task trains end to end."""
+        matrix = AmalurMatrix(hospital_dataset)
+        labels = matrix.labels()
+        model = LogisticRegression(learning_rate=0.01, n_iterations=50).fit(
+            matrix.feature_matrix_view(), labels
+        )
+        assert model.predict(matrix.feature_matrix_view()).shape == (6,)

@@ -1,0 +1,75 @@
+"""Tests for repro.learning.metrics and repro.learning.base."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FactorizationError
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.learning.base import DenseMatrix, as_linop
+from repro.learning.metrics import accuracy_score, log_loss, mean_squared_error, r2_score
+
+
+class TestMetrics:
+    def test_mean_squared_error(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 3]) == 0.0
+        assert mean_squared_error([0, 0], [1, 1]) == 1.0
+        with pytest.raises(ValueError):
+            mean_squared_error([1, 2], [1])
+
+    def test_r2_score(self):
+        truth = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(truth, truth) == 1.0
+        assert r2_score(truth, np.full(4, truth.mean())) == pytest.approx(0.0)
+        assert r2_score([1.0, 1.0], [1.0, 1.0]) == 1.0
+        assert r2_score([1.0, 1.0], [0.0, 0.0]) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+        assert accuracy_score([], []) == 0.0
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_log_loss(self):
+        assert log_loss([1, 0], [1.0, 0.0]) < 1e-10
+        assert log_loss([1, 0], [0.5, 0.5]) == pytest.approx(np.log(2))
+
+
+class TestDenseMatrix:
+    def test_interface_matches_numpy(self, rng):
+        data = rng.standard_normal((10, 4))
+        dense = DenseMatrix(data)
+        x = rng.standard_normal((4, 2))
+        y = rng.standard_normal((10, 3))
+        assert dense.shape == (10, 4)
+        assert np.allclose(dense.lmm(x), data @ x)
+        assert np.allclose(dense.transpose_lmm(y), data.T @ y)
+        assert np.allclose(dense.rmm(np.ones((1, 10))), np.ones((1, 10)) @ data)
+        assert np.allclose(dense.crossprod(), data.T @ data)
+        assert np.allclose(dense.row_sums(), data.sum(axis=1))
+        assert np.allclose(dense.column_sums(), data.sum(axis=0))
+        assert dense.total_sum() == pytest.approx(data.sum())
+        assert np.allclose(dense.materialize(), data)
+
+    def test_materialize_returns_copy(self, rng):
+        data = rng.standard_normal((3, 3))
+        dense = DenseMatrix(data)
+        dense.materialize()[0, 0] = 999.0
+        assert dense.materialize()[0, 0] != 999.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(FactorizationError):
+            DenseMatrix(np.zeros(3))
+
+
+class TestAsLinop:
+    def test_wraps_numpy(self, rng):
+        operand = as_linop(rng.standard_normal((5, 2)))
+        assert isinstance(operand, DenseMatrix)
+
+    def test_passes_through_amalur_matrix(self, hospital_dataset):
+        matrix = AmalurMatrix(hospital_dataset)
+        assert as_linop(matrix) is matrix
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(FactorizationError):
+            as_linop("not a matrix")

@@ -1,0 +1,198 @@
+"""Tests for repro.matrices.builder: the integrated (factorized) dataset."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MappingError
+from repro.matrices.builder import (
+    IntegratedDataset,
+    SourceFactor,
+    build_integrated_dataset,
+    integrate_tables,
+)
+from repro.matrices.indicator_matrix import IndicatorMatrix
+from repro.matrices.mapping_matrix import MappingMatrix
+from repro.matrices.redundancy_matrix import RedundancyMatrix
+from repro.metadata.mappings import ScenarioType
+from repro.relational.joins import full_outer_join, inner_join, left_join, union_all
+from repro.relational.table import Table
+from repro.datagen.hospital import (
+    hospital_column_matches,
+    hospital_integrated_dataset,
+    hospital_row_matches,
+    hospital_tables,
+)
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_tables
+
+
+class TestHospitalRunningExample:
+    def test_figure2d_target_table(self, hospital_dataset):
+        """The materialized full-outer-join target must match Figure 2d."""
+        target = hospital_dataset.materialize()
+        assert target.shape == (6, 4)
+        expected = np.array(
+            [
+                [0, 20, 60, 0],
+                [1, 35, 58, 0],
+                [0, 22, 65, 0],
+                [1, 37, 70, 92],  # Jane: merged from both sources
+                [1, 45, 0, 95],
+                [0, 20, 0, 97],
+            ],
+            dtype=float,
+        )
+        assert np.array_equal(target, expected)
+
+    def test_redundancy_zeroes_janes_duplicate_cells(self, hospital_dataset):
+        s2_factor = hospital_dataset.factor("S2")
+        redundancy = s2_factor.redundancy.to_dense()
+        # Jane is target row 3; S2's m and a values repeat S1's.
+        assert redundancy[3, 0] == 0.0
+        assert redundancy[3, 1] == 0.0
+        assert s2_factor.redundancy.n_redundant == 2
+
+    def test_contribution_plus_mask_identity(self, hospital_dataset):
+        """T1 + (T2 ∘ R2) == T, but T1 + T2 != T (the Figure 4c point)."""
+        t1 = hospital_dataset.factors[0].masked_contribution()
+        t2_raw = hospital_dataset.factors[1].contribution()
+        t2_masked = hospital_dataset.factors[1].masked_contribution()
+        target = hospital_dataset.materialize()
+        assert np.allclose(t1 + t2_masked, target)
+        assert not np.allclose(t1 + t2_raw, target)
+
+    def test_labels_and_features(self, hospital_dataset):
+        assert hospital_dataset.label_column == "m"
+        assert hospital_dataset.labels().tolist() == [0, 1, 0, 1, 1, 0]
+        assert hospital_dataset.features().shape == (6, 3)
+
+    def test_materialize_table_roles(self, hospital_dataset):
+        table = hospital_dataset.materialize_table()
+        assert table.schema["m"].is_label
+        assert table.n_rows == 6
+
+
+class TestScenarioEquivalenceWithJoins:
+    """Factorized reconstruction must equal the relational join, per scenario."""
+
+    def _join_for(self, scenario, base, other, target_columns):
+        if scenario is ScenarioType.INNER_JOIN:
+            return inner_join(base, other, on=["id"], target_columns=target_columns)
+        if scenario is ScenarioType.LEFT_JOIN:
+            return left_join(base, other, on=["id"], target_columns=target_columns)
+        if scenario is ScenarioType.FULL_OUTER_JOIN:
+            return full_outer_join(base, other, on=["id"], target_columns=target_columns)
+        return union_all(base, other, target_columns=target_columns)
+
+    @pytest.mark.parametrize("scenario", list(ScenarioType), ids=lambda s: s.value)
+    def test_materialization_equals_relational_join(self, scenario):
+        spec = ScenarioSpec(
+            scenario=scenario,
+            base_rows=20,
+            other_rows=14,
+            base_features=3,
+            other_features=4,
+            overlap_rows=8,
+            overlap_columns=1,
+            seed=11,
+        )
+        base, other, column_matches, row_matches, target_columns = generate_scenario_tables(spec)
+        dataset = integrate_tables(
+            base, other, column_matches, row_matches, target_columns, scenario, label_column="label"
+        )
+        join_result = self._join_for(scenario, base, other, target_columns)
+        expected = join_result.table.to_matrix(target_columns)
+        assert dataset.shape == expected.shape
+        assert np.allclose(np.sort(dataset.materialize(), axis=0), np.sort(expected, axis=0))
+
+
+class TestDatasetStatistics:
+    def test_tuple_and_feature_ratios(self, synthetic_redundant_dataset):
+        dataset = synthetic_redundant_dataset
+        assert dataset.tuple_ratio() == pytest.approx(1.0)
+        assert dataset.feature_ratio() > 1.0
+        assert dataset.total_source_cells() == 120 * 3 + 24 * 8
+        # half of min(3, 8) = 2 columns overlap, so c_T = 3 + 8 - 2 = 9
+        assert dataset.target_cells() == 120 * 9
+
+    def test_redundancy_in_target_detects_overlap(self, hospital_dataset):
+        assert hospital_dataset.redundancy_in_target() > 0.0
+
+    def test_factor_lookup(self, hospital_dataset):
+        assert hospital_dataset.factor("S1").name == "S1"
+        with pytest.raises(MappingError):
+            hospital_dataset.factor("missing")
+
+
+class TestValidation:
+    def test_label_column_must_be_in_target(self, hospital):
+        s1, s2 = hospital
+        with pytest.raises(MappingError):
+            integrate_tables(
+                s1, s2, hospital_column_matches(), hospital_row_matches(),
+                ["m", "a", "hr", "o"], ScenarioType.INNER_JOIN, label_column="missing",
+            )
+
+    def test_source_without_numeric_mapped_columns_rejected(self):
+        base = Table.from_dict("B", {"id": [1, 2], "x": [1.0, 2.0]}, id={"is_key": True})
+        other = Table.from_dict("O", {"id": [1, 2], "note": ["a", "b"]}, id={"is_key": True})
+        with pytest.raises(MappingError):
+            integrate_tables(base, other, [], [], ["x", "note"], ScenarioType.LEFT_JOIN)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(MappingError):
+            IntegratedDataset(target_columns=["a"], n_target_rows=1, factors=[])
+
+    def test_factor_shape_validation(self):
+        mapping = MappingMatrix("S", ["a"], ["x"], {"x": "a"})
+        indicator = IndicatorMatrix("S", 2, 2, [0, 1])
+        redundancy = RedundancyMatrix.all_ones("S", 2, 1)
+        with pytest.raises(MappingError):
+            SourceFactor("S", np.zeros((2, 2)), ["x"], mapping, indicator, redundancy)
+        with pytest.raises(MappingError):
+            SourceFactor("S", np.zeros((3, 1)), ["x"], mapping, indicator, redundancy)
+
+    def test_dataset_factor_consistency(self):
+        mapping = MappingMatrix("S", ["a"], ["x"], {"x": "a"})
+        indicator = IndicatorMatrix("S", 2, 2, [0, 1])
+        redundancy = RedundancyMatrix.all_ones("S", 2, 1)
+        factor = SourceFactor("S", np.zeros((2, 1)), ["x"], mapping, indicator, redundancy)
+        with pytest.raises(MappingError):
+            IntegratedDataset(target_columns=["a", "b"], n_target_rows=2, factors=[factor])
+        with pytest.raises(MappingError):
+            IntegratedDataset(target_columns=["a"], n_target_rows=5, factors=[factor])
+
+
+class TestGenericBuilder:
+    def test_three_source_integration(self):
+        base = Table.from_dict("A", {"x": [1.0, 2.0, 3.0]})
+        second = Table.from_dict("B", {"y": [10.0, 20.0, 30.0]})
+        third = Table.from_dict("C", {"x": [9.0, 9.0, 9.0]})  # redundant with A
+        dataset = build_integrated_dataset(
+            sources=[base, second, third],
+            correspondences={"A": {"x": "x"}, "B": {"y": "y"}, "C": {"x": "x"}},
+            row_maps={"A": [0, 1, 2], "B": [0, 1, 2], "C": [0, 1, 2]},
+            target_columns=["x", "y"],
+            n_target_rows=3,
+        )
+        target = dataset.materialize()
+        # The base table's x wins; C's overlapping values are masked out.
+        assert target[:, 0].tolist() == [1.0, 2.0, 3.0]
+        assert target[:, 1].tolist() == [10.0, 20.0, 30.0]
+        assert dataset.factor("C").redundancy.n_redundant == 3
+
+    def test_row_map_length_validation(self):
+        base = Table.from_dict("A", {"x": [1.0]})
+        with pytest.raises(MappingError):
+            build_integrated_dataset(
+                sources=[base],
+                correspondences={"A": {"x": "x"}},
+                row_maps={"A": [0, 1]},
+                target_columns=["x"],
+                n_target_rows=1,
+            )
+
+    def test_needs_at_least_one_source(self):
+        with pytest.raises(MappingError):
+            build_integrated_dataset(
+                sources=[], correspondences={}, row_maps={}, target_columns=["x"], n_target_rows=0
+            )

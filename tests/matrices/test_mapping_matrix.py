@@ -1,0 +1,112 @@
+"""Tests for repro.matrices.mapping_matrix (paper §III-A, Figure 4a)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MappingError
+from repro.matrices.mapping_matrix import MappingMatrix
+
+
+TARGET = ["m", "a", "hr", "o"]
+
+
+@pytest.fixture
+def m1():
+    """M1 of the running example: S1(m, a, hr) → T(m, a, hr, o)."""
+    return MappingMatrix("S1", TARGET, ["m", "a", "hr"], {"m": "m", "a": "a", "hr": "hr"})
+
+
+@pytest.fixture
+def m2():
+    """M2 of the running example: S2(m, a, o) → T(m, a, hr, o)."""
+    return MappingMatrix("S2", TARGET, ["m", "a", "o"], {"m": "m", "a": "a", "o": "o"})
+
+
+class TestFigure4Values:
+    def test_m1_dense_matches_figure(self, m1):
+        expected = np.array(
+            [[1, 0, 0], [0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float
+        )
+        assert np.array_equal(m1.to_dense(), expected)
+
+    def test_m2_dense_matches_figure(self, m2):
+        expected = np.array(
+            [[1, 0, 0], [0, 1, 0], [0, 0, 0], [0, 0, 1]], dtype=float
+        )
+        assert np.array_equal(m2.to_dense(), expected)
+
+    def test_cm1_compressed_matches_figure(self, m1):
+        # CM1 = [0, 1, 2, -1]: T.m←S1[0], T.a←S1[1], T.hr←S1[2], T.o unmapped
+        assert m1.compressed.tolist() == [0, 1, 2, -1]
+
+    def test_cm2_compressed_matches_figure(self, m2):
+        # CM2 = [0, 1, -1, 2]
+        assert m2.compressed.tolist() == [0, 1, -1, 2]
+
+
+class TestStructure:
+    def test_shape_and_counts(self, m1):
+        assert m1.shape == (4, 3)
+        assert m1.n_mapped == 3
+        assert m1.density == pytest.approx(3 / 12)
+
+    def test_sparse_equals_dense(self, m2):
+        assert np.array_equal(m2.to_sparse().toarray(), m2.to_dense())
+
+    def test_lookups(self, m2):
+        assert m2.target_index_of("o") == 3
+        assert m2.target_index_of("unknown") is None
+        assert m2.source_index_of("hr") is None
+        assert m2.source_index_of("a") == 1
+        assert m2.mapped_target_indices() == [0, 1, 3]
+        assert m2.mapped_source_indices() == [0, 1, 2]
+
+    def test_at_most_one_per_row_and_column(self, m1):
+        dense = m1.to_dense()
+        assert (dense.sum(axis=0) <= 1).all()
+        assert (dense.sum(axis=1) <= 1).all()
+
+
+class TestValidation:
+    def test_unknown_source_column_rejected(self):
+        with pytest.raises(MappingError):
+            MappingMatrix("S", TARGET, ["x"], {"y": "m"})
+
+    def test_unknown_target_column_rejected(self):
+        with pytest.raises(MappingError):
+            MappingMatrix("S", TARGET, ["x"], {"x": "zz"})
+
+    def test_double_mapped_target_rejected(self):
+        with pytest.raises(MappingError):
+            MappingMatrix("S", TARGET, ["x", "y"], {"x": "m", "y": "m"})
+
+
+class TestRoundTrips:
+    def test_compressed_round_trip(self, m2):
+        rebuilt = MappingMatrix.from_compressed("S2", TARGET, ["m", "a", "o"], m2.compressed)
+        assert rebuilt == m2
+
+    def test_dense_round_trip(self, m1):
+        rebuilt = MappingMatrix.from_dense("S1", TARGET, ["m", "a", "hr"], m1.to_dense())
+        assert rebuilt == m1
+
+    def test_from_compressed_length_mismatch(self):
+        with pytest.raises(MappingError):
+            MappingMatrix.from_compressed("S", TARGET, ["x"], [0, -1])
+
+    def test_from_compressed_out_of_range(self):
+        with pytest.raises(MappingError):
+            MappingMatrix.from_compressed("S", TARGET, ["x"], [5, -1, -1, -1])
+
+    def test_from_dense_rejects_non_binary(self):
+        with pytest.raises(MappingError):
+            MappingMatrix.from_dense("S", ["a"], ["x"], np.array([[2.0]]))
+
+    def test_from_dense_rejects_double_mapping(self):
+        dense = np.array([[1.0, 1.0]])
+        with pytest.raises(MappingError):
+            MappingMatrix.from_dense("S", ["a"], ["x", "y"], dense)
+
+    def test_from_dense_rejects_bad_shape(self):
+        with pytest.raises(MappingError):
+            MappingMatrix.from_dense("S", ["a", "b"], ["x"], np.zeros((1, 1)))

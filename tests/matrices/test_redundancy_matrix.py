@@ -1,0 +1,64 @@
+"""Tests for repro.matrices.redundancy_matrix (paper §III-C, Figure 4c)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MappingError
+from repro.matrices.redundancy_matrix import RedundancyMatrix
+
+
+@pytest.fixture
+def r2():
+    """R2 of the running example: the Jane row's m and a cells (already in S1)
+    are redundant for S2 — zeros at target row 3, columns m (0) and a (1)."""
+    mask = np.ones((6, 4))
+    mask[3, 0] = 0.0
+    mask[3, 1] = 0.0
+    return RedundancyMatrix("S2", mask)
+
+
+class TestStructure:
+    def test_counts(self, r2):
+        assert r2.shape == (6, 4)
+        assert r2.n_redundant == 2
+        assert r2.redundancy_ratio == pytest.approx(2 / 24)
+        assert not r2.is_trivial
+
+    def test_all_ones_base_matrix(self):
+        base = RedundancyMatrix.all_ones("S1", 6, 4)
+        assert base.is_trivial
+        assert base.n_redundant == 0
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            RedundancyMatrix("S", np.array([1.0, 0.0]))  # 1-D
+        with pytest.raises(MappingError):
+            RedundancyMatrix("S", np.array([[0.5]]))  # non-binary
+
+
+class TestApplication:
+    def test_apply_hadamard(self, r2, rng):
+        contribution = rng.standard_normal((6, 4))
+        masked = r2.apply(contribution)
+        assert masked[3, 0] == 0.0
+        assert masked[3, 1] == 0.0
+        assert np.allclose(masked[0], contribution[0])
+
+    def test_apply_shape_mismatch(self, r2):
+        with pytest.raises(MappingError):
+            r2.apply(np.zeros((2, 2)))
+
+    def test_sparse_complement_holds_redundant_cells(self, r2):
+        complement = r2.to_sparse_complement()
+        assert complement.nnz == 2
+        assert complement[3, 0] == 1.0
+
+    def test_row_and_column_masks(self, r2):
+        assert r2.row_mask()[3] == pytest.approx(2 / 4)
+        assert r2.column_mask()[0] == pytest.approx(1 / 6)
+        assert r2.column_mask()[2] == 0.0
+
+    def test_equality(self, r2):
+        other = RedundancyMatrix("S2", r2.to_dense())
+        assert other == r2
+        assert RedundancyMatrix.all_ones("S2", 6, 4) != r2

@@ -1,0 +1,33 @@
+"""Tests for repro.matrices.tensor (the §III-D tensor view)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.tensor import MetadataTensor, stack_metadata_tensor
+
+
+class TestMetadataTensor:
+    def test_shape(self, hospital_dataset):
+        tensor = stack_metadata_tensor(hospital_dataset)
+        assert tensor.shape == (2, 3, 6, 4)
+        assert tensor.source_names == ["S1", "S2"]
+        assert tensor.target_columns == ["m", "a", "hr", "o"]
+
+    def test_slices(self, hospital_dataset):
+        tensor = stack_metadata_tensor(hospital_dataset)
+        assert np.allclose(tensor.data(0), hospital_dataset.factors[0].contribution())
+        assert np.allclose(
+            tensor.redundancy(1), hospital_dataset.factors[1].redundancy.to_dense()
+        )
+        coverage = tensor.coverage(0)
+        assert coverage[0, 0] == 1.0  # S1 covers row 0, column m
+        assert coverage[0, 3] == 0.0  # S1 does not cover column o
+        assert coverage[4, 0] == 0.0  # S1 does not cover the S2-only rows
+
+    def test_tensor_materialization_equals_dataset(self, hospital_dataset):
+        tensor = stack_metadata_tensor(hospital_dataset)
+        assert np.allclose(tensor.materialize(), hospital_dataset.materialize())
+
+    def test_tensor_materialization_on_synthetic(self, synthetic_redundant_dataset):
+        tensor = stack_metadata_tensor(synthetic_redundant_dataset)
+        assert np.allclose(tensor.materialize(), synthetic_redundant_dataset.materialize())

@@ -1,0 +1,88 @@
+"""Tests for repro.metadata.catalog."""
+
+import pytest
+
+from repro.exceptions import CatalogError
+from repro.metadata.catalog import MetadataCatalog, ModelMetadata
+from repro.metadata.entity_resolution import RowMatch
+from repro.metadata.mappings import ScenarioType, build_scenario_mapping
+from repro.metadata.schema_matching import ColumnMatch
+from repro.datagen.hospital import hospital_column_matches, hospital_tables
+
+
+@pytest.fixture
+def catalog(hospital):
+    s1, s2 = hospital
+    catalog = MetadataCatalog()
+    catalog.register_source(s1, silo="er")
+    catalog.register_source(s2, silo="pulmonary")
+    return catalog
+
+
+class TestBasicMetadata:
+    def test_register_and_lookup(self, catalog):
+        description = catalog.source("S1")
+        assert description.n_rows == 4
+        assert description.silo == "er"
+        assert catalog.source_names == ["S1", "S2"]
+
+    def test_table_retrieval(self, catalog):
+        assert catalog.table("S2").n_rows == 3
+
+    def test_missing_source_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.source("missing")
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+
+    def test_sources_in_silo(self, catalog):
+        assert [d.name for d in catalog.sources_in_silo("er")] == ["S1"]
+        assert catalog.sources_in_silo("unknown") == []
+
+
+class TestDIMetadata:
+    def test_record_and_retrieve_matches(self, catalog):
+        matches = [ColumnMatch("S1", "a", "S2", "a", 1.0)]
+        catalog.record_column_matches("S1", "S2", matches)
+        catalog.record_row_matches("S1", "S2", [RowMatch(3, 2, 1.0)])
+        record = catalog.di_metadata("S1", "S2")
+        assert record.column_matches == matches
+        assert record.row_matches == [RowMatch(3, 2, 1.0)]
+
+    def test_record_schema_mapping(self, catalog, hospital):
+        s1, s2 = hospital
+        mapping = build_scenario_mapping(
+            s1, s2, hospital_column_matches(), ["m", "a", "hr", "o"], ScenarioType.INNER_JOIN
+        )
+        catalog.record_schema_mapping("S1", "S2", mapping)
+        assert catalog.di_metadata("S1", "S2").schema_mapping is mapping
+        assert catalog.has_di_metadata("S1", "S2")
+        assert not catalog.has_di_metadata("S2", "S1")
+
+    def test_missing_di_metadata_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.di_metadata("S1", "S2")
+
+    def test_di_records_listing(self, catalog):
+        catalog.record_column_matches("S1", "S2", [])
+        assert len(catalog.di_records) == 1
+
+
+class TestModelMetadata:
+    def test_register_and_query_models(self, catalog):
+        catalog.register_model(
+            ModelMetadata(
+                name="mortality_v1",
+                model_type="classification",
+                metrics={"accuracy": 0.8},
+                training_datasets=["S1", "S2"],
+            )
+        )
+        assert catalog.model_names == ["mortality_v1"]
+        assert catalog.model("mortality_v1").metrics["accuracy"] == 0.8
+        assert [m.name for m in catalog.models_trained_on("S1")] == ["mortality_v1"]
+        assert catalog.models_trained_on("S9") == []
+
+    def test_missing_model_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.model("nope")

@@ -1,0 +1,90 @@
+"""Tests for repro.metadata.discovery (feature-augmentation candidates)."""
+
+import numpy as np
+import pytest
+
+from repro.metadata.catalog import MetadataCatalog
+from repro.metadata.discovery import DataDiscovery
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def catalog_with_candidates(rng):
+    """A base table plus one relevant, one irrelevant, and one unjoinable table."""
+    n = 60
+    ids = list(range(n))
+    signal = rng.standard_normal(n)
+    labels = (signal + 0.1 * rng.standard_normal(n) > 0).astype(int)
+
+    base = Table.from_dict(
+        "base",
+        {"id": ids, "label": list(labels), "x": list(rng.standard_normal(n))},
+        id={"is_key": True},
+        label={"is_label": True},
+    )
+    relevant = Table.from_dict(
+        "relevant",
+        {"id": ids, "signal": list(signal)},
+        id={"is_key": True},
+    )
+    irrelevant = Table.from_dict(
+        "irrelevant",
+        {"id": ids, "noise": list(rng.standard_normal(n))},
+        id={"is_key": True},
+    )
+    unjoinable = Table.from_dict(
+        "unjoinable",
+        {"other_key": list(range(1000, 1000 + n)), "z": list(rng.standard_normal(n))},
+    )
+    catalog = MetadataCatalog()
+    for table in (base, relevant, irrelevant, unjoinable):
+        catalog.register_source(table)
+    return catalog, base
+
+
+class TestDataDiscovery:
+    def test_relevant_table_ranks_first(self, catalog_with_candidates):
+        catalog, base = catalog_with_candidates
+        discovery = DataDiscovery(catalog)
+        candidates = discovery.discover(base, label_column="label")
+        assert candidates
+        assert candidates[0].table_name == "relevant"
+
+    def test_relevance_correlation_is_high_for_signal(self, catalog_with_candidates):
+        catalog, base = catalog_with_candidates
+        candidates = DataDiscovery(catalog).discover(base, label_column="label")
+        best = candidates[0]
+        assert best.feature_correlations["signal"] > 0.5
+        assert best.joinability == pytest.approx(1.0)
+
+    def test_base_table_excluded(self, catalog_with_candidates):
+        catalog, base = catalog_with_candidates
+        names = [c.table_name for c in DataDiscovery(catalog).discover(base, "label")]
+        assert "base" not in names
+
+    def test_top_k_limits_results(self, catalog_with_candidates):
+        catalog, base = catalog_with_candidates
+        candidates = DataDiscovery(catalog).discover(base, "label", top_k=1)
+        assert len(candidates) == 1
+
+    def test_exclude_parameter(self, catalog_with_candidates):
+        catalog, base = catalog_with_candidates
+        names = [
+            c.table_name
+            for c in DataDiscovery(catalog).discover(base, "label", exclude=["relevant"])
+        ]
+        assert "relevant" not in names
+
+    def test_new_features_reported(self, catalog_with_candidates):
+        catalog, base = catalog_with_candidates
+        best = DataDiscovery(catalog).discover(base, "label")[0]
+        assert best.new_features == ["signal"]
+
+    def test_hospital_running_example(self, hospital):
+        s1, s2 = hospital
+        catalog = MetadataCatalog()
+        catalog.register_source(s1)
+        catalog.register_source(s2)
+        candidates = DataDiscovery(catalog).discover(s1, label_column="m")
+        assert [c.table_name for c in candidates] == ["S2"]
+        assert "o" in candidates[0].new_features

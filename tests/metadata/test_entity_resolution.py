@@ -1,0 +1,108 @@
+"""Tests for repro.metadata.entity_resolution."""
+
+import pytest
+
+from repro.exceptions import MatchingError
+from repro.metadata.entity_resolution import (
+    KeyBasedResolver,
+    RowMatch,
+    SimilarityResolver,
+    resolve_entities,
+)
+from repro.metadata.schema_matching import ColumnMatch
+from repro.relational.table import Table
+from repro.relational.types import NULL
+
+
+class TestKeyBasedResolver:
+    def test_hospital_jane_matches(self, hospital):
+        s1, s2 = hospital
+        matches = KeyBasedResolver([("n", "n")]).resolve(s1, s2)
+        assert matches == [RowMatch(3, 2, 1.0)]
+
+    def test_uses_declared_keys_by_default(self, hospital):
+        s1, s2 = hospital
+        matches = KeyBasedResolver().resolve(s1, s2)
+        assert matches == [RowMatch(3, 2, 1.0)]
+
+    def test_missing_keys_raise(self):
+        left = Table.from_dict("L", {"a": [1]})
+        right = Table.from_dict("R", {"a": [1]})
+        with pytest.raises(MatchingError):
+            KeyBasedResolver().resolve(left, right)
+
+    def test_null_keys_never_match(self):
+        left = Table.from_dict("L", {"k": [NULL, 2]})
+        right = Table.from_dict("R", {"k": [NULL, 2]})
+        matches = KeyBasedResolver([("k", "k")]).resolve(left, right)
+        assert matches == [RowMatch(1, 1, 1.0)]
+
+    def test_one_to_one_even_with_duplicate_right_keys(self):
+        left = Table.from_dict("L", {"k": [1]})
+        right = Table.from_dict("R", {"k": [1, 1]})
+        matches = KeyBasedResolver([("k", "k")]).resolve(left, right)
+        assert len(matches) == 1
+
+    def test_composite_keys(self):
+        left = Table.from_dict("L", {"a": [1, 1], "b": ["x", "y"]})
+        right = Table.from_dict("R", {"a": [1], "b": ["y"]})
+        matches = KeyBasedResolver([("a", "a"), ("b", "b")]).resolve(left, right)
+        assert matches == [RowMatch(1, 0, 1.0)]
+
+
+class TestSimilarityResolver:
+    def make_matches(self):
+        return [
+            ColumnMatch("L", "name", "R", "name", 1.0),
+            ColumnMatch("L", "age", "R", "age", 1.0),
+        ]
+
+    def test_typo_tolerant_matching(self):
+        left = Table.from_dict("L", {"name": ["Jane Doe", "Sam Smith"], "age": [37, 35]})
+        right = Table.from_dict("R", {"name": ["jane doe", "Alice"], "age": [37, 50]})
+        matches = SimilarityResolver(self.make_matches(), threshold=0.8).resolve(left, right)
+        assert len(matches) == 1
+        assert (matches[0].left_row, matches[0].right_row) == (0, 0)
+
+    def test_threshold_filters_weak_matches(self):
+        left = Table.from_dict("L", {"name": ["Jane"], "age": [37]})
+        right = Table.from_dict("R", {"name": ["John"], "age": [80]})
+        matches = SimilarityResolver(self.make_matches(), threshold=0.9).resolve(left, right)
+        assert matches == []
+
+    def test_numeric_similarity(self):
+        resolver = SimilarityResolver(self.make_matches())
+        assert resolver._value_similarity(100, 100) == 1.0
+        assert resolver._value_similarity(100, 90) == pytest.approx(0.9)
+        assert resolver._value_similarity(0, 0) == 1.0
+        assert resolver._value_similarity(NULL, 5) is None
+
+    def test_requires_column_matches(self):
+        with pytest.raises(MatchingError):
+            SimilarityResolver([])
+
+    def test_one_to_one_greedy_extraction(self):
+        left = Table.from_dict("L", {"name": ["Ann", "Ann"], "age": [30, 30]})
+        right = Table.from_dict("R", {"name": ["Ann"], "age": [30]})
+        matches = SimilarityResolver(self.make_matches()).resolve(left, right)
+        assert len(matches) == 1
+
+
+class TestResolveEntities:
+    def test_prefers_declared_keys(self, hospital):
+        s1, s2 = hospital
+        matches = resolve_entities(s1, s2)
+        assert matches == [RowMatch(3, 2, 1.0)]
+
+    def test_falls_back_to_similarity(self):
+        left = Table.from_dict("L", {"name": ["Jane"], "age": [37]})
+        right = Table.from_dict("R", {"name": ["Jane"], "age": [37]})
+        column_matches = [ColumnMatch("L", "name", "R", "name", 1.0)]
+        matches = resolve_entities(left, right, column_matches=column_matches)
+        assert len(matches) == 1
+
+    def test_requires_keys_or_matches(self):
+        left = Table.from_dict("L", {"a": [1]})
+        right = Table.from_dict("R", {"a": [1]})
+        with pytest.raises(MatchingError):
+            resolve_entities(left, right)

@@ -1,0 +1,103 @@
+"""Tests for repro.metadata.mappings (s-t tgds and Table I scenarios)."""
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.metadata.mappings import (
+    Atom,
+    ScenarioType,
+    SchemaMapping,
+    TGD,
+    build_scenario_mapping,
+)
+from repro.datagen.hospital import hospital_column_matches, hospital_tables
+
+
+def hospital_mapping(scenario):
+    s1, s2 = hospital_tables()
+    return build_scenario_mapping(
+        s1, s2, hospital_column_matches(), ["m", "a", "hr", "o"], scenario
+    )
+
+
+class TestTGD:
+    def test_full_tgd_has_no_existentials(self):
+        body = (Atom("S1", ("m", "n", "a", "hr")), Atom("S2", ("m", "n", "a", "o", "dd")))
+        head = Atom("T", ("m", "a", "hr", "o"))
+        tgd = TGD("m1", body, head)
+        assert tgd.is_full
+        assert tgd.existential_variables == set()
+
+    def test_existential_variables_detected(self):
+        tgd = TGD("m2", (Atom("S1", ("m", "n", "a", "hr")),), Atom("T", ("m", "a", "hr", "o")))
+        assert tgd.existential_variables == {"o"}
+        assert not tgd.is_full
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(MappingError):
+            TGD("bad", tuple(), Atom("T", ("a",)))
+
+    def test_string_rendering(self):
+        tgd = TGD("m2", (Atom("S1", ("m", "a")),), Atom("T", ("m", "a", "o")))
+        rendered = str(tgd)
+        assert "S1(m, a)" in rendered and "∃o" in rendered and "→" in rendered
+
+    def test_source_relations(self):
+        tgd = TGD("m1", (Atom("S1", ("a",)), Atom("S2", ("a",))), Atom("T", ("a",)))
+        assert tgd.source_relations == ("S1", "S2")
+
+
+class TestSchemaMappingClassification:
+    def test_full_outer_join_has_three_tgds(self):
+        mapping = hospital_mapping(ScenarioType.FULL_OUTER_JOIN)
+        assert len(mapping.tgds) == 3
+        assert mapping.classify() is ScenarioType.FULL_OUTER_JOIN
+
+    def test_inner_join_single_join_tgd(self):
+        mapping = hospital_mapping(ScenarioType.INNER_JOIN)
+        assert len(mapping.tgds) == 1
+        assert mapping.classify() is ScenarioType.INNER_JOIN
+        assert mapping.has_full_tgd_only()
+
+    def test_left_join(self):
+        mapping = hospital_mapping(ScenarioType.LEFT_JOIN)
+        assert mapping.classify() is ScenarioType.LEFT_JOIN
+        assert not mapping.has_full_tgd_only()
+
+    def test_union(self):
+        mapping = hospital_mapping(ScenarioType.UNION)
+        assert mapping.classify() is ScenarioType.UNION
+
+    def test_classify_without_tgds_raises(self):
+        mapping = SchemaMapping(source_names=["S1"], target_name="T")
+        with pytest.raises(MappingError):
+            mapping.classify()
+
+    def test_add_tgd_with_unknown_source_rejected(self):
+        mapping = SchemaMapping(source_names=["S1"], target_name="T")
+        with pytest.raises(MappingError):
+            mapping.add_tgd(TGD("m", (Atom("S9", ("a",)),), Atom("T", ("a",))))
+
+    def test_unknown_correspondence_source_rejected(self):
+        with pytest.raises(MappingError):
+            SchemaMapping(
+                source_names=["S1"],
+                target_name="T",
+                source_to_target={"S9": {"a": "a"}},
+            )
+
+
+class TestMappedColumns:
+    def test_mapped_target_and_source_columns(self):
+        mapping = hospital_mapping(ScenarioType.FULL_OUTER_JOIN)
+        assert mapping.mapped_target_columns("S1") == ["m", "a", "hr"]
+        assert set(mapping.mapped_source_columns("S2")) == {"m", "a", "o"}
+
+    def test_other_source_new_feature_mapped_under_own_name(self):
+        mapping = hospital_mapping(ScenarioType.FULL_OUTER_JOIN)
+        assert mapping.source_to_target["S2"]["o"] == "o"
+        assert mapping.source_to_target["S2"]["a"] == "a"
+
+    def test_string_rendering_lists_all_tgds(self):
+        mapping = hospital_mapping(ScenarioType.FULL_OUTER_JOIN)
+        assert str(mapping).count("→") == 3

@@ -1,0 +1,90 @@
+"""Tests for repro.metadata.schema_matching."""
+
+import pytest
+
+from repro.exceptions import MatchingError
+from repro.metadata.schema_matching import (
+    ColumnMatch,
+    HybridMatcher,
+    InstanceBasedMatcher,
+    NameBasedMatcher,
+    match_schemas,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def hospital_pair(hospital):
+    return hospital
+
+
+class TestNameBasedMatcher:
+    def test_exact_names_match(self, hospital_pair):
+        s1, s2 = hospital_pair
+        matches = NameBasedMatcher(threshold=0.9).match(s1, s2)
+        matched_pairs = {(m.left_column, m.right_column) for m in matches}
+        assert {("m", "m"), ("n", "n"), ("a", "a")} <= matched_pairs
+
+    def test_similar_names_score_high(self):
+        left = Table.from_dict("L", {"heart_rate": [60, 70]})
+        right = Table.from_dict("R", {"heartrate": [61, 71]})
+        score = NameBasedMatcher().score(left, "heart_rate", right, "heartrate")
+        assert score > 0.8
+
+    def test_one_to_one_extraction(self):
+        left = Table.from_dict("L", {"aa": [1], "ab": [2]})
+        right = Table.from_dict("R", {"aa": [1]})
+        matches = NameBasedMatcher(threshold=0.5).match(left, right)
+        assert len(matches) == 1
+        assert matches[0].left_column == "aa"
+
+    def test_invalid_threshold(self):
+        with pytest.raises(MatchingError):
+            NameBasedMatcher(threshold=1.5)
+
+
+class TestInstanceBasedMatcher:
+    def test_value_overlap_matches_despite_names(self):
+        left = Table.from_dict("L", {"patient": ["Jane", "Sam", "Ruby"]})
+        right = Table.from_dict("R", {"person_name": ["Jane", "Sam", "Alice"]})
+        matches = InstanceBasedMatcher(threshold=0.5).match(left, right)
+        assert matches and matches[0].right_column == "person_name"
+
+    def test_type_mismatch_scores_zero(self):
+        left = Table.from_dict("L", {"age": [20, 30]})
+        right = Table.from_dict("R", {"name": ["20", "x"]})
+        assert InstanceBasedMatcher().score(left, "age", right, "name") == 0.0
+
+    def test_numeric_range_overlap(self):
+        left = Table.from_dict("L", {"age": [20, 30, 40]})
+        right = Table.from_dict("R", {"years": [25, 35, 45]})
+        assert InstanceBasedMatcher().score(left, "age", right, "years") > 0.3
+
+    def test_empty_column_scores_zero(self):
+        left = Table.from_dict("L", {"a": [None, None]})
+        right = Table.from_dict("R", {"a": [1, 2]})
+        assert InstanceBasedMatcher().score(left, "a", right, "a") == 0.0
+
+
+class TestHybridMatcher:
+    def test_combines_signals(self, hospital_pair):
+        s1, s2 = hospital_pair
+        matches = match_schemas(s1, s2)
+        matched = {(m.left_column, m.right_column) for m in matches}
+        assert ("n", "n") in matched
+        assert ("a", "a") in matched
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(MatchingError):
+            HybridMatcher(name_weight=0.0, instance_weight=0.0)
+
+    def test_score_matrix_covers_all_pairs(self, hospital_pair):
+        s1, s2 = hospital_pair
+        scores = HybridMatcher().score_matrix(s1, s2)
+        assert len(scores) == len(s1.schema) * len(s2.schema)
+
+    def test_reversed_match(self):
+        match = ColumnMatch("L", "a", "R", "b", 0.9)
+        reverse = match.reversed()
+        assert reverse.left_table == "R" and reverse.right_column == "a"
+        assert reverse.score == match.score

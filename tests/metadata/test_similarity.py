@@ -1,0 +1,70 @@
+"""Tests for repro.metadata.similarity."""
+
+import pytest
+
+from repro.metadata.similarity import (
+    jaccard_set_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    ngram_jaccard_similarity,
+    token_sort_similarity,
+    value_overlap,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("age", "age") == 0
+        assert levenshtein_similarity("age", "age") == 1.0
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_known_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_similarity_normalized(self):
+        assert 0.0 <= levenshtein_similarity("abcdef", "xyz") <= 1.0
+
+    def test_symmetry(self):
+        assert levenshtein_distance("heart", "haert") == levenshtein_distance("haert", "heart")
+
+
+class TestJaro:
+    def test_identical_and_disjoint(self):
+        assert jaro_similarity("abc", "abc") == 1.0
+        assert jaro_similarity("abc", "xyz") == 0.0
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_jaro_winkler_boosts_prefix(self):
+        plain = jaro_similarity("heart_rate", "heart_beat")
+        winkler = jaro_winkler_similarity("heart_rate", "heart_beat")
+        assert winkler >= plain
+
+    def test_jaro_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+
+class TestNgramAndSets:
+    def test_ngram_jaccard_bounds(self):
+        assert ngram_jaccard_similarity("oxygen", "oxygen") == 1.0
+        assert ngram_jaccard_similarity("", "") == 1.0
+        assert ngram_jaccard_similarity("", "abc") == 0.0
+        assert 0.0 < ngram_jaccard_similarity("oxygen", "oxygen_level") < 1.0
+
+    def test_jaccard_set_similarity(self):
+        assert jaccard_set_similarity({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard_set_similarity(set(), set()) == 1.0
+
+    def test_value_overlap_uses_smaller_set(self):
+        assert value_overlap({1, 2}, {1, 2, 3, 4}) == 1.0
+        assert value_overlap({1, 2}, {3, 4}) == 0.0
+        assert value_overlap(set(), {1}) == 0.0
+
+    def test_token_sort_handles_reordered_words(self):
+        assert token_sort_similarity("resting heart rate", "heart_rate_resting") == 1.0
+        assert token_sort_similarity("Heart-Rate", "rate heart") == 1.0

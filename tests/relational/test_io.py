@@ -1,0 +1,61 @@
+"""Tests for repro.relational.io (CSV round-trips)."""
+
+import pytest
+
+from repro.exceptions import TableError
+from repro.relational.io import read_csv, write_csv
+from repro.relational.table import Table
+from repro.relational.types import DataType, NULL
+
+
+class TestReadCsv:
+    def test_round_trip(self, tmp_path):
+        table = Table.from_dict(
+            "t", {"id": [1, 2, 3], "x": [1.5, None, 3.5], "name": ["a", "b", "c"]}
+        )
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.name == "t"
+        assert loaded.schema["id"].dtype is DataType.INT
+        assert loaded.schema["x"].dtype is DataType.FLOAT
+        assert loaded.cell(1, "x") is NULL
+        assert table.equals(loaded)
+
+    def test_key_and_label_roles(self, tmp_path):
+        path = tmp_path / "roles.csv"
+        path.write_text("id,m,x\n1,0,2.0\n2,1,3.0\n")
+        table = read_csv(path, key_columns=["id"], label_column="m")
+        assert table.schema["id"].is_key
+        assert table.schema["m"].is_label
+
+    def test_custom_name_and_delimiter(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("a;b\n1;2\n")
+        table = read_csv(path, name="custom", delimiter=";")
+        assert table.name == "custom"
+        assert table.cell(0, "b") == 2
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TableError):
+            read_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2,3\n")
+        with pytest.raises(TableError):
+            read_csv(path)
+
+    def test_null_literals(self, tmp_path):
+        path = tmp_path / "nulls.csv"
+        path.write_text("a,b\nnull,1\nNA,2\n,3\n")
+        table = read_csv(path)
+        assert all(v is NULL for v in table.column("a"))
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        table = Table.from_dict("t", {"a": [1]})
+        path = tmp_path / "nested" / "dir" / "t.csv"
+        write_csv(table, path)
+        assert path.exists()

@@ -1,0 +1,151 @@
+"""Tests for repro.relational.joins — the four Table I operators."""
+
+import pytest
+
+from repro.exceptions import JoinError
+from repro.relational.joins import full_outer_join, inner_join, left_join, union_all
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import NULL, DataType, is_null
+
+
+@pytest.fixture
+def sources():
+    left_schema = Schema(
+        [
+            Column("k", DataType.INT, is_key=True),
+            Column("m", DataType.INT, is_label=True),
+            Column("a", DataType.FLOAT),
+        ]
+    )
+    right_schema = Schema(
+        [
+            Column("k", DataType.INT, is_key=True),
+            Column("a", DataType.FLOAT),
+            Column("o", DataType.FLOAT),
+        ]
+    )
+    left = Table.from_rows("L", left_schema, [(1, 0, 10.0), (2, 1, 20.0), (3, 0, 30.0)])
+    right = Table.from_rows("R", right_schema, [(2, 21.0, 0.5), (3, 31.0, 0.7), (4, 41.0, 0.9)])
+    return left, right
+
+
+class TestInnerJoin:
+    def test_only_matched_rows(self, sources):
+        left, right = sources
+        result = inner_join(left, right, on=["k"])
+        assert result.table.n_rows == 2
+        assert result.table.column("k") == [2, 3]
+        assert result.n_overlapping_rows == 2
+
+    def test_left_value_preferred_on_overlapping_column(self, sources):
+        left, right = sources
+        result = inner_join(left, right, on=["k"])
+        # column 'a' exists in both; the left (base) value wins
+        assert result.table.column("a") == [20.0, 30.0]
+
+    def test_provenance(self, sources):
+        left, right = sources
+        result = inner_join(left, right, on=["k"])
+        assert result.left_rows == [1, 2]
+        assert result.right_rows == [0, 1]
+        assert result.left_columns["o"] is None
+        assert result.right_columns["o"] == "o"
+
+    def test_missing_key_raises(self, sources):
+        left, right = sources
+        with pytest.raises(JoinError):
+            inner_join(left, right, on=["missing"])
+        with pytest.raises(JoinError):
+            inner_join(left, right, on=[])
+
+
+class TestLeftJoin:
+    def test_all_left_rows_kept(self, sources):
+        left, right = sources
+        result = left_join(left, right, on=["k"])
+        assert result.table.n_rows == 3
+        assert result.left_rows == [0, 1, 2]
+        assert result.right_rows == [-1, 0, 1]
+
+    def test_unmatched_right_columns_are_null(self, sources):
+        left, right = sources
+        result = left_join(left, right, on=["k"])
+        assert is_null(result.table.cell(0, "o"))
+        assert result.table.cell(1, "o") == pytest.approx(0.5)
+
+
+class TestFullOuterJoin:
+    def test_all_rows_of_both_inputs(self, sources):
+        left, right = sources
+        result = full_outer_join(left, right, on=["k"])
+        assert result.table.n_rows == 4
+        assert result.left_rows == [0, 1, 2, -1]
+        assert result.right_rows == [-1, 0, 1, 2]
+
+    def test_right_only_row_has_null_left_columns(self, sources):
+        left, right = sources
+        result = full_outer_join(left, right, on=["k"])
+        last = result.table.n_rows - 1
+        assert is_null(result.table.cell(last, "m"))
+        assert result.table.cell(last, "o") == pytest.approx(0.9)
+
+    def test_null_join_keys_never_match(self):
+        schema = Schema([Column("k", DataType.INT, is_key=True), Column("v", DataType.FLOAT)])
+        left = Table.from_rows("L", schema, [(NULL, 1.0)])
+        right = Table.from_rows("R", schema, [(NULL, 2.0)])
+        result = full_outer_join(left, right, on=["k"])
+        assert result.table.n_rows == 2
+        assert result.n_overlapping_rows == 0
+
+    def test_target_column_projection(self, sources):
+        left, right = sources
+        result = full_outer_join(left, right, on=["k"], target_columns=["m", "a", "o"])
+        assert result.table.schema.names == ["m", "a", "o"]
+
+    def test_unknown_target_column(self, sources):
+        left, right = sources
+        with pytest.raises(JoinError):
+            full_outer_join(left, right, on=["k"], target_columns=["nope"])
+
+    def test_fallback_fills_null_base_value_from_right(self):
+        schema_l = Schema([Column("k", DataType.INT, is_key=True), Column("a", DataType.FLOAT)])
+        schema_r = Schema([Column("k", DataType.INT, is_key=True), Column("a", DataType.FLOAT)])
+        left = Table.from_rows("L", schema_l, [(1, NULL)])
+        right = Table.from_rows("R", schema_r, [(1, 5.0)])
+        result = full_outer_join(left, right, on=["k"])
+        assert result.table.cell(0, "a") == pytest.approx(5.0)
+
+
+class TestUnion:
+    def test_union_stacks_rows(self, sources):
+        left, right = sources
+        result = union_all(left, right, target_columns=["k", "a"])
+        assert result.table.n_rows == 6
+        assert result.left_rows == [0, 1, 2, -1, -1, -1]
+        assert result.right_rows == [-1, -1, -1, 0, 1, 2]
+
+    def test_union_defaults_to_shared_columns(self, sources):
+        left, right = sources
+        result = union_all(left, right)
+        assert result.table.schema.names == ["k", "a"]
+
+    def test_union_requires_shared_columns(self):
+        left = Table.from_dict("L", {"a": [1]})
+        right = Table.from_dict("R", {"b": [2]})
+        with pytest.raises(JoinError):
+            union_all(left, right)
+
+    def test_union_with_missing_target_column(self, sources):
+        left, right = sources
+        with pytest.raises(JoinError):
+            union_all(left, right, target_columns=["m"])
+
+
+class TestManyToMany:
+    def test_duplicate_keys_expand(self):
+        schema = Schema([Column("k", DataType.INT, is_key=True), Column("v", DataType.FLOAT)])
+        left = Table.from_rows("L", schema, [(1, 1.0), (1, 2.0)])
+        right = Table.from_rows("R", schema, [(1, 10.0), (1, 20.0)])
+        result = inner_join(left, right, on=["k"], target_columns=["k", "v"])
+        assert result.table.n_rows == 4

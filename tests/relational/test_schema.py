@@ -1,0 +1,105 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Column, Schema, SourceDescription
+from repro.relational.types import DataType
+
+
+def make_schema():
+    return Schema(
+        [
+            Column("id", DataType.INT, is_key=True),
+            Column("label", DataType.INT, is_label=True),
+            Column("age", DataType.FLOAT),
+            Column("name", DataType.STRING),
+        ]
+    )
+
+
+class TestColumn:
+    def test_renamed_preserves_roles(self):
+        column = Column("a", DataType.INT, is_key=True, is_label=False, description="x")
+        renamed = column.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.is_key
+        assert renamed.description == "x"
+
+    def test_with_role_overrides_only_given_flags(self):
+        column = Column("a", DataType.INT, is_key=True)
+        updated = column.with_role(is_label=True)
+        assert updated.is_key and updated.is_label
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a"), Column("a")])
+
+    def test_lookup_by_name_and_index(self):
+        schema = make_schema()
+        assert schema["age"].dtype is DataType.FLOAT
+        assert schema[0].name == "id"
+        assert schema.index_of("name") == 3
+
+    def test_missing_column_raises(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema["missing"]
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_key_label_feature_columns(self):
+        schema = make_schema()
+        assert [c.name for c in schema.key_columns] == ["id"]
+        assert [c.name for c in schema.label_columns] == ["label"]
+        assert [c.name for c in schema.feature_columns] == ["age"]
+
+    def test_project_and_drop(self):
+        schema = make_schema()
+        assert schema.project(["age", "id"]).names == ["age", "id"]
+        assert schema.drop(["name"]).names == ["id", "label", "age"]
+        with pytest.raises(SchemaError):
+            schema.drop(["missing"])
+
+    def test_rename(self):
+        schema = make_schema().rename({"age": "years"})
+        assert "years" in schema and "age" not in schema
+        with pytest.raises(SchemaError):
+            make_schema().rename({"missing": "x"})
+
+    def test_merge_disjoint(self):
+        left = Schema([Column("a"), Column("b")])
+        right = Schema([Column("c")])
+        assert left.merge_disjoint(right).names == ["a", "b", "c"]
+        with pytest.raises(SchemaError):
+            left.merge_disjoint(Schema([Column("a")]))
+
+    def test_schema_of_helper_and_equality(self):
+        one = Schema.of(a=DataType.INT, b=DataType.FLOAT)
+        two = Schema([Column("a", DataType.INT), Column("b", DataType.FLOAT)])
+        assert one == two
+
+    def test_with_column(self):
+        schema = make_schema().with_column(Column("extra", DataType.FLOAT))
+        assert schema.names[-1] == "extra"
+
+    def test_contains_and_len_and_iter(self):
+        schema = make_schema()
+        assert "id" in schema
+        assert len(schema) == 4
+        assert [c.name for c in schema] == ["id", "label", "age", "name"]
+
+
+class TestSourceDescription:
+    def test_overall_null_ratio(self):
+        description = SourceDescription(
+            name="t", schema=make_schema(), n_rows=10, null_ratio={"a": 0.2, "b": 0.4}
+        )
+        assert description.overall_null_ratio() == pytest.approx(0.3)
+        assert description.n_columns == 4
+
+    def test_empty_null_ratio(self):
+        description = SourceDescription(name="t", schema=make_schema(), n_rows=0)
+        assert description.overall_null_ratio() == 0.0

@@ -1,0 +1,163 @@
+"""Tests for repro.relational.table."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TableError
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import NULL, DataType
+
+
+@pytest.fixture
+def table():
+    schema = Schema(
+        [
+            Column("id", DataType.INT, is_key=True),
+            Column("label", DataType.INT, is_label=True),
+            Column("x", DataType.FLOAT),
+            Column("name", DataType.STRING),
+        ]
+    )
+    return Table.from_rows(
+        "t",
+        schema,
+        [
+            (1, 0, 1.5, "a"),
+            (2, 1, NULL, "b"),
+            (3, 0, 3.0, "c"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_from_rows_shape(self, table):
+        assert table.shape == (3, 4)
+        assert len(table) == 3
+
+    def test_ragged_columns_rejected(self):
+        schema = Schema([Column("a", DataType.INT), Column("b", DataType.INT)])
+        with pytest.raises(TableError):
+            Table("t", schema, {"a": [1, 2], "b": [1]})
+
+    def test_row_width_mismatch_rejected(self):
+        schema = Schema([Column("a", DataType.INT)])
+        with pytest.raises(TableError):
+            Table.from_rows("t", schema, [(1, 2)])
+
+    def test_from_dict_infers_types(self):
+        table = Table.from_dict("t", {"a": [1, 2], "b": ["x", "y"]})
+        assert table.schema["a"].dtype is DataType.INT
+        assert table.schema["b"].dtype is DataType.STRING
+
+    def test_from_dict_with_overrides(self):
+        table = Table.from_dict("t", {"m": [0, 1]}, m={"is_label": True})
+        assert table.schema["m"].is_label
+
+    def test_from_matrix_and_nan_to_null(self):
+        matrix = np.array([[1.0, np.nan], [2.0, 3.0]])
+        table = Table.from_matrix("t", matrix, ["a", "b"])
+        assert table.cell(0, "b") is NULL
+        assert table.cell(1, "b") == pytest.approx(3.0)
+
+    def test_from_matrix_rejects_bad_shapes(self):
+        with pytest.raises(TableError):
+            Table.from_matrix("t", np.zeros(3))
+        with pytest.raises(TableError):
+            Table.from_matrix("t", np.zeros((2, 2)), ["only_one"])
+
+    def test_empty_table(self):
+        table = Table.empty("t", Schema([Column("a", DataType.INT)]))
+        assert table.n_rows == 0
+        assert table.null_ratio() == 0.0
+
+
+class TestAccess:
+    def test_column_returns_copy(self, table):
+        values = table.column("x")
+        values[0] = 999
+        assert table.cell(0, "x") == pytest.approx(1.5)
+
+    def test_row_and_rows(self, table):
+        assert table.row(0) == (1, 0, 1.5, "a")
+        assert len(list(table.rows())) == 3
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(TableError):
+            table.row(10)
+
+    def test_unknown_column(self, table):
+        with pytest.raises(TableError):
+            table.column("missing")
+
+
+class TestOperators:
+    def test_project_and_drop(self, table):
+        assert table.project(["x", "id"]).schema.names == ["x", "id"]
+        assert "name" not in table.drop(["name"]).schema
+
+    def test_rename(self, table):
+        renamed = table.rename({"x": "feature"})
+        assert renamed.column("feature") == table.column("x")
+
+    def test_filter_and_take(self, table):
+        kept = table.filter(lambda row: row["label"] == 0)
+        assert kept.n_rows == 2
+        taken = table.take([2, 0])
+        assert taken.column("id") == [3, 1]
+        with pytest.raises(TableError):
+            table.take([99])
+
+    def test_head(self, table):
+        assert table.head(2).n_rows == 2
+        assert table.head(10).n_rows == 3
+
+    def test_with_column(self, table):
+        extended = table.with_column(Column("y", DataType.FLOAT), [0.0, 1.0, 2.0])
+        assert extended.column("y") == [0.0, 1.0, 2.0]
+        with pytest.raises(TableError):
+            table.with_column(Column("y", DataType.FLOAT), [1.0])
+
+    def test_set_roles(self, table):
+        updated = table.set_roles(keys=["name"], label="x")
+        assert updated.schema["name"].is_key
+        assert updated.schema["x"].is_label
+        assert not updated.schema["label"].is_label
+
+
+class TestAnalytics:
+    def test_null_ratio(self, table):
+        assert table.null_ratio("x") == pytest.approx(1 / 3)
+        assert table.null_ratio() == pytest.approx(1 / 12)
+
+    def test_distinct_values(self, table):
+        assert table.distinct_values("label") == {0, 1}
+
+    def test_to_matrix_replaces_nulls(self, table):
+        matrix = table.to_matrix(["x"])
+        assert matrix[1, 0] == 0.0
+        matrix_custom = table.to_matrix(["x"], null_value=-1.0)
+        assert matrix_custom[1, 0] == -1.0
+
+    def test_to_matrix_rejects_non_numeric(self, table):
+        with pytest.raises(TableError):
+            table.to_matrix(["name"])
+
+    def test_to_matrix_defaults_to_numeric_columns(self, table):
+        assert table.to_matrix().shape == (3, 3)
+
+    def test_describe(self, table):
+        description = table.describe(silo="er")
+        assert description.silo == "er"
+        assert description.n_rows == 3
+        assert description.null_ratio["x"] == pytest.approx(1 / 3)
+
+    def test_equals(self, table):
+        duplicate = Table.from_rows("other", table.schema, table.to_rows())
+        assert table.equals(duplicate)
+        assert not table.equals(duplicate, check_name=True)
+        assert not table.equals(duplicate.take([0, 1]))
+
+    def test_to_dict_roundtrip(self, table):
+        rebuilt = Table("t", table.schema, table.to_dict())
+        assert table.equals(rebuilt)

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for the core invariants of DESIGN.md §5."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_dataset
+from repro.datagen.synthetic import SyntheticSiloSpec, generate_integrated_pair
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.matrices.indicator_matrix import IndicatorMatrix
+from repro.matrices.mapping_matrix import MappingMatrix
+from repro.metadata.mappings import ScenarioType
+from repro.metadata.similarity import (
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    ngram_jaccard_similarity,
+)
+
+# Bounded sizes keep each hypothesis example fast while still exploring the
+# structural space (scenario type, overlaps, redundancy axes, seeds).
+synthetic_specs = st.builds(
+    SyntheticSiloSpec,
+    base_rows=st.integers(min_value=2, max_value=40),
+    base_columns=st.integers(min_value=1, max_value=5),
+    other_rows=st.integers(min_value=1, max_value=30),
+    other_columns=st.integers(min_value=1, max_value=6),
+    redundancy_in_target=st.booleans(),
+    redundancy_in_sources=st.booleans(),
+    overlap_column_fraction=st.floats(min_value=0.1, max_value=1.0),
+    null_ratio=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+
+scenario_specs = st.builds(
+    ScenarioSpec,
+    scenario=st.sampled_from(list(ScenarioType)),
+    base_rows=st.integers(min_value=2, max_value=20),
+    other_rows=st.integers(min_value=2, max_value=15),
+    base_features=st.integers(min_value=1, max_value=4),
+    other_features=st.integers(min_value=1, max_value=4),
+    overlap_rows=st.integers(min_value=0, max_value=20),
+    overlap_columns=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=500),
+)
+
+
+class TestFactorizedOperatorEquivalence:
+    """Invariant 2: every factorized operator equals its materialized version."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=synthetic_specs, operand_seed=st.integers(min_value=0, max_value=100))
+    def test_lmm_and_transpose_lmm(self, spec, operand_seed):
+        dataset = generate_integrated_pair(spec)
+        matrix = AmalurMatrix(dataset)
+        target = dataset.materialize()
+        rng = np.random.default_rng(operand_seed)
+        x = rng.standard_normal((target.shape[1], 2))
+        y = rng.standard_normal((target.shape[0], 2))
+        assert np.allclose(matrix.lmm(x), target @ x)
+        assert np.allclose(matrix.transpose_lmm(y), target.T @ y)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=synthetic_specs)
+    def test_crossprod_rmm_and_aggregates(self, spec):
+        dataset = generate_integrated_pair(spec)
+        matrix = AmalurMatrix(dataset)
+        target = dataset.materialize()
+        rng = np.random.default_rng(spec.seed)
+        z = rng.standard_normal((2, target.shape[0]))
+        assert np.allclose(matrix.crossprod(), target.T @ target)
+        assert np.allclose(matrix.rmm(z), z @ target)
+        assert np.allclose(matrix.row_sums(), target.sum(axis=1))
+        assert np.allclose(matrix.column_sums(), target.sum(axis=0))
+
+
+class TestScenarioReconstruction:
+    """Invariant 1: reconstruction equals integration for all Table I scenarios."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=scenario_specs)
+    def test_materialization_is_consistent(self, spec):
+        dataset = generate_scenario_dataset(spec)
+        target = dataset.materialize()
+        assert target.shape == dataset.shape
+        # The label column comes only from the base table in non-union
+        # scenarios, so every non-appended row's label equals the base value.
+        base = dataset.factors[0]
+        base_rows = base.indicator.compressed
+        label_index = dataset.target_columns.index("label")
+        for target_row, source_row in enumerate(base_rows):
+            if source_row >= 0:
+                label_source_col = base.mapping.compressed[label_index]
+                if label_source_col >= 0:
+                    assert target[target_row, label_index] == base.data[source_row, label_source_col]
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=scenario_specs)
+    def test_each_target_cell_contributed_at_most_once(self, spec):
+        """Invariant 5: redundancy masks prevent double counting."""
+        dataset = generate_scenario_dataset(spec)
+        if dataset.n_target_rows == 0:
+            # An inner join with no overlapping entities has an empty target.
+            return
+        contributions = np.zeros(dataset.shape)
+        for factor in dataset.factors:
+            row_mask = (factor.indicator.compressed >= 0).astype(float)
+            col_mask = (factor.mapping.compressed >= 0).astype(float)
+            coverage = np.outer(row_mask, col_mask) * factor.redundancy.to_dense()
+            contributions += coverage
+        assert contributions.max() <= 1.0 + 1e-12
+
+
+class TestCompressedRoundTrips:
+    """Invariant 4: compressed vectors round-trip to full matrices."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_target=st.integers(min_value=1, max_value=12),
+        n_source=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_mapping_matrix_round_trip(self, n_target, n_source, seed):
+        rng = np.random.default_rng(seed)
+        target_columns = [f"t{i}" for i in range(n_target)]
+        source_columns = [f"s{j}" for j in range(n_source)]
+        # Random injective partial mapping source→target.
+        n_mapped = int(rng.integers(0, min(n_target, n_source) + 1))
+        targets = rng.choice(n_target, size=n_mapped, replace=False)
+        sources = rng.choice(n_source, size=n_mapped, replace=False)
+        correspondences = {
+            source_columns[s]: target_columns[t] for s, t in zip(sources, targets)
+        }
+        mapping = MappingMatrix("S", target_columns, source_columns, correspondences)
+        assert MappingMatrix.from_compressed(
+            "S", target_columns, source_columns, mapping.compressed
+        ) == mapping
+        assert MappingMatrix.from_dense(
+            "S", target_columns, source_columns, mapping.to_dense()
+        ) == mapping
+        assert mapping.n_mapped == n_mapped
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_target=st.integers(min_value=1, max_value=15),
+        n_source=st.integers(min_value=1, max_value=15),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_indicator_matrix_round_trip(self, n_target, n_source, seed):
+        rng = np.random.default_rng(seed)
+        compressed = rng.integers(-1, n_source, size=n_target)
+        indicator = IndicatorMatrix("S", n_target, n_source, compressed)
+        assert IndicatorMatrix.from_dense("S", indicator.to_dense()) == indicator
+        data = rng.standard_normal((n_source, 3))
+        assert np.allclose(indicator.apply(data), indicator.to_dense() @ data)
+
+
+class TestSimilarityProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_levenshtein_symmetry_and_bounds(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+        similarity = levenshtein_similarity(a, b)
+        assert 0.0 <= similarity <= 1.0
+        assert levenshtein_similarity(a, a) == 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_jaro_winkler_and_ngram_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler_similarity(a, b) <= 1.0 + 1e-9
+        assert 0.0 <= ngram_jaccard_similarity(a, b) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(min_size=1, max_size=10))
+    def test_identity(self, a):
+        assert jaro_winkler_similarity(a, a) == pytest.approx(1.0)
+        assert ngram_jaccard_similarity(a, a) == 1.0
