@@ -23,6 +23,13 @@ Quick start::
 """
 
 from repro.exceptions import AmalurError
+from repro.backends import (
+    AutoBackend,
+    Backend,
+    DenseBackend,
+    SparseBackend,
+    resolve_backend,
+)
 from repro.metadata.mappings import ScenarioType
 from repro.matrices import (
     MappingMatrix,
@@ -40,6 +47,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AmalurError",
+    "Backend",
+    "DenseBackend",
+    "SparseBackend",
+    "AutoBackend",
+    "resolve_backend",
     "ScenarioType",
     "MappingMatrix",
     "IndicatorMatrix",

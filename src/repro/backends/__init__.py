@@ -1,0 +1,51 @@
+"""Pluggable compute backends for the factorized linear-algebra layer.
+
+The subsystem decouples the *logical* factorized representation
+``(D_k, M_k, I_k, R_k)`` of paper §III from the *physical* storage and
+kernels that execute the §IV-A operator rewrites:
+
+* :class:`DenseBackend` — dense NumPy arrays + BLAS (the seed behavior);
+* :class:`SparseBackend` — SciPy CSR end to end, cost ∝ ``nnz``;
+* :class:`AutoBackend` — per-factor density-threshold dispatch, sharing
+  its threshold with the cost model
+  (:data:`repro.costmodel.parameters.SPARSE_DENSITY_THRESHOLD`) so plan
+  selection and storage selection reason from the same statistics.
+
+``resolve_backend`` accepts ``None`` (dense), a name, or an instance and
+is how the builder, :class:`repro.factorized.AmalurMatrix`, the optimizer
+and the executor pick their engine.
+"""
+
+from repro.backends.auto import AutoBackend
+from repro.backends.base import (
+    Backend,
+    Storage,
+    is_sparse,
+    storage_density,
+    storage_nnz,
+    to_dense,
+)
+from repro.backends.dense import DenseBackend
+from repro.backends.registry import (
+    BackendSpec,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends.sparse_backend import SparseBackend
+
+__all__ = [
+    "Backend",
+    "Storage",
+    "BackendSpec",
+    "DenseBackend",
+    "SparseBackend",
+    "AutoBackend",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+    "is_sparse",
+    "storage_nnz",
+    "storage_density",
+    "to_dense",
+]

@@ -1,0 +1,65 @@
+"""Density-threshold dispatch: per-factor dense/sparse storage selection.
+
+The same DI-metadata statistics that drive the factorize-vs-materialize
+decision (paper §IV-B) also tell us, per source factor, whether a sparse
+kernel beats a dense one: below a density threshold the ``nnz``-bounded
+CSR matmul wins, above it BLAS does. :class:`AutoBackend` applies exactly
+that rule in :meth:`prepare`, so a mixed workload (a dense base table
+joined with a one-hot encoded dimension table) stores each factor in its
+winning format and runs each per-source kernel on its own engine.
+
+The threshold lives in
+:data:`repro.costmodel.parameters.SPARSE_DENSITY_THRESHOLD` so the
+analytical cost model, the optimizer and this backend all reason from the
+same constant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from scipy import sparse
+
+from repro.backends.base import Backend, Storage, storage_density
+from repro.backends.dense import DenseBackend
+from repro.backends.sparse_backend import SparseBackend
+from repro.exceptions import BackendError
+
+
+class AutoBackend(Backend):
+    """Chooses dense or CSR storage per factor from its observed density."""
+
+    name = "auto"
+
+    def __init__(self, density_threshold: Optional[float] = None):
+        if density_threshold is None:
+            from repro.costmodel.parameters import SPARSE_DENSITY_THRESHOLD
+
+            density_threshold = SPARSE_DENSITY_THRESHOLD
+        if not 0.0 <= density_threshold <= 1.0:
+            raise BackendError(
+                f"density threshold must be in [0, 1], got {density_threshold}"
+            )
+        self.density_threshold = float(density_threshold)
+        self._dense = DenseBackend()
+        self._sparse = SparseBackend()
+
+    @property
+    def storage_cache_key(self):
+        # Exact-type guard: subclasses may carry extra config the threshold
+        # doesn't capture, so they keep the identity-keyed default.
+        if type(self) is AutoBackend:
+            return ("auto", self.density_threshold)
+        return self
+
+    def prepare(self, data: Storage) -> Storage:
+        if storage_density(data) <= self.density_threshold:
+            return self._sparse.prepare(data)
+        return self._dense.prepare(data)
+
+    def choose(self, data: Storage) -> str:
+        """The storage decision ("sparse" or "dense") without converting."""
+        return "sparse" if storage_density(data) <= self.density_threshold else "dense"
+
+    def __repr__(self) -> str:
+        return f"AutoBackend(density_threshold={self.density_threshold})"

@@ -1,0 +1,215 @@
+"""The compute-backend protocol: storage-engine-agnostic linear algebra.
+
+A :class:`Backend` decides *how* a source factor's data matrix ``D_k`` is
+physically stored (dense ``numpy.ndarray`` vs. SciPy CSR) and executes the
+linear-algebra primitives the factorized operator rewrites of paper §IV-A
+need — matmul, transpose-matmul, cross-product, element-wise ops, sums —
+over that storage. The structured factorized representation
+``(D_k, M_k, I_k, R_k)`` stays identical across backends; only the storage
+and kernels change, mirroring how the paper separates the logical
+representation (§III-A..C) from the physical one (§III-D).
+
+Backends also own FLOP accounting (:meth:`Backend.matmul_flops` and
+friends) so that the analytical cost model charges sparse plans ``nnz``
+multiply-adds instead of the dense ``n·k·m`` count.
+
+Operand matrices (model weights, gradients) are always dense — only the
+factor data is candidate for sparse storage — so every operation returns a
+dense ``numpy.ndarray`` unless documented otherwise.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import BackendError
+
+# NOTE: repro.factorized.ops_counter owns the FLOP formulas, but importing
+# it at module scope would close an import cycle (factorized → matrices →
+# backends → factorized); the accounting hooks import it lazily instead.
+
+#: A backend-prepared data matrix: dense ndarray or any SciPy sparse matrix.
+Storage = Union[np.ndarray, sparse.spmatrix]
+
+
+def is_sparse(storage: Storage) -> bool:
+    """True when ``storage`` is a SciPy sparse matrix."""
+    return sparse.issparse(storage)
+
+
+def storage_nnz(storage: Storage) -> int:
+    """Number of stored non-zero cells of a storage matrix."""
+    if sparse.issparse(storage):
+        return int(storage.nnz)
+    return int(np.count_nonzero(storage))
+
+
+def storage_density(storage: Storage) -> float:
+    """Fraction of non-zero cells (1.0 for an empty matrix)."""
+    rows, cols = storage.shape
+    total = rows * cols
+    return storage_nnz(storage) / total if total else 1.0
+
+
+def to_dense(storage: Storage) -> np.ndarray:
+    """Densify a storage matrix into a 2-D float ndarray."""
+    if sparse.issparse(storage):
+        return np.asarray(storage.todense(), dtype=np.float64)
+    return np.atleast_2d(np.asarray(storage, dtype=np.float64))
+
+
+def _as_dense_result(result) -> np.ndarray:
+    """Normalize a matmul result (ndarray, matrix, or sparse) to an ndarray."""
+    if sparse.issparse(result):
+        return np.asarray(result.todense(), dtype=np.float64)
+    return np.asarray(result, dtype=np.float64)
+
+
+class Backend(abc.ABC):
+    """Physical compute engine for factor data matrices.
+
+    Subclasses choose a storage format in :meth:`prepare`; all the generic
+    operations dispatch on the storage type, so a backend that mixes
+    formats per factor (:class:`repro.backends.AutoBackend`) works through
+    the same code paths.
+    """
+
+    #: Registry/display name ("dense", "sparse", "auto").
+    name: str = "backend"
+
+    # -- storage ---------------------------------------------------------------------
+    @abc.abstractmethod
+    def prepare(self, data: Storage) -> Storage:
+        """Convert raw factor data into this backend's preferred storage."""
+
+    @property
+    def storage_cache_key(self):
+        """Hashable token identifying what :meth:`prepare` produces.
+
+        Two backends with the same key must prepare identical storage, so
+        prepared matrices can be shared between them. The conservative
+        default keys by instance identity; stateless built-ins override it
+        with their name so separately-resolved instances share a cache.
+        """
+        return self
+
+    def is_sparse_storage(self, storage: Storage) -> bool:
+        return is_sparse(storage)
+
+    # -- introspection ---------------------------------------------------------------
+    def nnz(self, storage: Storage) -> int:
+        return storage_nnz(storage)
+
+    def density(self, storage: Storage) -> float:
+        return storage_density(storage)
+
+    def to_dense(self, storage: Storage) -> np.ndarray:
+        return to_dense(storage)
+
+    # -- core linear algebra ---------------------------------------------------------
+    def matmul(self, storage: Storage, operand: np.ndarray) -> np.ndarray:
+        """``D @ X`` for a dense operand ``X``; always returns dense."""
+        operand = np.asarray(operand, dtype=np.float64)
+        if storage.shape[1] != operand.shape[0]:
+            raise BackendError(
+                f"matmul shape mismatch: {storage.shape} @ {operand.shape}"
+            )
+        return _as_dense_result(storage @ operand)
+
+    def transpose_matmul(self, storage: Storage, operand: np.ndarray) -> np.ndarray:
+        """``Dᵀ @ X`` for a dense operand ``X``; always returns dense."""
+        operand = np.asarray(operand, dtype=np.float64)
+        if storage.shape[0] != operand.shape[0]:
+            raise BackendError(
+                f"transpose-matmul shape mismatch: {storage.shape}ᵀ @ {operand.shape}"
+            )
+        return _as_dense_result(storage.T @ operand)
+
+    def crossprod(self, storage: Storage) -> np.ndarray:
+        """The Gram matrix ``Dᵀ D`` (dense result)."""
+        return _as_dense_result(storage.T @ storage)
+
+    def gram_pair(self, left: Storage, right: Storage) -> np.ndarray:
+        """The cross term ``Lᵀ R`` between two storages (dense result)."""
+        if left.shape[0] != right.shape[0]:
+            raise BackendError(
+                f"gram-pair shape mismatch: {left.shape}ᵀ @ {right.shape}"
+            )
+        return _as_dense_result(left.T @ right)
+
+    # -- element-wise ----------------------------------------------------------------
+    def scale(self, storage: Storage, alpha: float) -> Storage:
+        """``alpha * D`` in the same storage format."""
+        return storage * alpha
+
+    def elementwise_multiply(self, storage: Storage, mask: np.ndarray) -> Storage:
+        """Hadamard product ``D ∘ mask`` in the same storage format."""
+        if sparse.issparse(storage):
+            return storage.multiply(np.asarray(mask, dtype=np.float64)).tocsr()
+        return storage * np.asarray(mask, dtype=np.float64)
+
+    # -- aggregations ----------------------------------------------------------------
+    def row_sums(self, storage: Storage) -> np.ndarray:
+        return np.asarray(storage.sum(axis=1), dtype=np.float64).reshape(-1)
+
+    def column_sums(self, storage: Storage) -> np.ndarray:
+        return np.asarray(storage.sum(axis=0), dtype=np.float64).reshape(-1)
+
+    def total_sum(self, storage: Storage) -> float:
+        return float(storage.sum())
+
+    # -- row/column extraction ---------------------------------------------------------
+    def take_rows(self, storage: Storage, rows: np.ndarray) -> Storage:
+        """Gather a subset of rows, preserving the storage format."""
+        return storage[np.asarray(rows, dtype=int)]
+
+    def take_columns(self, storage: Storage, columns) -> Storage:
+        """Gather a subset of columns, preserving the storage format."""
+        columns = list(columns)
+        if sparse.issparse(storage):
+            return storage.tocsc()[:, columns].tocsr()
+        return storage[:, columns]
+
+    # -- FLOP accounting hooks ---------------------------------------------------------
+    def matmul_flops(self, storage: Storage, operand_columns: int) -> float:
+        """Multiply-add estimate of ``D @ X`` with ``X`` having ``m`` columns."""
+        from repro.factorized.ops_counter import dense_matmul_flops, sparse_matmul_flops
+
+        if sparse.issparse(storage):
+            return sparse_matmul_flops(storage.nnz, operand_columns)
+        rows, cols = storage.shape
+        return dense_matmul_flops(rows, cols, operand_columns)
+
+    def crossprod_flops(self, storage: Storage) -> float:
+        """Multiply-add estimate of ``Dᵀ D``."""
+        from repro.factorized.ops_counter import dense_matmul_flops, sparse_crossprod_flops
+
+        if sparse.issparse(storage):
+            return sparse_crossprod_flops(storage.nnz, storage.shape[1])
+        rows, cols = storage.shape
+        return dense_matmul_flops(cols, rows, cols)
+
+    def gram_pair_flops(self, left: Storage, right: Storage) -> float:
+        """Multiply-add estimate of ``Lᵀ R``."""
+        from repro.factorized.ops_counter import dense_matmul_flops, sparse_matmul_flops
+
+        if sparse.issparse(left):
+            return sparse_matmul_flops(left.nnz, right.shape[1])
+        if sparse.issparse(right):
+            return sparse_matmul_flops(right.nnz, left.shape[1])
+        return dense_matmul_flops(left.shape[1], left.shape[0], right.shape[1])
+
+    # -- misc ------------------------------------------------------------------------
+    def describe(self, storage: Storage) -> str:
+        kind = "csr" if sparse.issparse(storage) else "dense"
+        return (
+            f"{self.name}[{kind} {storage.shape[0]}x{storage.shape[1]}, "
+            f"nnz={self.nnz(storage)}]"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

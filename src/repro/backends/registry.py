@@ -1,0 +1,53 @@
+"""Backend resolution: names and instances to :class:`Backend` objects."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type, Union
+
+from repro.backends.auto import AutoBackend
+from repro.backends.base import Backend
+from repro.backends.dense import DenseBackend
+from repro.backends.sparse_backend import SparseBackend
+from repro.exceptions import BackendError
+
+BackendSpec = Union[None, str, Backend]
+
+_REGISTRY: Dict[str, Type[Backend]] = {
+    DenseBackend.name: DenseBackend,
+    SparseBackend.name: SparseBackend,
+    AutoBackend.name: AutoBackend,
+}
+
+_DEFAULT = DenseBackend()
+
+
+def available_backends() -> list:
+    """Names of the registered backends."""
+    return sorted(_REGISTRY)
+
+
+def register_backend(name: str, backend_class: Type[Backend]) -> None:
+    """Register a custom backend class under ``name`` (plugin hook)."""
+    if not issubclass(backend_class, Backend):
+        raise BackendError(f"{backend_class!r} is not a Backend subclass")
+    _REGISTRY[name] = backend_class
+
+
+def resolve_backend(spec: BackendSpec = None) -> Backend:
+    """Turn ``None`` / a name / an instance into a :class:`Backend`.
+
+    ``None`` resolves to the dense backend — the seed behavior, so every
+    existing call site keeps its semantics unless it opts in.
+    """
+    if spec is None:
+        return _DEFAULT
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _REGISTRY[spec]()
+        except KeyError:
+            raise BackendError(
+                f"unknown backend {spec!r}; available: {available_backends()}"
+            ) from None
+    raise BackendError(f"cannot resolve a backend from {type(spec).__name__}")

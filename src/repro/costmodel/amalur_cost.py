@@ -20,15 +20,22 @@ is chosen outright.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.costmodel.parameters import CostParameters
+from repro.factorized.ops_counter import sparse_matmul_flops
 
 
 @dataclass
 class CostBreakdown:
-    """Per-strategy cost estimate, in abstract cell-operation units."""
+    """Per-strategy cost estimate, in abstract cell-operation units.
+
+    ``backend_choices`` records, per source, which kernel the
+    density-threshold rule dispatched the factorized plan's per-source
+    multiply to ("dense" or "sparse") — the same decision
+    :class:`repro.backends.AutoBackend` makes at execution time.
+    """
 
     materialize_integration: float
     materialize_compute: float
@@ -36,6 +43,7 @@ class CostBreakdown:
     factorize_overhead: float
     transfer: float = 0.0
     pruned_by_tgd_rule: bool = False
+    backend_choices: List[str] = field(default_factory=list)
 
     @property
     def materialized_total(self) -> float:
@@ -105,11 +113,19 @@ class AmalurCostModel:
         materialize_compute = float(parameters.target_cells) * operand_columns
         transfer = parameters.target_cells * self.transfer_weight / reuse
 
+        # Per-source multiply, dispatched the way AutoBackend stores the
+        # factor: a sparse kernel pays one multiply-add per stored cell
+        # (nnz · m), a dense BLAS kernel touches every cell regardless of
+        # zeros (rows · cols · m).
         factorize_compute = 0.0
-        null_ratios = parameters.null_ratios
+        backend_choices = parameters.backend_choices
         for index, (rows, cols) in enumerate(parameters.source_shapes):
-            density = 1.0 - (null_ratios[index] if index < len(null_ratios) else 0.0)
-            factorize_compute += rows * cols * operand_columns * density
+            if backend_choices[index] == "sparse":
+                factorize_compute += sparse_matmul_flops(
+                    parameters.nnz_of(index), operand_columns
+                )
+            else:
+                factorize_compute += rows * cols * operand_columns
             factorize_compute += parameters.n_target_rows * operand_columns * self.lift_weight
         factorize_compute += parameters.redundant_cells * operand_columns
         overhead = self.per_source_overhead * parameters.n_sources
@@ -121,6 +137,7 @@ class AmalurCostModel:
             factorize_overhead=overhead,
             transfer=transfer,
             pruned_by_tgd_rule=pruned,
+            backend_choices=backend_choices,
         )
 
     def predict_factorize(self, parameters: CostParameters) -> bool:
@@ -137,5 +154,6 @@ class AmalurCostModel:
             f"{decision}: factorized={breakdown.factorized_total:.0f} vs "
             f"materialized={breakdown.materialized_total:.0f} cell-ops "
             f"(integration={breakdown.materialize_integration:.0f}, "
-            f"pruned_by_tgd_rule={breakdown.pruned_by_tgd_rule})"
+            f"pruned_by_tgd_rule={breakdown.pruned_by_tgd_rule}, "
+            f"backends={breakdown.backend_choices})"
         )

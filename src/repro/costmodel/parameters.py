@@ -16,10 +16,26 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import CostModelError
 
+#: Density at or below which a CSR kernel is expected to beat the dense BLAS
+#: kernel for a factor's per-source multiply. Shared by the analytical cost
+#: model, the optimizer and :class:`repro.backends.AutoBackend`, so the
+#: Table III decision logic and the storage engine reason from the same
+#: constant. The crossover of ``nnz·m`` CSR traversal vs. ``r·c·m`` BLAS
+#: sits around 5–15% density on commodity CPUs; 0.1 is the conservative
+#: middle of that band.
+SPARSE_DENSITY_THRESHOLD = 0.1
+
 
 @dataclass
 class CostParameters:
-    """Shape and overlap statistics driving the factorize/materialize decision."""
+    """Shape and overlap statistics driving the factorize/materialize decision.
+
+    ``source_densities`` holds the observed non-zero density of each
+    source's data matrix (``nnz / (rows·cols)``); when omitted it defaults
+    to ``1 - null_ratio``, the best estimate DI metadata alone provides.
+    ``sparse_density_threshold`` is the dense/sparse dispatch point used by
+    :meth:`backend_choice`.
+    """
 
     source_shapes: List[Tuple[int, int]]
     n_target_rows: int
@@ -30,6 +46,8 @@ class CostParameters:
     null_ratios: List[float] = field(default_factory=list)
     has_full_tgds_only: bool = False
     operand_columns: int = 1
+    source_densities: List[float] = field(default_factory=list)
+    sparse_density_threshold: float = SPARSE_DENSITY_THRESHOLD
 
     def __post_init__(self) -> None:
         if not self.source_shapes:
@@ -41,6 +59,18 @@ class CostParameters:
             raise CostModelError("invalid target shape")
         if not self.null_ratios:
             self.null_ratios = [0.0] * len(self.source_shapes)
+        if not self.source_densities:
+            self.source_densities = [
+                1.0 - (self.null_ratios[i] if i < len(self.null_ratios) else 0.0)
+                for i in range(len(self.source_shapes))
+            ]
+        for density in self.source_densities:
+            if not 0.0 <= density <= 1.0:
+                raise CostModelError(f"invalid source density {density}")
+        if not 0.0 <= self.sparse_density_threshold <= 1.0:
+            raise CostModelError(
+                f"invalid sparse density threshold {self.sparse_density_threshold}"
+            )
 
     # -- derived ratios (the Morpheus heuristic's inputs) --------------------------------
     @property
@@ -96,6 +126,37 @@ class CostParameters:
             return float(total_columns)
         return total_columns / entity_columns
 
+    # -- backend dispatch (shared with repro.backends.AutoBackend) -------------------------
+    def density_of(self, index: int) -> float:
+        """Observed (or null-ratio-estimated) density of source ``index``."""
+        if not 0 <= index < len(self.source_shapes):
+            raise CostModelError(f"no source with index {index}")
+        if index < len(self.source_densities):
+            return self.source_densities[index]
+        return 1.0 - (self.null_ratios[index] if index < len(self.null_ratios) else 0.0)
+
+    def nnz_of(self, index: int) -> int:
+        """Estimated stored-cell count of source ``index``."""
+        rows, cols = self.source_shapes[index]
+        return int(round(rows * cols * self.density_of(index)))
+
+    def backend_choice(self, index: int) -> str:
+        """Which kernel the density-threshold rule picks for source ``index``."""
+        return (
+            "sparse"
+            if self.density_of(index) <= self.sparse_density_threshold
+            else "dense"
+        )
+
+    @property
+    def backend_choices(self) -> List[str]:
+        """Per-source dense/sparse decisions, in factor order."""
+        return [self.backend_choice(i) for i in range(len(self.source_shapes))]
+
+    @property
+    def any_sparse_source(self) -> bool:
+        return any(choice == "sparse" for choice in self.backend_choices)
+
     @property
     def target_redundancy(self) -> float:
         """Fraction of target cells exceeding the sources' cells (≥ 0)."""
@@ -117,6 +178,7 @@ class CostParameters:
     ) -> "CostParameters":
         """Derive parameters from an :class:`repro.matrices.IntegratedDataset`."""
         source_shapes = [(f.n_rows, f.n_columns) for f in dataset.factors]
+        source_densities = [f.density for f in dataset.factors]
         redundant = sum(f.redundancy.n_redundant for f in dataset.factors)
         overlap_rows = 0
         overlap_columns = 0
@@ -142,4 +204,5 @@ class CostParameters:
             redundant_cells=redundant,
             has_full_tgds_only=has_full_tgds_only,
             operand_columns=operand_columns,
+            source_densities=source_densities,
         )

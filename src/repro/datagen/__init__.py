@@ -7,8 +7,10 @@ from repro.datagen.scenarios import (
     generate_scenario_dataset,
 )
 from repro.datagen.synthetic import (
+    OneHotSpec,
     SyntheticSiloSpec,
     generate_integrated_pair,
+    generate_one_hot_pair,
     generate_table3_grid,
 )
 from repro.datagen.hamlet import (
@@ -27,6 +29,8 @@ __all__ = [
     "SyntheticSiloSpec",
     "generate_integrated_pair",
     "generate_table3_grid",
+    "OneHotSpec",
+    "generate_one_hot_pair",
     "HAMLET_DATASETS",
     "HamletDatasetSpec",
     "generate_hamlet_dataset",

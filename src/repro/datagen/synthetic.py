@@ -21,10 +21,11 @@ laptop scale. The two Table III axes are controlled explicitly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from repro.backends import BackendSpec, resolve_backend
 from repro.exceptions import MappingError
 from repro.matrices.builder import IntegratedDataset, SourceFactor
 from repro.matrices.indicator_matrix import IndicatorMatrix
@@ -58,7 +59,9 @@ class SyntheticSiloSpec:
             self.other_rows = self.base_rows
 
 
-def generate_integrated_pair(spec: SyntheticSiloSpec) -> IntegratedDataset:
+def generate_integrated_pair(
+    spec: SyntheticSiloSpec, backend: BackendSpec = None
+) -> IntegratedDataset:
     """Generate the factorized two-silo dataset described by ``spec``."""
     rng = np.random.default_rng(spec.seed)
     base_data = rng.standard_normal((spec.base_rows, spec.base_columns))
@@ -118,9 +121,16 @@ def generate_integrated_pair(spec: SyntheticSiloSpec) -> IntegratedDataset:
         other_mask[np.ix_(overlapping_rows, overlap_target_indices)] = 0.0
     other_redundancy = RedundancyMatrix("S2", other_mask)
 
+    resolved_backend = resolve_backend(backend) if backend is not None else None
     factors = [
-        SourceFactor("S1", base_data, base_columns, base_mapping, base_indicator, base_redundancy),
-        SourceFactor("S2", other_data, other_columns, other_mapping, other_indicator, other_redundancy),
+        SourceFactor(
+            "S1", base_data, base_columns, base_mapping, base_indicator, base_redundancy,
+            backend=resolved_backend,
+        ),
+        SourceFactor(
+            "S2", other_data, other_columns, other_mapping, other_indicator, other_redundancy,
+            backend=resolved_backend,
+        ),
     ]
     scenario = (
         ScenarioType.INNER_JOIN if spec.redundancy_in_target else ScenarioType.LEFT_JOIN
@@ -131,6 +141,100 @@ def generate_integrated_pair(spec: SyntheticSiloSpec) -> IntegratedDataset:
         factors=factors,
         scenario=scenario,
         name="T_synthetic",
+        backend=resolved_backend,
+    )
+
+
+@dataclass
+class OneHotSpec:
+    """Parameters of a high-sparsity one-hot silo pair.
+
+    The base silo is a dense entity table (``n_rows × base_columns``); the
+    other silo is a dimension table whose features are the one-hot encoding
+    of a categorical attribute with ``n_categories`` levels — density
+    exactly ``1 / n_categories``, the regime where the sparse backend wins.
+    The join is key–foreign-key (every base row references one dimension
+    row), matching the Morpheus star-schema case with redundancy in the
+    target but none in the sources.
+    """
+
+    n_rows: int
+    n_categories: int
+    base_columns: int = 5
+    n_entities: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_rows <= 0 or self.base_columns <= 0:
+            raise MappingError("one-hot spec needs positive base dimensions")
+        if self.n_categories < 2:
+            raise MappingError("one-hot encoding needs at least two categories")
+        if self.n_entities is None:
+            self.n_entities = self.n_categories
+        if self.n_entities <= 0:
+            raise MappingError("one-hot spec needs at least one entity")
+
+    @property
+    def one_hot_density(self) -> float:
+        """Density of the one-hot source (``1 / n_categories``)."""
+        return 1.0 / self.n_categories
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero cells in the one-hot source."""
+        return 1.0 - self.one_hot_density
+
+
+def generate_one_hot_pair(spec: OneHotSpec, backend: BackendSpec = None) -> IntegratedDataset:
+    """Generate a dense-base × one-hot-dimension integrated dataset.
+
+    ``backend`` (name, instance or ``None``) is attached to the dataset and
+    its factors so the factorized operators execute on it; ``"auto"`` will
+    keep the base dense and store the one-hot factor as CSR whenever
+    ``1 / n_categories`` falls below the shared density threshold.
+    """
+    rng = np.random.default_rng(spec.seed)
+    base_data = rng.standard_normal((spec.n_rows, spec.base_columns))
+    categories = rng.integers(0, spec.n_categories, size=spec.n_entities)
+    one_hot = np.zeros((spec.n_entities, spec.n_categories))
+    one_hot[np.arange(spec.n_entities), categories] = 1.0
+
+    base_columns = [f"x{i}" for i in range(spec.base_columns)]
+    other_columns = [f"cat_{j}" for j in range(spec.n_categories)]
+    target_columns = base_columns + other_columns
+
+    base_mapping = MappingMatrix("S1", target_columns, base_columns, {c: c for c in base_columns})
+    other_mapping = MappingMatrix(
+        "S2", target_columns, other_columns, {c: c for c in other_columns}
+    )
+    base_indicator = IndicatorMatrix(
+        "S1", spec.n_rows, spec.n_rows, np.arange(spec.n_rows, dtype=np.int64)
+    )
+    other_indicator = IndicatorMatrix(
+        "S2", spec.n_rows, spec.n_entities,
+        rng.integers(0, spec.n_entities, size=spec.n_rows, dtype=np.int64),
+    )
+    base_redundancy = RedundancyMatrix.all_ones("S1", spec.n_rows, len(target_columns))
+    other_redundancy = RedundancyMatrix.all_ones("S2", spec.n_rows, len(target_columns))
+
+    resolved_backend = resolve_backend(backend) if backend is not None else None
+    factors = [
+        SourceFactor(
+            "S1", base_data, base_columns, base_mapping, base_indicator, base_redundancy,
+            backend=resolved_backend,
+        ),
+        SourceFactor(
+            "S2", one_hot, other_columns, other_mapping, other_indicator, other_redundancy,
+            backend=resolved_backend,
+        ),
+    ]
+    return IntegratedDataset(
+        target_columns=target_columns,
+        n_target_rows=spec.n_rows,
+        factors=factors,
+        scenario=ScenarioType.INNER_JOIN,
+        name="T_one_hot",
+        backend=resolved_backend,
     )
 
 

@@ -39,6 +39,10 @@ class CostModelError(AmalurError):
     """Raised for invalid cost-model inputs."""
 
 
+class BackendError(AmalurError):
+    """Raised for invalid compute-backend configuration or operands."""
+
+
 class FederatedError(AmalurError):
     """Raised for federated-learning protocol violations."""
 

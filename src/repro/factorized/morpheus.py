@@ -19,9 +19,11 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import sparse
 
+from repro.backends import BackendSpec, resolve_backend
 from repro.exceptions import FactorizationError
-from repro.factorized.ops_counter import FlopCounter, dense_matmul_flops
+from repro.factorized.ops_counter import FlopCounter
 
 
 class MorpheusMatrix:
@@ -33,6 +35,7 @@ class MorpheusMatrix:
         attribute_tables: Sequence[np.ndarray],
         indicators: Sequence[np.ndarray],
         counter: Optional[FlopCounter] = None,
+        backend: BackendSpec = None,
     ):
         """Create a normalized matrix.
 
@@ -42,11 +45,15 @@ class MorpheusMatrix:
             The ``n_s × d_s`` feature block of the entity table (may be
             ``None``/empty when the entity table only carries keys).
         attribute_tables:
-            Dimension-table feature blocks ``R_k`` of shape ``n_k × d_k``.
+            Dimension-table feature blocks ``R_k`` of shape ``n_k × d_k``;
+            dense arrays or SciPy sparse matrices.
         indicators:
             For each dimension table, either a dense binary ``n_s × n_k``
             matrix or a 1-D integer array of length ``n_s`` giving, per
             entity row, the matching dimension row.
+        backend:
+            Compute backend (``repro.backends``) storing and multiplying
+            the blocks; ``None`` keeps the dense seed behavior.
         """
         if len(attribute_tables) != len(indicators):
             raise FactorizationError("need one indicator per attribute table")
@@ -54,7 +61,8 @@ class MorpheusMatrix:
             raise FactorizationError("normalized matrix needs at least one block")
 
         self.counter = counter or FlopCounter()
-        self._attribute_tables = [np.atleast_2d(np.asarray(r, dtype=float)) for r in attribute_tables]
+        self.backend = resolve_backend(backend)
+        self._attribute_tables = [self.backend.prepare(r) for r in attribute_tables]
         self._indicator_rows: List[np.ndarray] = []
         n_rows = None
         for table, indicator in zip(self._attribute_tables, indicators):
@@ -75,10 +83,14 @@ class MorpheusMatrix:
                 raise FactorizationError("all indicators must have the same number of rows")
             self._indicator_rows.append(indicator)
 
-        if entity_block is not None and np.asarray(entity_block).size:
-            self._entity_block: Optional[np.ndarray] = np.atleast_2d(
-                np.asarray(entity_block, dtype=float)
-            )
+        if entity_block is None:
+            entity_size = 0
+        elif sparse.issparse(entity_block):
+            entity_size = entity_block.shape[0] * entity_block.shape[1]
+        else:
+            entity_size = np.asarray(entity_block).size
+        if entity_size:
+            self._entity_block = self.backend.prepare(entity_block)
             if n_rows is None:
                 n_rows = self._entity_block.shape[0]
             elif self._entity_block.shape[0] != n_rows:
@@ -128,17 +140,14 @@ class MorpheusMatrix:
         offsets = iter(self._column_offsets())
         if self._entity_block is not None:
             start, end = next(offsets)
-            result += self._entity_block @ x[start:end]
+            result += self.backend.matmul(self._entity_block, x[start:end])
             self.counter.add(
-                "lmm.entity",
-                dense_matmul_flops(self.n_rows, end - start, x.shape[1]),
+                "lmm.entity", self.backend.matmul_flops(self._entity_block, x.shape[1])
             )
         for table, indicator in zip(self._attribute_tables, self._indicator_rows):
             start, end = next(offsets)
-            local = table @ x[start:end]
-            self.counter.add(
-                "lmm.attribute", dense_matmul_flops(table.shape[0], end - start, x.shape[1])
-            )
+            local = self.backend.matmul(table, x[start:end])
+            self.counter.add("lmm.attribute", self.backend.matmul_flops(table, x.shape[1]))
             result += local[indicator]
             self.counter.add("lmm.lift", float(self.n_rows) * x.shape[1])
         return result
@@ -156,20 +165,18 @@ class MorpheusMatrix:
         offsets = iter(self._column_offsets())
         if self._entity_block is not None:
             start, end = next(offsets)
-            result[start:end] = self._entity_block.T @ x
+            result[start:end] = self.backend.transpose_matmul(self._entity_block, x)
             self.counter.add(
-                "tlmm.entity",
-                dense_matmul_flops(end - start, self.n_rows, x.shape[1]),
+                "tlmm.entity", self.backend.matmul_flops(self._entity_block, x.shape[1])
             )
         for table, indicator in zip(self._attribute_tables, self._indicator_rows):
             start, end = next(offsets)
             grouped = np.zeros((table.shape[0], x.shape[1]))
             np.add.at(grouped, indicator, x)
             self.counter.add("tlmm.group", float(self.n_rows) * x.shape[1])
-            result[start:end] = table.T @ grouped
+            result[start:end] = self.backend.transpose_matmul(table, grouped)
             self.counter.add(
-                "tlmm.attribute",
-                dense_matmul_flops(end - start, table.shape[0], x.shape[1]),
+                "tlmm.attribute", self.backend.matmul_flops(table, x.shape[1])
             )
         return result
 
@@ -190,17 +197,16 @@ class MorpheusMatrix:
         if self._entity_block is not None:
             blocks.append(self._entity_block)
         for table, indicator in zip(self._attribute_tables, self._indicator_rows):
-            blocks.append(table[indicator])
+            blocks.append(self.backend.take_rows(table, indicator))
         gram = np.zeros((self.n_columns, self.n_columns))
         offsets = self._column_offsets()
         for (start_a, end_a), block_a in zip(offsets, blocks):
             for (start_b, end_b), block_b in zip(offsets, blocks):
                 if start_b < start_a:
                     continue
-                product = block_a.T @ block_b
+                product = self.backend.gram_pair(block_a, block_b)
                 self.counter.add(
-                    "crossprod",
-                    dense_matmul_flops(block_a.shape[1], self.n_rows, block_b.shape[1]),
+                    "crossprod", self.backend.gram_pair_flops(block_a, block_b)
                 )
                 gram[start_a:end_a, start_b:end_b] = product
                 if start_a != start_b:
@@ -218,14 +224,17 @@ class MorpheusMatrix:
 
     # -- materialization ---------------------------------------------------------------
     def materialize(self) -> np.ndarray:
-        """Materialize the joined target table."""
+        """Materialize the joined target table (always dense)."""
         blocks = []
         if self._entity_block is not None:
-            blocks.append(self._entity_block)
+            blocks.append(self.backend.to_dense(self._entity_block))
         for table, indicator in zip(self._attribute_tables, self._indicator_rows):
-            blocks.append(table[indicator])
+            blocks.append(self.backend.to_dense(self.backend.take_rows(table, indicator)))
         self.counter.add("materialize", float(self.n_rows) * self.n_columns)
         return np.hstack(blocks)
 
     def __repr__(self) -> str:
-        return f"MorpheusMatrix(shape={self.shape}, dims={len(self._attribute_tables)})"
+        return (
+            f"MorpheusMatrix(shape={self.shape}, dims={len(self._attribute_tables)}, "
+            f"backend={self.backend.name!r})"
+        )

@@ -25,17 +25,36 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro.backends import Backend, BackendSpec, resolve_backend
 from repro.exceptions import FactorizationError
-from repro.factorized.ops_counter import FlopCounter, dense_matmul_flops
+from repro.factorized.ops_counter import FlopCounter
 from repro.matrices.builder import IntegratedDataset, SourceFactor
 
 
 class AmalurMatrix:
-    """Factorized view of a target table, backed by per-source factors."""
+    """Factorized view of a target table, backed by per-source factors.
 
-    def __init__(self, dataset: IntegratedDataset, counter: Optional[FlopCounter] = None):
+    ``backend`` picks the compute engine (:mod:`repro.backends`) the
+    per-source kernels run on: dense BLAS, SciPy CSR, or per-factor
+    density dispatch. It defaults to the dataset's backend (dense when the
+    dataset does not carry one). All operators produce identical results
+    on every backend — only storage, wall-clock and the FLOP accounting
+    change.
+    """
+
+    def __init__(
+        self,
+        dataset: IntegratedDataset,
+        counter: Optional[FlopCounter] = None,
+        backend: BackendSpec = None,
+    ):
         self.dataset = dataset
         self.counter = counter or FlopCounter()
+        self.backend: Backend = resolve_backend(
+            backend if backend is not None else dataset.backend
+        )
+        # Backend-prepared physical form of each D_k (dense ndarray or CSR).
+        self._storages = [factor.storage(self.backend) for factor in dataset.factors]
         # Sparse per-factor correction matrices holding the values of
         # redundant cells of T_k (zero rows/cols elsewhere). Computed lazily.
         self._corrections: List[Optional[sparse.csr_matrix]] = [None] * dataset.n_sources
@@ -52,6 +71,29 @@ class AmalurMatrix:
     @property
     def n_columns(self) -> int:
         return self.dataset.shape[1]
+
+    # -- backend introspection ---------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Stored non-zero cells across every source factor (cached per factor)."""
+        return sum(factor.nnz for factor in self.dataset.factors)
+
+    @property
+    def density(self) -> float:
+        """Overall non-zero density of the source factors."""
+        total = sum(s.shape[0] * s.shape[1] for s in self._storages)
+        return self.nnz / total if total else 1.0
+
+    def storage_formats(self) -> List[str]:
+        """Physical format ("csr"/"dense") chosen per factor, in order."""
+        return [
+            "csr" if self.backend.is_sparse_storage(s) else "dense"
+            for s in self._storages
+        ]
+
+    def with_backend(self, backend: BackendSpec) -> "AmalurMatrix":
+        """The same factorized view running on a different compute backend."""
+        return AmalurMatrix(self.dataset, self.counter, backend=backend)
 
     # -- helpers --------------------------------------------------------------------
     def _correction(self, index: int) -> sparse.csr_matrix:
@@ -124,10 +166,9 @@ class AmalurMatrix:
             for target_col, source_col in enumerate(compressed):
                 if source_col >= 0:
                     gathered[source_col] = x[target_col]
-            local = factor.data @ gathered  # (r_Sk × m)
-            self.counter.add(
-                "lmm.local", dense_matmul_flops(factor.n_rows, factor.n_columns, x.shape[1])
-            )
+            storage = self._storages[index]
+            local = self.backend.matmul(storage, gathered)  # (r_Sk × m)
+            self.counter.add("lmm.local", self.backend.matmul_flops(storage, x.shape[1]))
             result += factor.indicator.apply(local)
             self.counter.add("lmm.lift", float(self.n_rows) * x.shape[1])
             if not factor.redundancy.is_trivial:
@@ -144,10 +185,11 @@ class AmalurMatrix:
             # X I_k — accumulate the target-row columns of X onto source rows.
             projected = factor.indicator.apply_transpose(x.T).T  # (m × r_Sk)
             self.counter.add("rmm.project", float(x.shape[0]) * self.n_rows)
-            local = projected @ factor.data  # (m × c_Sk)
-            self.counter.add(
-                "rmm.local", dense_matmul_flops(x.shape[0], factor.n_rows, factor.n_columns)
-            )
+            storage = self._storages[index]
+            # projected @ D_k computed as (D_kᵀ @ projectedᵀ)ᵀ so sparse
+            # storages go through the CSR kernel.
+            local = self.backend.transpose_matmul(storage, projected.T).T  # (m × c_Sk)
+            self.counter.add("rmm.local", self.backend.matmul_flops(storage, x.shape[0]))
             # Scatter the source columns onto target columns (M_kᵀ on the right).
             compressed = factor.mapping.compressed
             for target_col, source_col in enumerate(compressed):
@@ -166,10 +208,9 @@ class AmalurMatrix:
         for index, factor in enumerate(self.dataset.factors):
             projected = factor.indicator.apply_transpose(x)  # (r_Sk × m)
             self.counter.add("tlmm.project", float(self.n_rows) * x.shape[1])
-            local = factor.data.T @ projected  # (c_Sk × m)
-            self.counter.add(
-                "tlmm.local", dense_matmul_flops(factor.n_columns, factor.n_rows, x.shape[1])
-            )
+            storage = self._storages[index]
+            local = self.backend.transpose_matmul(storage, projected)  # (c_Sk × m)
+            self.counter.add("tlmm.local", self.backend.matmul_flops(storage, x.shape[1]))
             compressed = factor.mapping.compressed
             for target_col, source_col in enumerate(compressed):
                 if source_col >= 0:
@@ -192,11 +233,8 @@ class AmalurMatrix:
         effective = [self._effective_contribution(i) for i in range(self.dataset.n_sources)]
         for k, (rows_k, block_k, cols_k) in enumerate(effective):
             # Same-source term, computed in source dimensions.
-            local = block_k.T @ block_k
-            self.counter.add(
-                "crossprod.local",
-                dense_matmul_flops(block_k.shape[1], block_k.shape[0], block_k.shape[1]),
-            )
+            local = self.backend.crossprod(block_k)
+            self.counter.add("crossprod.local", self.backend.crossprod_flops(block_k))
             gram[np.ix_(cols_k, cols_k)] += local
             for l in range(k + 1, self.dataset.n_sources):
                 rows_l, block_l, cols_l = effective[l]
@@ -205,27 +243,31 @@ class AmalurMatrix:
                 )
                 if shared.size == 0:
                     continue
-                cross = block_k[idx_k].T @ block_l[idx_l]
+                left = self.backend.take_rows(block_k, idx_k)
+                right = self.backend.take_rows(block_l, idx_l)
+                cross = self.backend.gram_pair(left, right)
                 self.counter.add(
-                    "crossprod.cross",
-                    dense_matmul_flops(block_k.shape[1], shared.size, block_l.shape[1]),
+                    "crossprod.cross", self.backend.gram_pair_flops(left, right)
                 )
                 gram[np.ix_(cols_k, cols_l)] += cross
                 gram[np.ix_(cols_l, cols_k)] += cross.T
         return gram
 
-    def _effective_contribution(self, index: int) -> Tuple[np.ndarray, np.ndarray, List[int]]:
-        """Rows covered by factor ``index``, its deduplicated values there, and
-        the target column indices it maps."""
+    def _effective_contribution(self, index: int):
+        """Rows covered by factor ``index``, its deduplicated values there (in
+        backend storage form), and the target column indices it maps."""
         factor = self.dataset.factors[index]
+        storage = self._storages[index]
         rows = np.asarray(factor.indicator.mapped_target_rows(), dtype=int)
         cols = factor.mapping.mapped_target_indices()
         source_rows = factor.indicator.compressed[rows]
-        source_cols = [factor.mapping.compressed[c] for c in cols]
-        block = factor.data[np.ix_(source_rows, source_cols)].astype(float)
+        source_cols = [int(factor.mapping.compressed[c]) for c in cols]
+        block = self.backend.take_columns(
+            self.backend.take_rows(storage, source_rows), source_cols
+        )
         if not factor.redundancy.is_trivial:
             mask = factor.redundancy.to_dense()[np.ix_(rows, cols)]
-            block = block * mask
+            block = self.backend.elementwise_multiply(block, mask)
         return rows, block, cols
 
     # -- element-wise and aggregation operators ----------------------------------------------
@@ -245,6 +287,7 @@ class AmalurMatrix:
                     factor.mapping,
                     factor.indicator,
                     factor.redundancy,
+                    backend=factor.backend,
                 )
             )
             self.counter.add("scale", float(factor.data.size))
@@ -255,8 +298,9 @@ class AmalurMatrix:
             scenario=self.dataset.scenario,
             label_column=self.dataset.label_column,
             name=self.dataset.name,
+            backend=self.dataset.backend,
         )
-        return AmalurMatrix(dataset, self.counter)
+        return AmalurMatrix(dataset, self.counter, backend=self.backend)
 
     def row_sums(self) -> np.ndarray:
         """``T @ 1`` — per-target-row sums, factorized."""
@@ -338,6 +382,7 @@ class AmalurMatrix:
                     mapping,
                     factor.indicator,
                     redundancy,
+                    backend=factor.backend,
                 )
             )
         if not factors:
@@ -350,10 +395,13 @@ class AmalurMatrix:
             scenario=self.dataset.scenario,
             label_column=label,
             name=self.dataset.name,
+            backend=self.dataset.backend,
         )
-        return AmalurMatrix(dataset, self.counter)
+        return AmalurMatrix(dataset, self.counter, backend=self.backend)
 
     def __repr__(self) -> str:
         return (
-            f"AmalurMatrix(shape={self.shape}, sources={[f.name for f in self.dataset.factors]})"
+            f"AmalurMatrix(shape={self.shape}, "
+            f"sources={[f.name for f in self.dataset.factors]}, "
+            f"backend={self.backend.name!r})"
         )

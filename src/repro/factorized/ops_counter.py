@@ -36,9 +36,46 @@ def dense_matmul_flops(n: int, k: int, m: int) -> float:
     return float(n) * float(k) * float(m)
 
 
+def sparse_matmul_flops(nnz: int, m: int) -> float:
+    """Multiply-add count of ``A @ X`` when ``A`` is sparse with ``nnz``
+    stored cells and ``X`` is dense with ``m`` columns.
+
+    A CSR matmul touches each stored cell once per operand column, so the
+    count is ``nnz · m`` regardless of A's nominal shape — the formula the
+    dense counter overcounts by ``1/density``.
+    """
+    return float(nnz) * float(m)
+
+
+def sparse_crossprod_flops(nnz: int, n_cols: int) -> float:
+    """Multiply-add upper bound of ``Aᵀ A`` for a sparse ``A``.
+
+    Each stored cell of ``A`` meets at most ``n_cols`` partners in its row,
+    giving ``nnz · n_cols``; the true count (``Σ_rows nnz_row²``) is lower
+    for uneven rows, so this is the safe planning estimate.
+    """
+    return float(nnz) * float(n_cols)
+
+
 def materialized_lmm_flops(n_rows: int, n_cols: int, x_cols: int) -> float:
     """FLOPs of ``T @ X`` on the materialized target."""
     return dense_matmul_flops(n_rows, n_cols, x_cols)
+
+
+def _normalize_source_nnz(shapes, source_nnz):
+    """Pad a per-source nnz list with ``None`` (dense) to match ``shapes``.
+
+    A list longer than ``shapes`` is a caller bug — reject it rather than
+    silently dropping entries.
+    """
+    if source_nnz is None:
+        return [None] * len(shapes)
+    nnz_list = list(source_nnz)
+    if len(nnz_list) > len(shapes):
+        raise ValueError(
+            f"source_nnz has {len(nnz_list)} entries for {len(shapes)} sources"
+        )
+    return nnz_list + [None] * (len(shapes) - len(nnz_list))
 
 
 def factorized_lmm_flops(
@@ -46,6 +83,7 @@ def factorized_lmm_flops(
     n_target_rows: int,
     x_cols: int,
     redundant_cells: int = 0,
+    source_nnz=None,
 ) -> float:
     """FLOPs of the factorized rewrite ``Σ_k I_k (D_k (M_kᵀ X))``.
 
@@ -53,10 +91,35 @@ def factorized_lmm_flops(
     application is a row gather (free), the indicator lift costs one add
     per output cell, and each redundant cell adds one multiply-add of
     correction per column of X.
+
+    When ``source_nnz`` is given (one stored-cell count per source, or
+    ``None`` entries for dense sources), the per-source multiply uses the
+    sparse ``nnz · m`` count instead of the dense ``r·c·m`` count — the
+    nnz-aware formula for plans executed on a sparse backend.
     """
+    shapes = list(source_shapes)
     flops = 0.0
-    for n_rows, n_cols in source_shapes:
-        flops += dense_matmul_flops(n_rows, n_cols, x_cols)  # D_k @ (M_kᵀ X)
+    for (n_rows, n_cols), nnz in zip(shapes, _normalize_source_nnz(shapes, source_nnz)):
+        if nnz is None:
+            flops += dense_matmul_flops(n_rows, n_cols, x_cols)  # D_k @ (M_kᵀ X)
+        else:
+            flops += sparse_matmul_flops(nnz, x_cols)
         flops += float(n_target_rows) * x_cols  # indicator lift / accumulate
     flops += float(redundant_cells) * x_cols  # redundancy correction
+    return flops
+
+
+def factorized_crossprod_flops(source_shapes, source_nnz=None) -> float:
+    """FLOPs of the factorized Gram computation ``Σ_k D̃_kᵀ D̃_k`` (same-source
+    terms only — the dominant cost; cross terms involve only overlap rows).
+
+    ``source_nnz`` works as in :func:`factorized_lmm_flops`.
+    """
+    shapes = list(source_shapes)
+    flops = 0.0
+    for (n_rows, n_cols), nnz in zip(shapes, _normalize_source_nnz(shapes, source_nnz)):
+        if nnz is None:
+            flops += dense_matmul_flops(n_cols, n_rows, n_cols)
+        else:
+            flops += sparse_crossprod_flops(nnz, n_cols)
     return flops

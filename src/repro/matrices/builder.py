@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import sparse
 
+from repro.backends import Backend, BackendSpec, resolve_backend
 from repro.exceptions import MappingError
 from repro.matrices.indicator_matrix import IndicatorMatrix
 from repro.matrices.mapping_matrix import MappingMatrix
@@ -33,31 +35,36 @@ class SourceFactor:
 
     ``data`` holds the mapped numeric columns of the source (the processed
     matrix ``D_k``); ``source_columns`` names its columns in order.
+    SciPy sparse input is accepted and kept sparse: reading ``data``
+    densifies lazily (only the dense code paths pay for it), while
+    :meth:`storage` exposes the backend-prepared physical form (dense or
+    CSR) the factorized operators compute with.
     """
 
     name: str
-    data: np.ndarray
+    data: np.ndarray  # property-backed (attached below); dense or SciPy sparse input
     source_columns: List[str]
     mapping: MappingMatrix
     indicator: IndicatorMatrix
     redundancy: RedundancyMatrix
+    backend: Optional[Backend] = None
 
     def __post_init__(self) -> None:
-        self.data = np.atleast_2d(np.asarray(self.data, dtype=np.float64))
-        if self.data.shape[1] != len(self.source_columns):
+        rows, cols = self._data_shape()
+        if cols != len(self.source_columns):
             raise MappingError(
-                f"data for {self.name!r} has {self.data.shape[1]} columns but "
+                f"data for {self.name!r} has {cols} columns but "
                 f"{len(self.source_columns)} column names were given"
             )
-        if self.mapping.n_source_columns != self.data.shape[1]:
+        if self.mapping.n_source_columns != cols:
             raise MappingError(
                 f"mapping matrix for {self.name!r} expects {self.mapping.n_source_columns} "
-                f"source columns, data has {self.data.shape[1]}"
+                f"source columns, data has {cols}"
             )
-        if self.indicator.n_source_rows != self.data.shape[0]:
+        if self.indicator.n_source_rows != rows:
             raise MappingError(
                 f"indicator matrix for {self.name!r} expects {self.indicator.n_source_rows} "
-                f"source rows, data has {self.data.shape[0]}"
+                f"source rows, data has {rows}"
             )
         expected_shape = (self.indicator.n_target_rows, self.mapping.n_target_columns)
         if self.redundancy.shape != expected_shape:
@@ -66,13 +73,63 @@ class SourceFactor:
                 f"expected {expected_shape}"
             )
 
+    # -- raw storage state (managed by the `data` property below) ---------------------------
+    def _raw_data(self):
+        """Whatever was provided, without densifying: CSR or dense ndarray."""
+        return self._sparse_data if self._dense_data is None else self._dense_data
+
+    def _data_shape(self) -> Tuple[int, int]:
+        return self._raw_data().shape
+
     @property
     def n_rows(self) -> int:
-        return self.data.shape[0]
+        return self._data_shape()[0]
 
     @property
     def n_columns(self) -> int:
-        return self.data.shape[1]
+        return self._data_shape()[1]
+
+    # -- physical storage (compute backends) ----------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero cells of ``D_k`` (cached; data is immutable)."""
+        if self._nnz is None:
+            if self._dense_data is None:
+                self._nnz = int(self._sparse_data.nnz)
+            else:
+                self._nnz = int(np.count_nonzero(self._dense_data))
+        return self._nnz
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero cells of ``D_k`` (1.0 for an empty matrix)."""
+        rows, cols = self._data_shape()
+        return self.nnz / (rows * cols) if rows * cols else 1.0
+
+    def storage(self, backend: BackendSpec = None):
+        """The backend-prepared physical form of ``D_k`` (cached per backend).
+
+        ``backend`` defaults to the factor's own backend (dense when unset).
+        """
+        resolved = resolve_backend(backend if backend is not None else self.backend)
+        key = resolved.storage_cache_key
+        cached = self._storage_cache.get(key)
+        if cached is None:
+            cached = resolved.prepare(self._raw_data())
+            self._storage_cache[key] = cached
+        return cached
+
+    def with_backend(self, backend: BackendSpec) -> "SourceFactor":
+        """A copy of this factor bound to ``backend`` (data shared, not densified)."""
+        return SourceFactor(
+            self.name,
+            self._raw_data(),
+            list(self.source_columns),
+            self.mapping,
+            self.indicator,
+            self.redundancy,
+            backend=resolve_backend(backend),
+        )
 
     def contribution(self) -> np.ndarray:
         """The raw contribution ``T_k = I_k D_k M_kᵀ`` (dense, target-shaped).
@@ -92,6 +149,34 @@ class SourceFactor:
         return self.redundancy.apply(self.contribution())
 
 
+def _source_factor_get_data(self) -> np.ndarray:
+    """The canonical dense ``D_k`` (densified lazily from sparse input)."""
+    if self._dense_data is None:
+        self._dense_data = np.asarray(self._sparse_data.todense(), dtype=np.float64)
+    return self._dense_data
+
+
+def _source_factor_set_data(self, value) -> None:
+    # Any (re)assignment invalidates derived state.
+    self._storage_cache: Dict[object, object] = {}
+    self._nnz: Optional[int] = None
+    if sparse.issparse(value):
+        csr = value.tocsr().astype(np.float64)
+        csr.eliminate_zeros()
+        self._sparse_data = csr
+        self._dense_data = None
+        self._storage_cache["sparse"] = csr  # SparseBackend.storage_cache_key
+    else:
+        self._dense_data = np.atleast_2d(np.asarray(value, dtype=np.float64))
+        self._sparse_data = None
+
+
+# `data` is property-backed so sparse input stays sparse until a dense code
+# path actually reads it. Attached after the dataclass decorator runs, so the
+# property object is not mistaken for a field default.
+SourceFactor.data = property(_source_factor_get_data, _source_factor_set_data)
+
+
 @dataclass
 class IntegratedDataset:
     """A target table kept in factorized form over its source factors.
@@ -109,6 +194,9 @@ class IntegratedDataset:
         The Table I scenario the dataset was built under (if known).
     label_column:
         Name of the supervised-learning label column, if any.
+    backend:
+        The compute backend (``repro.backends``) the factorized operators
+        should execute with; ``None`` means dense (the default engine).
     """
 
     target_columns: List[str]
@@ -117,10 +205,13 @@ class IntegratedDataset:
     scenario: Optional[ScenarioType] = None
     label_column: Optional[str] = None
     name: str = "T"
+    backend: Optional[Backend] = None
 
     def __post_init__(self) -> None:
         if not self.factors:
             raise MappingError("an integrated dataset needs at least one source factor")
+        if self.backend is not None:
+            self.backend = resolve_backend(self.backend)
         for factor in self.factors:
             if factor.mapping.n_target_columns != len(self.target_columns):
                 raise MappingError(
@@ -158,9 +249,35 @@ class IntegratedDataset:
                 return factor
         raise MappingError(f"no source factor named {name!r}")
 
+    # -- backends ------------------------------------------------------------------
+    def with_backend(self, backend: BackendSpec) -> "IntegratedDataset":
+        """A copy of this dataset (factors re-bound) running on ``backend``."""
+        resolved = resolve_backend(backend)
+        return IntegratedDataset(
+            target_columns=list(self.target_columns),
+            n_target_rows=self.n_target_rows,
+            factors=[f.with_backend(resolved) for f in self.factors],
+            scenario=self.scenario,
+            label_column=self.label_column,
+            name=self.name,
+            backend=resolved,
+        )
+
     # -- statistics used by the cost model ------------------------------------------------
     def total_source_cells(self) -> int:
-        return sum(f.data.size for f in self.factors)
+        return sum(f.n_rows * f.n_columns for f in self.factors)
+
+    def total_source_nnz(self) -> int:
+        """Non-zero cells across every source — the sparse-plan cost driver."""
+        return sum(f.nnz for f in self.factors)
+
+    def source_densities(self) -> List[float]:
+        """Per-factor non-zero density, in factor order."""
+        return [f.density for f in self.factors]
+
+    def overall_density(self) -> float:
+        total = self.total_source_cells()
+        return self.total_source_nnz() / total if total else 1.0
 
     def target_cells(self) -> int:
         return self.n_target_rows * len(self.target_columns)
@@ -306,6 +423,7 @@ def _build_factor(
     correspondences: Dict[str, str],
     target_columns: Sequence[str],
     redundancy_mask: np.ndarray,
+    backend: Optional[Backend] = None,
 ) -> SourceFactor:
     source_columns = _numeric_mapped_columns(table, correspondences, target_columns)
     if not source_columns:
@@ -320,7 +438,9 @@ def _build_factor(
     pairs = [(i, j) for i, j in enumerate(row_map) if j >= 0]
     indicator = IndicatorMatrix.from_row_pairs(table.name, len(row_map), table.n_rows, pairs)
     redundancy = RedundancyMatrix(table.name, redundancy_mask.astype(float))
-    return SourceFactor(table.name, data, source_columns, mapping, indicator, redundancy)
+    return SourceFactor(
+        table.name, data, source_columns, mapping, indicator, redundancy, backend=backend
+    )
 
 
 def integrate_tables(
@@ -332,6 +452,7 @@ def integrate_tables(
     scenario: ScenarioType,
     label_column: Optional[str] = None,
     name: str = "T",
+    backend: BackendSpec = None,
 ) -> IntegratedDataset:
     """Build an :class:`IntegratedDataset` for the two-source Table I scenarios.
 
@@ -351,7 +472,11 @@ def integrate_tables(
         One of the four Table I scenarios.
     label_column:
         Optional label column name (must appear in ``target_columns``).
+    backend:
+        Compute backend for the factorized operators (name, instance, or
+        ``None`` for dense).
     """
+    resolved_backend = resolve_backend(backend) if backend is not None else None
     target_columns = list(target_columns)
     matched_base_by_other = {m.right_column: m.left_column for m in column_matches}
 
@@ -375,9 +500,13 @@ def integrate_tables(
     base_redundancy = np.ones((n_target_rows, len(target_columns)))
     other_redundancy = np.where(base_mask & other_mask, 0.0, 1.0)
 
-    base_factor = _build_factor(base, base_rows, base_correspondences, target_columns, base_redundancy)
+    base_factor = _build_factor(
+        base, base_rows, base_correspondences, target_columns, base_redundancy,
+        backend=resolved_backend,
+    )
     other_factor = _build_factor(
-        other, other_rows, other_correspondences, target_columns, other_redundancy
+        other, other_rows, other_correspondences, target_columns, other_redundancy,
+        backend=resolved_backend,
     )
     return IntegratedDataset(
         target_columns=target_columns,
@@ -386,6 +515,7 @@ def integrate_tables(
         scenario=scenario,
         label_column=label_column,
         name=name,
+        backend=resolved_backend,
     )
 
 
@@ -398,6 +528,7 @@ def build_integrated_dataset(
     scenario: Optional[ScenarioType] = None,
     label_column: Optional[str] = None,
     name: str = "T",
+    backend: BackendSpec = None,
 ) -> IntegratedDataset:
     """General n-source builder from explicit correspondences and row maps.
 
@@ -408,6 +539,7 @@ def build_integrated_dataset(
     """
     if not sources:
         raise MappingError("need at least one source table")
+    resolved_backend = resolve_backend(backend) if backend is not None else None
     target_columns = list(target_columns)
     factors: List[SourceFactor] = []
     claimed = np.zeros((n_target_rows, len(target_columns)), dtype=bool)
@@ -421,7 +553,10 @@ def build_integrated_dataset(
         mask = _contribution_mask(table, row_map, table_correspondences, target_columns)
         redundancy = np.where(claimed & mask, 0.0, 1.0)
         factors.append(
-            _build_factor(table, row_map, table_correspondences, target_columns, redundancy)
+            _build_factor(
+                table, row_map, table_correspondences, target_columns, redundancy,
+                backend=resolved_backend,
+            )
         )
         claimed |= mask
     return IntegratedDataset(
@@ -431,4 +566,5 @@ def build_integrated_dataset(
         scenario=scenario,
         label_column=label_column,
         name=name,
+        backend=resolved_backend,
     )

@@ -52,7 +52,7 @@ class Executor:
             features, labels = self._split_features_labels(dataset, target)
             operand = DenseMatrix(features)
         elif plan.strategy is Decision.FACTORIZE:
-            matrix = AmalurMatrix(dataset)
+            matrix = AmalurMatrix(dataset, backend=plan.backend)
             labels = matrix.labels() if dataset.label_column else None
             operand = matrix.feature_matrix_view()
             # Account the per-iteration silo traffic of pushdown: the operand

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.backends import AutoBackend, Backend, DenseBackend, SparseBackend
 from repro.costmodel.amalur_cost import AmalurCostModel
 from repro.costmodel.decision import Decision, DecisionAdvisor
 from repro.costmodel.parameters import CostParameters
@@ -54,10 +55,16 @@ class Optimizer:
         outcome = advisor.decide(parameters)
 
         steps = []
+        backend: Optional[Backend] = None
         if outcome.decision is Decision.FACTORIZE:
-            for factor in dataset.factors:
+            backend = self._select_backend(parameters)
+            for index, factor in enumerate(dataset.factors):
                 steps.append(
-                    PlanStep("push model operators down to the silo", target=factor.name)
+                    PlanStep(
+                        "push model operators down to the silo "
+                        f"({parameters.backend_choice(index)} kernel)",
+                        target=factor.name,
+                    )
                 )
             steps.append(PlanStep("assemble local results with redundancy masks"))
             steps.append(PlanStep("iterate gradient updates centrally"))
@@ -73,7 +80,23 @@ class Optimizer:
             steps=steps,
             cost_breakdown=outcome.breakdown,
             explanation=outcome.explanation,
+            backend=backend,
         )
+
+    @staticmethod
+    def _select_backend(parameters: CostParameters) -> Backend:
+        """Pick the execution backend from the per-source density decisions.
+
+        All-dense sources run the plain dense engine, all-sparse sources the
+        CSR engine; a mix gets the per-factor dispatcher, all three sharing
+        the threshold the cost model priced the plan with.
+        """
+        choices = set(parameters.backend_choices)
+        if choices == {"sparse"}:
+            return SparseBackend()
+        if choices == {"dense"}:
+            return DenseBackend()
+        return AutoBackend(parameters.sparse_density_threshold)
 
     # -- helpers ------------------------------------------------------------------
     def _federation_required(self, dataset: IntegratedDataset) -> str:

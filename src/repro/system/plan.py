@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.backends import Backend
 from repro.costmodel.amalur_cost import CostBreakdown
 from repro.costmodel.decision import Decision
 from repro.matrices.builder import IntegratedDataset
@@ -38,7 +39,12 @@ class PlanStep:
 
 @dataclass
 class ExecutionPlan:
-    """The optimizer's output: a strategy plus the steps to run it."""
+    """The optimizer's output: a strategy plus the steps to run it.
+
+    ``backend`` is the compute backend the factorized operators should run
+    on (``None`` keeps the dense default); the optimizer fills it from the
+    same density statistics the cost model used.
+    """
 
     strategy: Decision
     dataset: IntegratedDataset
@@ -46,9 +52,12 @@ class ExecutionPlan:
     steps: List[PlanStep] = field(default_factory=list)
     cost_breakdown: Optional[CostBreakdown] = None
     explanation: str = ""
+    backend: Optional[Backend] = None
 
     def describe(self) -> str:
         lines = [f"strategy: {self.strategy.value}", f"model: {self.model.describe()}"]
+        if self.backend is not None:
+            lines.append(f"backend: {self.backend.name}")
         if self.explanation:
             lines.append(f"reason: {self.explanation}")
         for index, step in enumerate(self.steps, start=1):

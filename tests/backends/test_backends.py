@@ -1,0 +1,205 @@
+"""Unit tests for the repro.backends compute-backend subsystem."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.backends import (
+    AutoBackend,
+    Backend,
+    DenseBackend,
+    SparseBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+    storage_density,
+    storage_nnz,
+)
+from repro.exceptions import BackendError
+
+
+@pytest.fixture
+def matrix(rng):
+    data = rng.standard_normal((12, 7))
+    data[rng.random(data.shape) < 0.6] = 0.0
+    return data
+
+
+ALL_BACKENDS = [DenseBackend(), SparseBackend(), AutoBackend(0.5)]
+
+
+class TestPrepare:
+    def test_dense_keeps_ndarray(self, matrix):
+        storage = DenseBackend().prepare(matrix)
+        assert isinstance(storage, np.ndarray)
+        assert not DenseBackend().is_sparse_storage(storage)
+
+    def test_dense_densifies_sparse_input(self, matrix):
+        storage = DenseBackend().prepare(sparse.csr_matrix(matrix))
+        assert isinstance(storage, np.ndarray)
+        assert np.allclose(storage, matrix)
+
+    def test_sparse_converts_to_csr(self, matrix):
+        storage = SparseBackend().prepare(matrix)
+        assert sparse.issparse(storage) and storage.format == "csr"
+        assert np.allclose(storage.toarray(), matrix)
+
+    def test_auto_dispatches_on_density(self, matrix):
+        backend = AutoBackend(density_threshold=0.5)
+        dense_matrix = np.ones((4, 4))
+        assert backend.choose(dense_matrix) == "dense"
+        assert isinstance(backend.prepare(dense_matrix), np.ndarray)
+        sparse_matrix = np.zeros((4, 4))
+        sparse_matrix[0, 0] = 1.0
+        assert backend.choose(sparse_matrix) == "sparse"
+        assert sparse.issparse(backend.prepare(sparse_matrix))
+
+    def test_auto_threshold_validation(self):
+        with pytest.raises(BackendError):
+            AutoBackend(density_threshold=1.5)
+
+    def test_auto_default_threshold_is_shared_constant(self):
+        from repro.costmodel.parameters import SPARSE_DENSITY_THRESHOLD
+
+        assert AutoBackend().density_threshold == SPARSE_DENSITY_THRESHOLD
+
+
+class TestOperations:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_matmul_matches_numpy(self, backend, matrix, rng):
+        storage = backend.prepare(matrix)
+        x = rng.standard_normal((7, 3))
+        result = backend.matmul(storage, x)
+        assert isinstance(result, np.ndarray)
+        assert np.allclose(result, matrix @ x)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_transpose_matmul_matches_numpy(self, backend, matrix, rng):
+        storage = backend.prepare(matrix)
+        x = rng.standard_normal((12, 2))
+        assert np.allclose(backend.transpose_matmul(storage, x), matrix.T @ x)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_crossprod_matches_numpy(self, backend, matrix):
+        storage = backend.prepare(matrix)
+        assert np.allclose(backend.crossprod(storage), matrix.T @ matrix)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_gram_pair(self, backend, matrix, rng):
+        other = rng.standard_normal((12, 4))
+        left, right = backend.prepare(matrix), backend.prepare(other)
+        assert np.allclose(backend.gram_pair(left, right), matrix.T @ other)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_sums(self, backend, matrix):
+        storage = backend.prepare(matrix)
+        assert np.allclose(backend.row_sums(storage), matrix.sum(axis=1))
+        assert np.allclose(backend.column_sums(storage), matrix.sum(axis=0))
+        assert backend.total_sum(storage) == pytest.approx(matrix.sum())
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_scale_and_elementwise(self, backend, matrix):
+        storage = backend.prepare(matrix)
+        scaled = backend.scale(storage, 2.5)
+        assert np.allclose(backend.to_dense(scaled), matrix * 2.5)
+        mask = np.zeros_like(matrix)
+        mask[::2] = 1.0
+        masked = backend.elementwise_multiply(storage, mask)
+        assert np.allclose(backend.to_dense(masked), matrix * mask)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_take_rows_and_columns(self, backend, matrix):
+        storage = backend.prepare(matrix)
+        rows = np.array([3, 0, 3, 11])
+        taken = backend.take_rows(storage, rows)
+        assert np.allclose(backend.to_dense(taken), matrix[rows])
+        cols = [5, 1]
+        assert np.allclose(
+            backend.to_dense(backend.take_columns(storage, cols)), matrix[:, cols]
+        )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_introspection(self, backend, matrix):
+        storage = backend.prepare(matrix)
+        assert backend.nnz(storage) == np.count_nonzero(matrix)
+        assert backend.density(storage) == pytest.approx(
+            np.count_nonzero(matrix) / matrix.size
+        )
+
+    def test_matmul_shape_mismatch(self, matrix):
+        backend = DenseBackend()
+        with pytest.raises(BackendError):
+            backend.matmul(backend.prepare(matrix), np.ones((3, 2)))
+
+
+class TestFlopAccounting:
+    def test_dense_counts_every_cell(self, matrix):
+        backend = DenseBackend()
+        storage = backend.prepare(matrix)
+        assert backend.matmul_flops(storage, 3) == 12 * 7 * 3
+
+    def test_sparse_counts_stored_cells_only(self, matrix):
+        backend = SparseBackend()
+        storage = backend.prepare(matrix)
+        nnz = np.count_nonzero(matrix)
+        assert backend.matmul_flops(storage, 3) == nnz * 3
+        assert backend.matmul_flops(storage, 3) < DenseBackend().matmul_flops(matrix, 3)
+
+    def test_crossprod_flops(self, matrix):
+        sparse_backend = SparseBackend()
+        storage = sparse_backend.prepare(matrix)
+        assert sparse_backend.crossprod_flops(storage) == np.count_nonzero(matrix) * 7
+        assert DenseBackend().crossprod_flops(matrix) == 7 * 12 * 7
+
+
+class TestRegistry:
+    def test_resolve_by_name(self):
+        assert resolve_backend("dense").name == "dense"
+        assert resolve_backend("sparse").name == "sparse"
+        assert resolve_backend("auto").name == "auto"
+
+    def test_resolve_none_is_dense(self):
+        assert resolve_backend(None).name == "dense"
+
+    def test_resolve_instance_passthrough(self):
+        backend = AutoBackend(0.25)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name(self):
+        with pytest.raises(BackendError):
+            resolve_backend("gpu")
+
+    def test_bad_spec_type(self):
+        with pytest.raises(BackendError):
+            resolve_backend(42)
+
+    def test_available_backends(self):
+        assert {"dense", "sparse", "auto"} <= set(available_backends())
+
+    def test_register_custom_backend(self):
+        class UpperDense(DenseBackend):
+            name = "upper-dense"
+
+        register_backend("upper-dense", UpperDense)
+        try:
+            assert isinstance(resolve_backend("upper-dense"), UpperDense)
+        finally:
+            from repro.backends import registry
+
+            registry._REGISTRY.pop("upper-dense", None)
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(BackendError):
+            register_backend("bogus", dict)
+
+
+class TestHelpers:
+    def test_storage_nnz_and_density(self, matrix):
+        csr = sparse.csr_matrix(matrix)
+        assert storage_nnz(csr) == storage_nnz(matrix) == np.count_nonzero(matrix)
+        assert storage_density(csr) == pytest.approx(storage_density(matrix))
+
+    def test_describe(self, matrix):
+        backend = SparseBackend()
+        text = backend.describe(backend.prepare(matrix))
+        assert "csr" in text and "nnz=" in text

@@ -6,7 +6,13 @@ import pytest
 from repro.datagen.hamlet import HAMLET_DATASETS, generate_hamlet_dataset, generate_hamlet_morpheus
 from repro.datagen.hospital import hospital_integrated_dataset, hospital_tables
 from repro.datagen.scenarios import ScenarioSpec, generate_scenario_dataset, generate_scenario_tables
-from repro.datagen.synthetic import SyntheticSiloSpec, generate_integrated_pair, generate_table3_grid
+from repro.datagen.synthetic import (
+    OneHotSpec,
+    SyntheticSiloSpec,
+    generate_integrated_pair,
+    generate_one_hot_pair,
+    generate_table3_grid,
+)
 from repro.exceptions import MappingError
 from repro.metadata.mappings import ScenarioType
 
@@ -164,3 +170,49 @@ class TestHamletGenerator:
     def test_without_label(self):
         dataset = generate_hamlet_dataset("yelp", row_scale=0.005, with_label=False)
         assert dataset.label_column is None
+
+
+class TestOneHotGenerator:
+    def test_shapes_and_density(self):
+        spec = OneHotSpec(n_rows=200, n_categories=25, base_columns=4)
+        dataset = generate_one_hot_pair(spec)
+        base, one_hot = dataset.factors
+        assert base.data.shape == (200, 4)
+        assert one_hot.data.shape == (25, 25)  # n_entities defaults to n_categories
+        assert one_hot.density == pytest.approx(spec.one_hot_density) == pytest.approx(1 / 25)
+        assert spec.sparsity == pytest.approx(0.96)
+        assert dataset.n_target_rows == 200
+        assert len(dataset.target_columns) == 4 + 25
+
+    def test_each_entity_row_is_one_hot(self):
+        dataset = generate_one_hot_pair(OneHotSpec(n_rows=50, n_categories=10, n_entities=30))
+        one_hot = dataset.factors[1].data
+        assert one_hot.shape == (30, 10)
+        assert np.all(one_hot.sum(axis=1) == 1.0)
+        assert set(np.unique(one_hot)) == {0.0, 1.0}
+
+    def test_materialization_equals_factorized(self):
+        dataset = generate_one_hot_pair(OneHotSpec(n_rows=80, n_categories=12, seed=3))
+        from repro.factorized.normalized_matrix import AmalurMatrix
+
+        target = dataset.materialize()
+        x = np.random.default_rng(0).standard_normal((target.shape[1], 2))
+        assert np.allclose(AmalurMatrix(dataset).lmm(x), target @ x)
+
+    def test_no_redundancy(self):
+        dataset = generate_one_hot_pair(OneHotSpec(n_rows=40, n_categories=8))
+        for factor in dataset.factors:
+            assert factor.redundancy.is_trivial
+
+    def test_backend_attachment(self):
+        dataset = generate_one_hot_pair(
+            OneHotSpec(n_rows=40, n_categories=20), backend="auto"
+        )
+        assert dataset.backend.name == "auto"
+        assert dataset.factors[1].backend is dataset.backend
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            OneHotSpec(n_rows=0, n_categories=5)
+        with pytest.raises(MappingError):
+            OneHotSpec(n_rows=10, n_categories=1)

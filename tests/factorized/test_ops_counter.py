@@ -5,8 +5,11 @@ import pytest
 from repro.factorized.ops_counter import (
     FlopCounter,
     dense_matmul_flops,
+    factorized_crossprod_flops,
     factorized_lmm_flops,
     materialized_lmm_flops,
+    sparse_crossprod_flops,
+    sparse_matmul_flops,
 )
 
 
@@ -33,6 +36,56 @@ class TestFlopFormulas:
         materialized = materialized_lmm_flops(n_target, dim_cols + 1, 1)
         factorized = factorized_lmm_flops([(n_target, 1), (dim_rows, dim_cols)], n_target, 1)
         assert factorized < materialized
+
+
+class TestSparseFlopFormulas:
+    def test_sparse_matmul(self):
+        assert sparse_matmul_flops(100, 3) == 300.0
+
+    def test_sparse_matmul_undercuts_dense_below_full_density(self):
+        # A 100x100 matrix with 500 stored cells (5% dense).
+        assert sparse_matmul_flops(500, 4) < dense_matmul_flops(100, 100, 4)
+
+    def test_sparse_crossprod(self):
+        assert sparse_crossprod_flops(500, 100) == 50_000.0
+        assert sparse_crossprod_flops(500, 100) < dense_matmul_flops(100, 100, 100)
+
+    def test_nnz_aware_lmm_matches_dense_when_full(self):
+        shapes = [(10, 2), (4, 3)]
+        dense = factorized_lmm_flops(shapes, n_target_rows=10, x_cols=2)
+        nnz_full = factorized_lmm_flops(
+            shapes, n_target_rows=10, x_cols=2, source_nnz=[20, 12]
+        )
+        assert dense == nnz_full
+
+    def test_nnz_aware_lmm_counts_stored_cells(self):
+        shapes = [(10, 2), (100, 50)]
+        dense = factorized_lmm_flops(shapes, n_target_rows=10, x_cols=2)
+        # Second source is one-hot: only 100 of the 5000 cells are stored.
+        sparse = factorized_lmm_flops(
+            shapes, n_target_rows=10, x_cols=2, source_nnz=[None, 100]
+        )
+        assert sparse < dense
+        assert dense - sparse == (100 * 50 - 100) * 2
+
+    def test_nnz_aware_lmm_short_nnz_list_pads_dense(self):
+        shapes = [(10, 2), (4, 3)]
+        assert factorized_lmm_flops(
+            shapes, n_target_rows=10, x_cols=2, source_nnz=[20]
+        ) == factorized_lmm_flops(shapes, n_target_rows=10, x_cols=2)
+
+    def test_nnz_list_longer_than_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            factorized_lmm_flops([(10, 2)], n_target_rows=10, x_cols=2, source_nnz=[20, 5])
+        with pytest.raises(ValueError):
+            factorized_crossprod_flops([(10, 2)], source_nnz=[20, 5])
+
+    def test_factorized_crossprod_dense_and_sparse(self):
+        shapes = [(100, 4), (50, 20)]
+        dense = factorized_crossprod_flops(shapes)
+        assert dense == 4 * 100 * 4 + 20 * 50 * 20
+        sparse = factorized_crossprod_flops(shapes, source_nnz=[None, 50])
+        assert sparse == 4 * 100 * 4 + 50 * 20
 
 
 class TestFlopCounter:
