@@ -12,7 +12,6 @@ The harness exercises the two federated workflows of Table I:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.datagen.scenarios import ScenarioSpec, generate_scenario_dataset
 from repro.federated.horizontal import FederatedAveraging

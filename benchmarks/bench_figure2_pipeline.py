@@ -11,7 +11,6 @@ Figure 2d.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.datagen.hospital import hospital_tables
 from repro.datagen.scenarios import ScenarioSpec, generate_scenario_tables

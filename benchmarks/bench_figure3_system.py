@@ -11,7 +11,6 @@ boundaries.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.costmodel.decision import Decision
 from repro.datagen.hospital import hospital_tables

@@ -15,7 +15,7 @@ together with where each predictor places the boundary.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 import pytest

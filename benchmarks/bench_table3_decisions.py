@@ -21,7 +21,7 @@ redundancy flags, not on absolute sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 import pytest

@@ -19,7 +19,6 @@ import time
 
 import numpy as np
 
-from repro.costmodel.decision import Decision
 from repro.costmodel.parameters import CostParameters
 from repro.costmodel import AmalurCostModel, MorpheusRule
 from repro.datagen import SyntheticSiloSpec, generate_integrated_pair

@@ -35,6 +35,9 @@ from repro.matrices import (
     MappingMatrix,
     IndicatorMatrix,
     RedundancyMatrix,
+    TrivialRedundancy,
+    SparseComplementRedundancy,
+    DenseRedundancy,
     IntegratedDataset,
     SourceFactor,
     integrate_tables,
@@ -56,6 +59,9 @@ __all__ = [
     "MappingMatrix",
     "IndicatorMatrix",
     "RedundancyMatrix",
+    "TrivialRedundancy",
+    "SparseComplementRedundancy",
+    "DenseRedundancy",
     "IntegratedDataset",
     "SourceFactor",
     "integrate_tables",

@@ -21,7 +21,7 @@ dense ``numpy.ndarray`` unless documented otherwise.
 from __future__ import annotations
 
 import abc
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 from scipy import sparse
@@ -151,6 +151,16 @@ class Backend(abc.ABC):
         if sparse.issparse(storage):
             return storage.multiply(np.asarray(mask, dtype=np.float64)).tocsr()
         return storage * np.asarray(mask, dtype=np.float64)
+
+    def apply_redundancy(self, storage: Storage, redundancy) -> Storage:
+        """Zero the redundant cells marked by a ``RedundancyMatrix``.
+
+        Dispatches to the mask representation's own ``apply``, which
+        preserves the storage format (a CSR storage stays CSR, dense stays
+        dense) and never materializes a dense ``r × c`` mask for trivial or
+        sparse-complement representations.
+        """
+        return redundancy.apply(storage)
 
     # -- aggregations ----------------------------------------------------------------
     def row_sums(self, storage: Storage) -> np.ndarray:

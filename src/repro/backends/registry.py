@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type, Union
+from typing import Dict, Type, Union
 
 from repro.backends.auto import AutoBackend
 from repro.backends.base import Backend

@@ -21,10 +21,10 @@ is chosen outright.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.costmodel.parameters import CostParameters
-from repro.factorized.ops_counter import sparse_matmul_flops
+from repro.factorized.ops_counter import redundancy_apply_flops, sparse_matmul_flops
 
 
 @dataclass
@@ -106,8 +106,16 @@ class AmalurCostModel:
             and parameters.target_cells <= parameters.total_source_cells
         )
 
+        # Integration reads every source cell, resolves redundancy and writes
+        # every target cell. Redundancy resolution — previously unpriced — is
+        # charged by the nnz of the sparse mask complement (one zeroed cell
+        # per redundant entry), matching how the representations apply masks;
+        # a dense r_T · c_T Hadamard term would overcharge trivial/sparse
+        # masks. The Table III / Figure 5 boundary benchmarks hold with this
+        # term in place.
         integration = (
             parameters.total_source_cells * self.read_weight
+            + redundancy_apply_flops(parameters.redundant_cells)
             + parameters.target_cells * self.write_weight
         ) / reuse
         materialize_compute = float(parameters.target_cells) * operand_columns

@@ -12,7 +12,7 @@ synthetic sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.exceptions import CostModelError
 

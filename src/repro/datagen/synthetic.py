@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
+from scipy import sparse
 
 from repro.backends import BackendSpec, resolve_backend
 from repro.exceptions import MappingError
@@ -114,12 +115,20 @@ def generate_integrated_pair(
     other_indicator = IndicatorMatrix("S2", n_target_rows, spec.other_rows, other_row_map)
 
     base_redundancy = RedundancyMatrix.all_ones("S1", n_target_rows, n_target_columns)
-    other_mask = np.ones((n_target_rows, n_target_columns))
     if n_overlap_columns:
-        overlapping_rows = other_row_map >= 0
-        overlap_target_indices = [target_columns.index(base_columns[j]) for j in range(n_overlap_columns)]
-        other_mask[np.ix_(overlapping_rows, overlap_target_indices)] = 0.0
-    other_redundancy = RedundancyMatrix("S2", other_mask)
+        # The redundant cells form an overlap rectangle (rows matched to the
+        # other source × columns the base already provides); build the sparse
+        # complement straight from the index sets — no dense r_T × c_T mask.
+        overlapping_rows = np.nonzero(other_row_map >= 0)[0]
+        overlap_target_indices = [
+            target_columns.index(base_columns[j]) for j in range(n_overlap_columns)
+        ]
+        other_redundancy = RedundancyMatrix.from_rectangle(
+            "S2", (n_target_rows, n_target_columns),
+            overlapping_rows, overlap_target_indices,
+        )
+    else:
+        other_redundancy = RedundancyMatrix.all_ones("S2", n_target_rows, n_target_columns)
 
     resolved_backend = resolve_backend(backend) if backend is not None else None
     factors = [
@@ -196,8 +205,16 @@ def generate_one_hot_pair(spec: OneHotSpec, backend: BackendSpec = None) -> Inte
     rng = np.random.default_rng(spec.seed)
     base_data = rng.standard_normal((spec.n_rows, spec.base_columns))
     categories = rng.integers(0, spec.n_categories, size=spec.n_entities)
-    one_hot = np.zeros((spec.n_entities, spec.n_categories))
-    one_hot[np.arange(spec.n_entities), categories] = 1.0
+    # Built directly as CSR (nnz = n_entities): a 10k-category dimension
+    # table never materializes its dense n_entities × n_categories form
+    # unless a dense code path explicitly asks for it.
+    one_hot = sparse.csr_matrix(
+        (
+            np.ones(spec.n_entities),
+            (np.arange(spec.n_entities), categories),
+        ),
+        shape=(spec.n_entities, spec.n_categories),
+    )
 
     base_columns = [f"x{i}" for i in range(spec.base_columns)]
     other_columns = [f"cat_{j}" for j in range(spec.n_categories)]

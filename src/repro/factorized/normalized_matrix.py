@@ -102,24 +102,21 @@ class AmalurMatrix:
         if cached is not None:
             return cached
         factor = self.dataset.factors[index]
-        rows: List[int] = []
-        cols: List[int] = []
-        values: List[float] = []
         complement = factor.redundancy.to_sparse_complement().tocoo()
-        compressed_rows = factor.indicator.compressed
-        compressed_cols = factor.mapping.compressed
-        for i, j in zip(complement.row, complement.col):
-            source_row = compressed_rows[i]
-            source_col = compressed_cols[j]
-            if source_row < 0 or source_col < 0:
-                continue
-            value = factor.data[source_row, source_col]
-            if value != 0.0:
-                rows.append(int(i))
-                cols.append(int(j))
-                values.append(float(value))
+        target_rows = np.asarray(complement.row, dtype=np.intp)
+        target_cols = np.asarray(complement.col, dtype=np.intp)
+        compressed_rows = np.asarray(factor.indicator.compressed)
+        compressed_cols = np.asarray(factor.mapping.compressed)
+        source_rows = compressed_rows[target_rows]
+        source_cols = compressed_cols[target_cols]
+        mapped = (source_rows >= 0) & (source_cols >= 0)
+        target_rows, target_cols = target_rows[mapped], target_cols[mapped]
+        # One vectorized gather over D_k (sparse storage stays sparse).
+        values = factor.cells(source_rows[mapped], source_cols[mapped])
+        nonzero = values != 0.0
         correction = sparse.csr_matrix(
-            (values, (rows, cols)), shape=(self.n_rows, self.n_columns)
+            (values[nonzero], (target_rows[nonzero], target_cols[nonzero])),
+            shape=(self.n_rows, self.n_columns),
         )
         self._corrections[index] = correction
         return correction
@@ -236,8 +233,8 @@ class AmalurMatrix:
             local = self.backend.crossprod(block_k)
             self.counter.add("crossprod.local", self.backend.crossprod_flops(block_k))
             gram[np.ix_(cols_k, cols_k)] += local
-            for l in range(k + 1, self.dataset.n_sources):
-                rows_l, block_l, cols_l = effective[l]
+            for other in range(k + 1, self.dataset.n_sources):
+                rows_l, block_l, cols_l = effective[other]
                 shared, idx_k, idx_l = np.intersect1d(
                     rows_k, rows_l, assume_unique=False, return_indices=True
                 )
@@ -266,8 +263,11 @@ class AmalurMatrix:
             self.backend.take_rows(storage, source_rows), source_cols
         )
         if not factor.redundancy.is_trivial:
-            mask = factor.redundancy.to_dense()[np.ix_(rows, cols)]
-            block = self.backend.elementwise_multiply(block, mask)
+            # Mask-aware slicing: restrict R_k to the covered rows × mapped
+            # columns without densifying, then zero the redundant cells in
+            # whatever format the backend stores the block (CSR stays CSR).
+            restricted = factor.redundancy.submatrix(rows, cols)
+            block = self.backend.apply_redundancy(block, restricted)
         return rows, block, cols
 
     # -- element-wise and aggregation operators ----------------------------------------------
@@ -365,15 +365,12 @@ class AmalurMatrix:
                 continue
             col_indices = [factor.source_columns.index(c) for c in kept_source_cols]
             from repro.matrices.mapping_matrix import MappingMatrix
-            from repro.matrices.redundancy_matrix import RedundancyMatrix
 
             mapping = MappingMatrix(
                 factor.name, list(names), kept_source_cols,
                 {c: new_correspondences[c] for c in kept_source_cols},
             )
-            redundancy = RedundancyMatrix(
-                factor.name, factor.redundancy.to_dense()[:, keep_indices]
-            )
+            redundancy = factor.redundancy.select_columns(keep_indices)
             factors.append(
                 SourceFactor(
                     factor.name,

@@ -62,6 +62,17 @@ def materialized_lmm_flops(n_rows: int, n_cols: int, x_cols: int) -> float:
     return dense_matmul_flops(n_rows, n_cols, x_cols)
 
 
+def redundancy_apply_flops(n_redundant: int) -> float:
+    """Cost of applying a redundancy mask ``R_k`` to a contribution.
+
+    With the lazy/sparse representations, masking zeroes exactly the
+    redundant cells — one operation per stored cell of the complement —
+    instead of the ``r_T · c_T`` Hadamard product a dense mask paid. A
+    trivial (all-ones) mask costs nothing.
+    """
+    return float(n_redundant)
+
+
 def _normalize_source_nnz(shapes, source_nnz):
     """Pad a per-source nnz list with ``None`` (dense) to match ``shapes``.
 

@@ -14,7 +14,7 @@ space, i.e. the compressed indicator matrices restricted to the overlap.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.exceptions import FederatedError
 from repro.federated.party import Party

@@ -14,7 +14,7 @@ This substitution is documented in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 

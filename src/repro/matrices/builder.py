@@ -131,6 +131,17 @@ class SourceFactor:
             backend=resolve_backend(backend),
         )
 
+    def cells(self, rows, cols) -> np.ndarray:
+        """Gather ``D_k[rows[i], cols[i]]`` without densifying sparse storage."""
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        raw = self._raw_data()
+        if sparse.issparse(raw):
+            if rows.size == 0:
+                return np.empty(0, dtype=np.float64)
+            return np.asarray(raw[rows, cols], dtype=np.float64).ravel()
+        return np.asarray(raw[rows, cols], dtype=np.float64)
+
     def contribution(self) -> np.ndarray:
         """The raw contribution ``T_k = I_k D_k M_kᵀ`` (dense, target-shaped).
 
@@ -422,7 +433,7 @@ def _build_factor(
     row_map: Sequence[int],
     correspondences: Dict[str, str],
     target_columns: Sequence[str],
-    redundancy_mask: np.ndarray,
+    redundancy: RedundancyMatrix,
     backend: Optional[Backend] = None,
 ) -> SourceFactor:
     source_columns = _numeric_mapped_columns(table, correspondences, target_columns)
@@ -437,7 +448,6 @@ def _build_factor(
     )
     pairs = [(i, j) for i, j in enumerate(row_map) if j >= 0]
     indicator = IndicatorMatrix.from_row_pairs(table.name, len(row_map), table.n_rows, pairs)
-    redundancy = RedundancyMatrix(table.name, redundancy_mask.astype(float))
     return SourceFactor(
         table.name, data, source_columns, mapping, indicator, redundancy, backend=backend
     )
@@ -495,10 +505,15 @@ def integrate_tables(
     base_mask = _contribution_mask(base, base_rows, base_correspondences, target_columns)
     other_mask = _contribution_mask(other, other_rows, other_correspondences, target_columns)
 
-    # Base table: nothing redundant. Other table: redundant where the base
-    # already contributed a (non-null) value to the same target cell.
-    base_redundancy = np.ones((n_target_rows, len(target_columns)))
-    other_redundancy = np.where(base_mask & other_mask, 0.0, 1.0)
+    # Base table: nothing redundant (lazy all-ones, no allocation). Other
+    # table: redundant where the base already contributed a (non-null) value
+    # to the same target cell — stored as a sparse complement built straight
+    # from the overlap, never as a dense r_T × c_T float mask.
+    target_shape = (n_target_rows, len(target_columns))
+    base_redundancy = RedundancyMatrix.all_ones(base.name, *target_shape)
+    other_redundancy = RedundancyMatrix.from_complement(
+        other.name, target_shape, base_mask & other_mask
+    )
 
     base_factor = _build_factor(
         base, base_rows, base_correspondences, target_columns, base_redundancy,
@@ -551,7 +566,9 @@ def build_integrated_dataset(
                 f"row map for {table.name!r} has length {len(row_map)}, expected {n_target_rows}"
             )
         mask = _contribution_mask(table, row_map, table_correspondences, target_columns)
-        redundancy = np.where(claimed & mask, 0.0, 1.0)
+        redundancy = RedundancyMatrix.from_complement(
+            table.name, (n_target_rows, len(target_columns)), claimed & mask
+        )
         factors.append(
             _build_factor(
                 table, row_map, table_correspondences, target_columns, redundancy,

@@ -15,7 +15,6 @@ from typing import List
 
 import numpy as np
 
-from repro.exceptions import MappingError
 from repro.matrices.builder import IntegratedDataset, SourceFactor
 
 

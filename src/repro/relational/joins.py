@@ -46,7 +46,11 @@ class JoinResult:
 
     @property
     def n_overlapping_rows(self) -> int:
-        return sum(1 for l, r in zip(self.left_rows, self.right_rows) if l >= 0 and r >= 0)
+        return sum(
+            1
+            for left, right in zip(self.left_rows, self.right_rows)
+            if left >= 0 and right >= 0
+        )
 
 
 def _key_tuple(table: Table, row: int, keys: Sequence[str]) -> Tuple[Any, ...]:

@@ -6,7 +6,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 import numpy as np
 
-from repro.exceptions import SchemaError, TableError
+from repro.exceptions import TableError
 from repro.relational.schema import Column, Schema, SourceDescription
 from repro.relational.types import NULL, DataType, coerce_value, infer_type, is_null
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.exceptions import CatalogError, PrivacyError
 from repro.relational.table import Table

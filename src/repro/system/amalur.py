@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.costmodel.amalur_cost import AmalurCostModel
-from repro.exceptions import CatalogError
 from repro.matrices.builder import IntegratedDataset, integrate_tables
 from repro.metadata.catalog import MetadataCatalog, ModelMetadata
 from repro.metadata.discovery import AugmentationCandidate, DataDiscovery

@@ -18,7 +18,7 @@ from repro.learning.kmeans import KMeans
 from repro.learning.linear_regression import LinearRegression
 from repro.learning.logistic_regression import LogisticRegression
 from repro.learning.metrics import accuracy_score, mean_squared_error, r2_score
-from repro.matrices.builder import IntegratedDataset, SourceFactor
+from repro.matrices.builder import IntegratedDataset
 from repro.metadata.mappings import ScenarioType
 from repro.silos.orchestrator import Orchestrator
 from repro.system.plan import ExecutionPlan, ModelSpec, TrainingResult
@@ -240,13 +240,19 @@ class Executor:
                 if target_col != label
             ]
             # Drop feature columns whose every shared-row cell is redundant —
-            # another party already contributes them.
-            redundancy = factor.redundancy.to_dense()
+            # another party already contributes them. The restriction of R_k
+            # to the shared rows never densifies the mask; column_mask() gives
+            # the redundant fraction per target column.
+            shared_redundancy = factor.redundancy.submatrix(
+                np.asarray(shared_rows, dtype=int),
+                np.arange(len(dataset.target_columns)),
+            )
+            redundant_fraction = shared_redundancy.column_mask()
             keep = []
             for source_col in feature_locals:
                 target_col = factor.mapping.correspondences[source_col]
                 target_index = dataset.target_columns.index(target_col)
-                if redundancy[np.asarray(shared_rows), target_index].sum() > 0:
+                if redundant_fraction[target_index] < 1.0:
                     keep.append(source_col)
             if not keep and labels is None:
                 continue

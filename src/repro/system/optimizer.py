@@ -13,7 +13,7 @@ optimizer produces an :class:`repro.system.plan.ExecutionPlan`:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.backends import AutoBackend, Backend, DenseBackend, SparseBackend
 from repro.costmodel.amalur_cost import AmalurCostModel

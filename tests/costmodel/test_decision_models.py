@@ -1,6 +1,5 @@
 """Tests for the Morpheus heuristic, the Amalur cost model and the advisor."""
 
-import numpy as np
 import pytest
 
 from repro.costmodel.amalur_cost import AmalurCostModel

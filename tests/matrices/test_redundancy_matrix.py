@@ -2,9 +2,15 @@
 
 import numpy as np
 import pytest
+from scipy import sparse
 
 from repro.exceptions import MappingError
-from repro.matrices.redundancy_matrix import RedundancyMatrix
+from repro.matrices.redundancy_matrix import (
+    DenseRedundancy,
+    RedundancyMatrix,
+    SparseComplementRedundancy,
+    TrivialRedundancy,
+)
 
 
 @pytest.fixture
@@ -35,6 +41,36 @@ class TestStructure:
         with pytest.raises(MappingError):
             RedundancyMatrix("S", np.array([[0.5]]))  # non-binary
 
+    def test_validation_rejects_nan_explicitly(self):
+        with pytest.raises(MappingError, match="NaN"):
+            RedundancyMatrix("S", np.array([[1.0, np.nan], [0.0, 1.0]]))
+
+    def test_validation_accepts_int_and_bool_masks(self):
+        assert RedundancyMatrix("S", np.ones((3, 2), dtype=int)).is_trivial
+        mask = np.ones((3, 2), dtype=bool)
+        mask[1, 1] = False
+        assert RedundancyMatrix("S", mask).n_redundant == 1
+
+    def test_auto_dispatch_picks_representation(self, r2):
+        # r2's ratio (2/24) sits below the sparse threshold.
+        assert isinstance(r2, SparseComplementRedundancy)
+        assert isinstance(RedundancyMatrix.all_ones("S", 4, 4), TrivialRedundancy)
+        heavy = np.ones((4, 4))
+        heavy[:, :2] = 0.0
+        assert isinstance(RedundancyMatrix("S", heavy), DenseRedundancy)
+
+    def test_trivial_is_lazy(self):
+        # A mask dwarfing RAM as a dense array costs nothing stored lazily.
+        base = RedundancyMatrix.all_ones("S1", 10**7, 10**5)
+        assert base.nbytes == 0
+        assert base.dense_nbytes == 10**7 * 10**5 * 8
+        assert base.redundancy_ratio == 0.0
+
+    def test_memory_footprint_ordering(self, r2):
+        dense = DenseRedundancy("S2", r2.to_dense())
+        assert r2.nbytes < dense.nbytes
+        assert dense.nbytes == dense.dense_nbytes
+
 
 class TestApplication:
     def test_apply_hadamard(self, r2, rng):
@@ -62,3 +98,20 @@ class TestApplication:
         other = RedundancyMatrix("S2", r2.to_dense())
         assert other == r2
         assert RedundancyMatrix.all_ones("S2", 6, 4) != r2
+
+    def test_apply_preserves_csr_storage(self, r2, rng):
+        dense = rng.standard_normal((6, 4))
+        dense[dense < 0] = 0.0
+        contribution = sparse.csr_matrix(dense)
+        for representation in (r2, DenseRedundancy("S2", r2.to_dense())):
+            masked = representation.apply(contribution)
+            assert sparse.issparse(masked)
+            assert masked[3, 0] == 0.0
+            assert np.allclose(masked.toarray(), dense * r2.to_dense())
+
+    def test_apply_no_op_for_trivial(self, rng):
+        trivial = RedundancyMatrix.all_ones("S1", 6, 4)
+        contribution = rng.standard_normal((6, 4))
+        assert np.shares_memory(trivial.apply(contribution), contribution)
+        csr = sparse.csr_matrix(contribution)
+        assert trivial.apply(csr) is csr

@@ -1,7 +1,6 @@
 """Tests for repro.matrices.tensor (the §III-D tensor view)."""
 
 import numpy as np
-import pytest
 
 from repro.matrices.tensor import MetadataTensor, stack_metadata_tensor
 

@@ -7,7 +7,7 @@ from repro.metadata.catalog import MetadataCatalog, ModelMetadata
 from repro.metadata.entity_resolution import RowMatch
 from repro.metadata.mappings import ScenarioType, build_scenario_mapping
 from repro.metadata.schema_matching import ColumnMatch
-from repro.datagen.hospital import hospital_column_matches, hospital_tables
+from repro.datagen.hospital import hospital_column_matches
 
 
 @pytest.fixture

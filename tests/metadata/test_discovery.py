@@ -1,6 +1,5 @@
 """Tests for repro.metadata.discovery (feature-augmentation candidates)."""
 
-import numpy as np
 import pytest
 
 from repro.metadata.catalog import MetadataCatalog

@@ -1,6 +1,5 @@
 """Tests for repro.relational.types."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import CatalogError, PrivacyError
-from repro.relational.table import Table
 from repro.silos.network import SimulatedNetwork, TransferRecord
 from repro.silos.silo import DataSilo, PrivacyLevel
 

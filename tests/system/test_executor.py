@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.costmodel.decision import Decision
-from repro.datagen.hospital import hospital_integrated_dataset, hospital_tables
+from repro.datagen.hospital import hospital_integrated_dataset
 from repro.datagen.scenarios import ScenarioSpec, generate_scenario_dataset
 from repro.exceptions import PlanError
 from repro.metadata.mappings import ScenarioType

@@ -1,6 +1,5 @@
 """Tests for repro.system.optimizer and repro.system.plan."""
 
-import pytest
 
 from repro.costmodel.decision import Decision
 from repro.datagen.hospital import hospital_integrated_dataset, hospital_tables

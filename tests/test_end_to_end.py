@@ -1,7 +1,6 @@
 """Cross-module integration tests: the full pipelines the paper motivates."""
 
 import numpy as np
-import pytest
 
 from repro.costmodel.decision import Decision
 from repro.costmodel.parameters import CostParameters
