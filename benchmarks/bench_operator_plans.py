@@ -1,0 +1,349 @@
+"""Wall-time of the compiled operator plans vs. the seed per-element loops.
+
+Run standalone to emit ``benchmarks/results/BENCH_OPERATORS.json`` (exits
+non-zero when a perf or parity guard fails — the CI ``perf-guard`` job)::
+
+    PYTHONPATH=src python benchmarks/bench_operator_plans.py           # small cases
+    PYTHONPATH=src python benchmarks/bench_operator_plans.py --scale   # + 1M × 10k
+
+Workloads:
+
+* the **four Table I integration scenarios** (inner/left/outer join and
+  union, with overlap rows and overlapping columns so the redundancy
+  correction paths run), timed per GD iteration (one LMM + one
+  transpose-LMM) and per operator, with exact-parity checks against the
+  materialized target;
+* a **wide one-hot scenario** (8k rows × 4k categories, ~4k target
+  columns, many-to-one join, auto backend) — the regime the paper's
+  factorization targets, where the seed's Python-level column loops
+  dominated; the guard requires a ≥10× GD-iteration speedup here;
+* with ``--scale``, the **1M × 10k one-hot scenario** from the PR 2
+  memory-guard, timed compiled-vs-seed (the target is not
+  materializable, so parity is checked between the two implementations).
+
+The "seed path" is the pre-compiled-plan implementation (per-element
+``for target_col, source_col in enumerate(compressed)`` gather/scatter
+loops and per-call list-comprehension effective contributions), preserved
+verbatim below as the perf baseline. Guards: compiled must never be
+slower than the seed path (×1.25 tolerance for the sub-millisecond small
+cases), the wide case must speed up ≥10×, and every operator must match
+its reference to 1e-10.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_operator_plans.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_dataset
+from repro.datagen.synthetic import OneHotSpec, generate_one_hot_pair
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.metadata.mappings import ScenarioType
+
+PARITY_ATOL = 1e-10
+SMALL_TOLERANCE = 1.25  # compiled may never be slower than seed × this
+WIDE_MIN_SPEEDUP = 10.0  # required GD-iteration speedup on the wide case
+SMALL_REPEATS = 7
+WIDE_REPEATS = 5
+SCALE_REPEATS = 3
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_OPERATORS.json"
+
+SCENARIO_SPECS = {
+    "inner_join": ScenarioSpec(
+        ScenarioType.INNER_JOIN,
+        base_rows=400, other_rows=300, base_features=30, other_features=40,
+        overlap_rows=150, overlap_columns=5, seed=7,
+    ),
+    "left_join": ScenarioSpec(
+        ScenarioType.LEFT_JOIN,
+        base_rows=400, other_rows=300, base_features=30, other_features=40,
+        overlap_rows=150, overlap_columns=5, seed=7,
+    ),
+    "outer_join": ScenarioSpec(
+        ScenarioType.FULL_OUTER_JOIN,
+        base_rows=400, other_rows=300, base_features=30, other_features=40,
+        overlap_rows=150, overlap_columns=5, seed=7,
+    ),
+    "union": ScenarioSpec(
+        ScenarioType.UNION,
+        base_rows=400, other_rows=300, base_features=30, other_features=40,
+        overlap_rows=150, overlap_columns=5, seed=7,
+    ),
+}
+WIDE_SPEC = OneHotSpec(n_rows=8_000, n_categories=4_000, base_columns=5, seed=3)
+SCALE_SPEC = OneHotSpec(n_rows=1_000_000, n_categories=10_000, base_columns=5, seed=3)
+
+
+class SeedPathOps:
+    """The seed (pre-OperatorPlan) implementation of the §IV-A rewrites.
+
+    Kept verbatim as the perf-guard baseline: per-element Python loops over
+    the compressed mapping vector in lmm/transpose_lmm, and effective
+    contributions rebuilt from list comprehensions on every crossprod call.
+    Shares the wrapped matrix's storages, backend and corrections, so the
+    *only* difference measured is loop structure vs. compiled plans.
+    """
+
+    def __init__(self, matrix: AmalurMatrix):
+        self.matrix = matrix
+
+    def lmm(self, x: np.ndarray) -> np.ndarray:
+        matrix = self.matrix
+        x = matrix._check_lmm_operand(x)
+        result = np.zeros((matrix.n_rows, x.shape[1]))
+        for index, factor in enumerate(matrix.dataset.factors):
+            gathered = np.zeros((factor.n_columns, x.shape[1]))
+            compressed = factor.mapping.compressed
+            for target_col, source_col in enumerate(compressed):
+                if source_col >= 0:
+                    gathered[source_col] = x[target_col]
+            storage = matrix._storages[index]
+            local = matrix.backend.matmul(storage, gathered)
+            result += factor.indicator.apply(local)
+            if not factor.redundancy.is_trivial:
+                result -= matrix._correction(index) @ x
+        return result
+
+    def transpose_lmm(self, x: np.ndarray) -> np.ndarray:
+        matrix = self.matrix
+        x = matrix._check_transpose_operand(x)
+        result = np.zeros((matrix.n_columns, x.shape[1]))
+        for index, factor in enumerate(matrix.dataset.factors):
+            projected = factor.indicator.apply_transpose(x)
+            storage = matrix._storages[index]
+            local = matrix.backend.transpose_matmul(storage, projected)
+            compressed = factor.mapping.compressed
+            for target_col, source_col in enumerate(compressed):
+                if source_col >= 0:
+                    result[target_col] += local[source_col]
+            if not factor.redundancy.is_trivial:
+                result -= matrix._correction(index).T @ x
+        return result
+
+    def crossprod(self) -> np.ndarray:
+        matrix = self.matrix
+        gram = np.zeros((matrix.n_columns, matrix.n_columns))
+        effective = [
+            self._effective_contribution(i) for i in range(matrix.dataset.n_sources)
+        ]
+        for k, (rows_k, block_k, cols_k) in enumerate(effective):
+            local = matrix.backend.crossprod(block_k)
+            gram[np.ix_(cols_k, cols_k)] += local
+            for other in range(k + 1, matrix.dataset.n_sources):
+                rows_l, block_l, cols_l = effective[other]
+                shared, idx_k, idx_l = np.intersect1d(
+                    rows_k, rows_l, assume_unique=False, return_indices=True
+                )
+                if shared.size == 0:
+                    continue
+                left = matrix.backend.take_rows(block_k, idx_k)
+                right = matrix.backend.take_rows(block_l, idx_l)
+                cross = matrix.backend.gram_pair(left, right)
+                gram[np.ix_(cols_k, cols_l)] += cross
+                gram[np.ix_(cols_l, cols_k)] += cross.T
+        return gram
+
+    def _effective_contribution(self, index: int):
+        matrix = self.matrix
+        factor = matrix.dataset.factors[index]
+        storage = matrix._storages[index]
+        compressed_rows = factor.indicator.compressed
+        compressed_cols = factor.mapping.compressed
+        rows = np.asarray([i for i, j in enumerate(compressed_rows) if j >= 0], dtype=int)
+        cols = [i for i, j in enumerate(compressed_cols) if j >= 0]
+        source_rows = compressed_rows[rows]
+        source_cols = [int(compressed_cols[c]) for c in cols]
+        block = matrix.backend.take_columns(
+            matrix.backend.take_rows(storage, source_rows), source_cols
+        )
+        if not factor.redundancy.is_trivial:
+            restricted = factor.redundancy.submatrix(rows, cols)
+            block = matrix.backend.apply_redundancy(block, restricted)
+        return rows, block, cols
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _gd_iteration(ops, weights: np.ndarray, targets: np.ndarray):
+    """One full-batch GD iteration: predictions (LMM) + gradient (TLMM)."""
+    predictions = ops.lmm(weights)
+    residuals = predictions - targets
+    return ops.transpose_lmm(residuals)
+
+
+def _max_abs_err(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.max(np.abs(a - b))) if a.size else 0.0
+
+
+def _bench_case(name, dataset, backend, repeats, materializable, failures):
+    matrix = AmalurMatrix(dataset, backend=backend)
+    seed_ops = SeedPathOps(matrix)
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal((matrix.n_columns, 1))
+    targets = rng.standard_normal((matrix.n_rows, 1))
+
+    # Warm the shared lazy structure (corrections, storages) outside timing.
+    compiled_gd = _gd_iteration(matrix, weights, targets)
+    seed_gd = _gd_iteration(seed_ops, weights, targets)
+
+    # -- parity -------------------------------------------------------------
+    if materializable:
+        target = dataset.materialize()
+        reference_lmm = target @ weights
+        reference_tlmm = target.T @ targets
+        parity_reference = "materialized"
+    else:
+        reference_lmm = seed_ops.lmm(weights)
+        reference_tlmm = seed_ops.transpose_lmm(targets)
+        parity_reference = "seed_path"
+    lmm_err = _max_abs_err(matrix.lmm(weights), reference_lmm)
+    tlmm_err = _max_abs_err(matrix.transpose_lmm(targets), reference_tlmm)
+    gd_err = _max_abs_err(compiled_gd, seed_gd)
+    crossprod_err = None
+    if materializable:
+        crossprod_err = _max_abs_err(matrix.crossprod(), target.T @ target)
+    parity_errs = [e for e in (lmm_err, tlmm_err, gd_err, crossprod_err) if e is not None]
+    if max(parity_errs) > PARITY_ATOL:
+        failures.append(
+            f"{name}: parity vs {parity_reference} broke "
+            f"(lmm={lmm_err:.2e}, tlmm={tlmm_err:.2e}, gd={gd_err:.2e})"
+        )
+
+    # -- wall time ----------------------------------------------------------
+    seed_iter = _best_of(lambda: _gd_iteration(seed_ops, weights, targets), repeats)
+    compiled_iter = _best_of(lambda: _gd_iteration(matrix, weights, targets), repeats)
+    seed_lmm = _best_of(lambda: seed_ops.lmm(weights), repeats)
+    compiled_lmm = _best_of(lambda: matrix.lmm(weights), repeats)
+    seed_tlmm = _best_of(lambda: seed_ops.transpose_lmm(targets), repeats)
+    compiled_tlmm = _best_of(lambda: matrix.transpose_lmm(targets), repeats)
+    # Compiled crossprod on a fresh view per repeat: times the uncached plan
+    # path (plan build included), not the Gram cache hit.
+    seed_cross = _best_of(seed_ops.crossprod, repeats)
+    compiled_cross = _best_of(
+        lambda: AmalurMatrix(dataset, backend=backend).crossprod(), repeats
+    )
+    cached_cross = _best_of(matrix.crossprod, repeats)
+
+    record = {
+        "shape": list(matrix.shape),
+        "backend": matrix.backend.name,
+        "storage_formats": matrix.storage_formats(),
+        "parity_reference": parity_reference,
+        "parity_max_abs_err": max(parity_errs),
+        "seed_gd_iteration_s": seed_iter,
+        "compiled_gd_iteration_s": compiled_iter,
+        "gd_iteration_speedup": seed_iter / compiled_iter if compiled_iter else float("inf"),
+        "operators": {
+            "lmm": {"seed_s": seed_lmm, "compiled_s": compiled_lmm},
+            "transpose_lmm": {"seed_s": seed_tlmm, "compiled_s": compiled_tlmm},
+            "crossprod": {
+                "seed_s": seed_cross,
+                "compiled_s": compiled_cross,
+                "compiled_cached_s": cached_cross,
+            },
+        },
+    }
+    print(
+        f"  {name:<14} {matrix.shape[0]:>9}x{matrix.shape[1]:<6} "
+        f"seed {seed_iter * 1e3:9.3f} ms  compiled {compiled_iter * 1e3:9.3f} ms  "
+        f"speedup {record['gd_iteration_speedup']:7.1f}x  "
+        f"parity {record['parity_max_abs_err']:.1e}"
+    )
+    return record
+
+
+def run(scale: bool = False) -> int:
+    failures: list = []
+    cases = {}
+
+    print("GD-iteration wall time (one LMM + one transpose-LMM), best of N:")
+    for name, spec in SCENARIO_SPECS.items():
+        dataset = generate_scenario_dataset(spec)
+        cases[name] = _bench_case(
+            name, dataset, None, SMALL_REPEATS, materializable=True, failures=failures
+        )
+
+    wide_dataset = generate_one_hot_pair(WIDE_SPEC, backend="auto")
+    cases["wide_one_hot"] = _bench_case(
+        "wide_one_hot", wide_dataset, "auto", WIDE_REPEATS,
+        materializable=True, failures=failures,
+    )
+
+    if scale:
+        scale_dataset = generate_one_hot_pair(SCALE_SPEC, backend="auto")
+        cases["scale_one_hot"] = _bench_case(
+            "scale_one_hot", scale_dataset, "auto", SCALE_REPEATS,
+            materializable=False, failures=failures,
+        )
+
+    # -- guards -------------------------------------------------------------
+    for name, record in cases.items():
+        ratio = record["compiled_gd_iteration_s"] / record["seed_gd_iteration_s"]
+        if ratio > SMALL_TOLERANCE:
+            failures.append(
+                f"{name}: compiled GD iteration is {ratio:.2f}x the seed path "
+                f"(tolerance {SMALL_TOLERANCE}x)"
+            )
+        for op, timing in record["operators"].items():
+            if timing["compiled_s"] > timing["seed_s"] * SMALL_TOLERANCE:
+                failures.append(
+                    f"{name}.{op}: compiled {timing['compiled_s'] * 1e3:.3f} ms vs "
+                    f"seed {timing['seed_s'] * 1e3:.3f} ms exceeds tolerance"
+                )
+    wide_speedup = cases["wide_one_hot"]["gd_iteration_speedup"]
+    if wide_speedup < WIDE_MIN_SPEEDUP:
+        failures.append(
+            f"wide_one_hot: GD-iteration speedup {wide_speedup:.1f}x "
+            f"is below the required {WIDE_MIN_SPEEDUP}x"
+        )
+
+    # Merge with any existing record so a default (no --scale) run never
+    # drops the committed scale_one_hot baseline from the trajectory file.
+    if RESULTS_PATH.exists():
+        try:
+            previous = json.loads(RESULTS_PATH.read_text()).get("cases", {})
+        except (ValueError, OSError):
+            previous = {}
+        for name, case in previous.items():
+            cases.setdefault(name, case)
+    record = {
+        "benchmark": "operator_plans",
+        "parity_atol": PARITY_ATOL,
+        "small_tolerance": SMALL_TOLERANCE,
+        "wide_min_speedup": WIDE_MIN_SPEEDUP,
+        "cases": cases,
+        "guards_failed": failures,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    if failures:
+        print("\nperf-guard FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"perf-guard ok: wide GD-iteration speedup {wide_speedup:.1f}x "
+        f"(bar {WIDE_MIN_SPEEDUP}x), parity <= {PARITY_ATOL}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(scale="--scale" in sys.argv))

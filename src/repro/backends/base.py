@@ -55,6 +55,19 @@ def storage_density(storage: Storage) -> float:
     return storage_nnz(storage) / total if total else 1.0
 
 
+def as_float64(x) -> np.ndarray:
+    """``x`` as a float64 ndarray, without copying float64 ndarray input.
+
+    The operand-validation fast path of the factorized operators: model
+    weights and residuals are float64 already, so per-iteration calls must
+    not re-copy (or even re-inspect dtype via ``np.asarray``) on the way
+    in.
+    """
+    if isinstance(x, np.ndarray) and x.dtype == np.float64:
+        return x
+    return np.asarray(x, dtype=np.float64)
+
+
 def to_dense(storage: Storage) -> np.ndarray:
     """Densify a storage matrix into a 2-D float ndarray."""
     if sparse.issparse(storage):
@@ -172,17 +185,43 @@ class Backend(abc.ABC):
     def total_sum(self, storage: Storage) -> float:
         return float(storage.sum())
 
-    # -- row/column extraction ---------------------------------------------------------
+    # -- row/column extraction -----------------------------------------------------------
     def take_rows(self, storage: Storage, rows: np.ndarray) -> Storage:
         """Gather a subset of rows, preserving the storage format."""
-        return storage[np.asarray(rows, dtype=int)]
+        return storage[np.asarray(rows, dtype=np.intp)]
 
     def take_columns(self, storage: Storage, columns) -> Storage:
-        """Gather a subset of columns, preserving the storage format."""
-        columns = list(columns)
+        """Gather a subset of columns, preserving the storage format.
+
+        ``columns`` may be any integer sequence or ndarray; a CSR storage
+        is sliced through CSC so it never densifies.
+        """
+        columns = np.asarray(columns, dtype=np.intp)
         if sparse.issparse(storage):
             return storage.tocsc()[:, columns].tocsr()
         return storage[:, columns]
+
+    # -- scatter/gather kernels (operator plans) -----------------------------------------
+    def scatter_add(
+        self,
+        out: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        unique: bool = True,
+    ) -> np.ndarray:
+        """Accumulate ``values`` onto the ``indices`` rows of dense ``out``.
+
+        With ``unique=True`` (no index appears twice — the mapping/indicator
+        compressed vectors guarantee this for target rows and columns) the
+        accumulation is a single fancy-indexed ``+=``; duplicate-tolerant
+        callers get the unbuffered ``np.add.at`` instead. ``out`` is
+        modified in place and returned.
+        """
+        if unique:
+            out[indices] += values
+        else:
+            np.add.at(out, indices, values)
+        return out
 
     # -- FLOP accounting hooks ---------------------------------------------------------
     def matmul_flops(self, storage: Storage, operand_columns: int) -> float:

@@ -134,7 +134,11 @@ class AmalurCostModel:
                 )
             else:
                 factorize_compute += rows * cols * operand_columns
-            factorize_compute += parameters.n_target_rows * operand_columns * self.lift_weight
+            # Indicator lift charged per mapped target row — the rows the
+            # compiled operator plan actually scatters — not per r_T.
+            factorize_compute += (
+                parameters.mapped_rows_of(index) * operand_columns * self.lift_weight
+            )
         factorize_compute += parameters.redundant_cells * operand_columns
         overhead = self.per_source_overhead * parameters.n_sources
 

@@ -48,6 +48,12 @@ class CostParameters:
     operand_columns: int = 1
     source_densities: List[float] = field(default_factory=list)
     sparse_density_threshold: float = SPARSE_DENSITY_THRESHOLD
+    #: Per-source count of target rows the source actually covers (the
+    #: indicator's mapped rows). Defaults to ``n_target_rows`` per source —
+    #: the full-coverage assumption — when not provided; populated from the
+    #: dataset so gather/scatter costs are priced by what the compiled
+    #: operator plans execute rather than by ``r_T``.
+    source_mapped_rows: List[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.source_shapes:
@@ -71,6 +77,18 @@ class CostParameters:
             raise CostModelError(
                 f"invalid sparse density threshold {self.sparse_density_threshold}"
             )
+        if not self.source_mapped_rows:
+            self.source_mapped_rows = [self.n_target_rows] * len(self.source_shapes)
+        if len(self.source_mapped_rows) > len(self.source_shapes):
+            raise CostModelError(
+                f"source_mapped_rows has {len(self.source_mapped_rows)} entries for "
+                f"{len(self.source_shapes)} sources"
+            )
+        for mapped in self.source_mapped_rows:
+            if mapped < 0 or mapped > self.n_target_rows:
+                raise CostModelError(
+                    f"invalid mapped-row count {mapped} for {self.n_target_rows} target rows"
+                )
 
     # -- derived ratios (the Morpheus heuristic's inputs) --------------------------------
     @property
@@ -140,6 +158,14 @@ class CostParameters:
         rows, cols = self.source_shapes[index]
         return int(round(rows * cols * self.density_of(index)))
 
+    def mapped_rows_of(self, index: int) -> int:
+        """Target rows source ``index`` covers (``n_target_rows`` if unknown)."""
+        if not 0 <= index < len(self.source_shapes):
+            raise CostModelError(f"no source with index {index}")
+        if index < len(self.source_mapped_rows):
+            return self.source_mapped_rows[index]
+        return self.n_target_rows
+
     def backend_choice(self, index: int) -> str:
         """Which kernel the density-threshold rule picks for source ``index``."""
         return (
@@ -205,4 +231,5 @@ class CostParameters:
             has_full_tgds_only=has_full_tgds_only,
             operand_columns=operand_columns,
             source_densities=source_densities,
+            source_mapped_rows=[f.indicator.n_mapped for f in dataset.factors],
         )

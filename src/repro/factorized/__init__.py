@@ -14,8 +14,16 @@ redundancy.
 """
 
 from repro.factorized.ops_counter import FlopCounter
+from repro.factorized.operator_plan import OperatorPlan
 from repro.factorized.normalized_matrix import AmalurMatrix
 from repro.factorized.morpheus import MorpheusMatrix
 from repro.factorized.queries import VirtualQueryEngine, QueryResult
 
-__all__ = ["FlopCounter", "AmalurMatrix", "MorpheusMatrix", "VirtualQueryEngine", "QueryResult"]
+__all__ = [
+    "FlopCounter",
+    "OperatorPlan",
+    "AmalurMatrix",
+    "MorpheusMatrix",
+    "VirtualQueryEngine",
+    "QueryResult",
+]

@@ -22,6 +22,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.backends import BackendSpec, resolve_backend
+from repro.backends.base import as_float64
 from repro.exceptions import FactorizationError
 from repro.factorized.ops_counter import FlopCounter
 
@@ -129,7 +130,7 @@ class MorpheusMatrix:
     # -- operators --------------------------------------------------------------------
     def lmm(self, x: np.ndarray) -> np.ndarray:
         """``T @ X`` via the original Morpheus rewrite (paper Eq. 1)."""
-        x = np.asarray(x, dtype=float)
+        x = as_float64(x)
         if x.ndim == 1:
             x = x[:, None]
         if x.shape[0] != self.n_columns:
@@ -154,7 +155,7 @@ class MorpheusMatrix:
 
     def transpose_lmm(self, x: np.ndarray) -> np.ndarray:
         """``Tᵀ @ X`` via the Morpheus rewrite."""
-        x = np.asarray(x, dtype=float)
+        x = as_float64(x)
         if x.ndim == 1:
             x = x[:, None]
         if x.shape[0] != self.n_rows:
@@ -182,7 +183,7 @@ class MorpheusMatrix:
 
     def rmm(self, x: np.ndarray) -> np.ndarray:
         """``X @ T`` via the Morpheus rewrite."""
-        x = np.asarray(x, dtype=float)
+        x = as_float64(x)
         if x.ndim == 1:
             x = x[None, :]
         if x.shape[1] != self.n_rows:

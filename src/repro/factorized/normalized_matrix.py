@@ -26,7 +26,9 @@ import numpy as np
 from scipy import sparse
 
 from repro.backends import Backend, BackendSpec, resolve_backend
+from repro.backends.base import as_float64 as _as_float64
 from repro.exceptions import FactorizationError
+from repro.factorized.operator_plan import OperatorPlan
 from repro.factorized.ops_counter import FlopCounter
 from repro.matrices.builder import IntegratedDataset, SourceFactor
 
@@ -55,9 +57,18 @@ class AmalurMatrix:
         )
         # Backend-prepared physical form of each D_k (dense ndarray or CSR).
         self._storages = [factor.storage(self.backend) for factor in dataset.factors]
-        # Sparse per-factor correction matrices holding the values of
-        # redundant cells of T_k (zero rows/cols elsewhere). Computed lazily.
-        self._corrections: List[Optional[sparse.csr_matrix]] = [None] * dataset.n_sources
+        # Compiled operator plans: per-factor gather/scatter index arrays,
+        # many-to-one projectors, and lazily cached corrections/effective
+        # contributions (see repro.factorized.operator_plan). Rebuilt by any
+        # operation returning a new AmalurMatrix (with_backend,
+        # select_columns, scale).
+        self._plans: List[OperatorPlan] = [
+            OperatorPlan(factor, storage, self.backend)
+            for factor, storage in zip(dataset.factors, self._storages)
+        ]
+        # Gram cache for crossprod(); factors are immutable, so TᵀT never
+        # changes for this view.
+        self._gram: Optional[np.ndarray] = None
 
     # -- shapes ---------------------------------------------------------------------
     @property
@@ -98,31 +109,10 @@ class AmalurMatrix:
     # -- helpers --------------------------------------------------------------------
     def _correction(self, index: int) -> sparse.csr_matrix:
         """Sparse matrix with the values of redundant cells of factor ``index``."""
-        cached = self._corrections[index]
-        if cached is not None:
-            return cached
-        factor = self.dataset.factors[index]
-        complement = factor.redundancy.to_sparse_complement().tocoo()
-        target_rows = np.asarray(complement.row, dtype=np.intp)
-        target_cols = np.asarray(complement.col, dtype=np.intp)
-        compressed_rows = np.asarray(factor.indicator.compressed)
-        compressed_cols = np.asarray(factor.mapping.compressed)
-        source_rows = compressed_rows[target_rows]
-        source_cols = compressed_cols[target_cols]
-        mapped = (source_rows >= 0) & (source_cols >= 0)
-        target_rows, target_cols = target_rows[mapped], target_cols[mapped]
-        # One vectorized gather over D_k (sparse storage stays sparse).
-        values = factor.cells(source_rows[mapped], source_cols[mapped])
-        nonzero = values != 0.0
-        correction = sparse.csr_matrix(
-            (values[nonzero], (target_rows[nonzero], target_cols[nonzero])),
-            shape=(self.n_rows, self.n_columns),
-        )
-        self._corrections[index] = correction
-        return correction
+        return self._plans[index].correction()
 
     def _check_lmm_operand(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float64(x)
         if x.ndim == 1:
             x = x[:, None]
         if x.shape[0] != self.n_columns:
@@ -132,7 +122,7 @@ class AmalurMatrix:
         return x
 
     def _check_rmm_operand(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float64(x)
         if x.ndim == 1:
             x = x[None, :]
         if x.shape[1] != self.n_rows:
@@ -142,7 +132,7 @@ class AmalurMatrix:
         return x
 
     def _check_transpose_operand(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float64(x)
         if x.ndim == 1:
             x = x[:, None]
         if x.shape[0] != self.n_rows:
@@ -153,69 +143,65 @@ class AmalurMatrix:
 
     # -- core operators -----------------------------------------------------------------
     def lmm(self, x: np.ndarray) -> np.ndarray:
-        """Left matrix multiplication ``T @ X`` (paper Eq. 2), factorized."""
+        """Left matrix multiplication ``T @ X`` (paper Eq. 2), factorized.
+
+        Runs entirely on the compiled per-factor plans: an operand-row
+        gather (``M_kᵀ X``), the backend matmul, and a fancy-indexed
+        indicator lift — no Python-level per-element loops.
+        """
         x = self._check_lmm_operand(x)
-        result = np.zeros((self.n_rows, x.shape[1]))
-        for index, factor in enumerate(self.dataset.factors):
-            # M_kᵀ X — a pure row gather on X (mapped target rows → source cols).
-            gathered = np.zeros((factor.n_columns, x.shape[1]))
-            compressed = factor.mapping.compressed
-            for target_col, source_col in enumerate(compressed):
-                if source_col >= 0:
-                    gathered[source_col] = x[target_col]
-            storage = self._storages[index]
+        m = x.shape[1]
+        result = np.zeros((self.n_rows, m))
+        for plan, storage in zip(self._plans, self._storages):
+            gathered = plan.gather_operand_rows(x)  # (c_Sk × m)
             local = self.backend.matmul(storage, gathered)  # (r_Sk × m)
-            self.counter.add("lmm.local", self.backend.matmul_flops(storage, x.shape[1]))
-            result += factor.indicator.apply(local)
-            self.counter.add("lmm.lift", float(self.n_rows) * x.shape[1])
-            if not factor.redundancy.is_trivial:
-                correction = self._correction(index)
+            self.counter.add("lmm.local", self.backend.matmul_flops(storage, m))
+            plan.lift_add(result, local)
+            self.counter.add("lmm.lift", float(plan.n_mapped_rows) * m)
+            if plan.has_correction:
+                correction = plan.correction()
                 result -= correction @ x
-                self.counter.add("lmm.correction", float(correction.nnz) * x.shape[1])
+                self.counter.add("lmm.correction", float(correction.nnz) * m)
         return result
 
     def rmm(self, x: np.ndarray) -> np.ndarray:
         """Right matrix multiplication ``X @ T``, factorized."""
         x = self._check_rmm_operand(x)
-        result = np.zeros((x.shape[0], self.n_columns))
-        for index, factor in enumerate(self.dataset.factors):
+        m = x.shape[0]
+        result = np.zeros((m, self.n_columns))
+        for plan, storage in zip(self._plans, self._storages):
             # X I_k — accumulate the target-row columns of X onto source rows.
-            projected = factor.indicator.apply_transpose(x.T).T  # (m × r_Sk)
-            self.counter.add("rmm.project", float(x.shape[0]) * self.n_rows)
-            storage = self._storages[index]
-            # projected @ D_k computed as (D_kᵀ @ projectedᵀ)ᵀ so sparse
+            projected = plan.project_rows(x.T)  # (r_Sk × m)
+            self.counter.add("rmm.project", float(plan.n_mapped_rows) * m)
+            # projected @ D_k computed as (D_kᵀ @ projected)ᵀ so sparse
             # storages go through the CSR kernel.
-            local = self.backend.transpose_matmul(storage, projected.T).T  # (m × c_Sk)
-            self.counter.add("rmm.local", self.backend.matmul_flops(storage, x.shape[0]))
+            local = self.backend.transpose_matmul(storage, projected).T  # (m × c_Sk)
+            self.counter.add("rmm.local", self.backend.matmul_flops(storage, m))
             # Scatter the source columns onto target columns (M_kᵀ on the right).
-            compressed = factor.mapping.compressed
-            for target_col, source_col in enumerate(compressed):
-                if source_col >= 0:
-                    result[:, target_col] += local[:, source_col]
-            if not factor.redundancy.is_trivial:
-                correction = self._correction(index)
+            plan.scatter_add_columns(result, local)
+            self.counter.add("rmm.scatter", float(plan.n_mapped_cols) * m)
+            if plan.has_correction:
+                correction = plan.correction()
                 result -= (correction.T @ x.T).T
-                self.counter.add("rmm.correction", float(correction.nnz) * x.shape[0])
+                self.counter.add("rmm.correction", float(correction.nnz) * m)
         return result
 
     def transpose_lmm(self, x: np.ndarray) -> np.ndarray:
         """``Tᵀ @ X``, factorized — the workhorse of model gradients."""
         x = self._check_transpose_operand(x)
-        result = np.zeros((self.n_columns, x.shape[1]))
-        for index, factor in enumerate(self.dataset.factors):
-            projected = factor.indicator.apply_transpose(x)  # (r_Sk × m)
-            self.counter.add("tlmm.project", float(self.n_rows) * x.shape[1])
-            storage = self._storages[index]
+        m = x.shape[1]
+        result = np.zeros((self.n_columns, m))
+        for plan, storage in zip(self._plans, self._storages):
+            projected = plan.project_rows(x)  # (r_Sk × m)
+            self.counter.add("tlmm.project", float(plan.n_mapped_rows) * m)
             local = self.backend.transpose_matmul(storage, projected)  # (c_Sk × m)
-            self.counter.add("tlmm.local", self.backend.matmul_flops(storage, x.shape[1]))
-            compressed = factor.mapping.compressed
-            for target_col, source_col in enumerate(compressed):
-                if source_col >= 0:
-                    result[target_col] += local[source_col]
-            if not factor.redundancy.is_trivial:
-                correction = self._correction(index)
+            self.counter.add("tlmm.local", self.backend.matmul_flops(storage, m))
+            plan.scatter_add_rows(result, local)
+            self.counter.add("tlmm.scatter", float(plan.n_mapped_cols) * m)
+            if plan.has_correction:
+                correction = plan.correction()
                 result -= correction.T @ x
-                self.counter.add("tlmm.correction", float(correction.nnz) * x.shape[1])
+                self.counter.add("tlmm.correction", float(correction.nnz) * m)
         return result
 
     def crossprod(self) -> np.ndarray:
@@ -225,9 +211,17 @@ class AmalurMatrix:
         (``M_k D_kᵀ I_kᵀ I_k D_k M_kᵀ`` collapses to a per-source Gram over
         the rows that reach the target); cross-source terms only involve
         target rows covered by both sources and are computed on those rows.
+
+        The result is cached on this matrix (the factors are immutable),
+        so the normal-equation solver and repeated fits reuse one Gram;
+        treat the returned array as read-only. Views produced by
+        ``with_backend`` / ``select_columns`` / ``scale`` start with a
+        fresh cache.
         """
+        if self._gram is not None:
+            return self._gram
         gram = np.zeros((self.n_columns, self.n_columns))
-        effective = [self._effective_contribution(i) for i in range(self.dataset.n_sources)]
+        effective = [plan.effective_contribution() for plan in self._plans]
         for k, (rows_k, block_k, cols_k) in enumerate(effective):
             # Same-source term, computed in source dimensions.
             local = self.backend.crossprod(block_k)
@@ -248,27 +242,9 @@ class AmalurMatrix:
                 )
                 gram[np.ix_(cols_k, cols_l)] += cross
                 gram[np.ix_(cols_l, cols_k)] += cross.T
+        gram.setflags(write=False)
+        self._gram = gram
         return gram
-
-    def _effective_contribution(self, index: int):
-        """Rows covered by factor ``index``, its deduplicated values there (in
-        backend storage form), and the target column indices it maps."""
-        factor = self.dataset.factors[index]
-        storage = self._storages[index]
-        rows = np.asarray(factor.indicator.mapped_target_rows(), dtype=int)
-        cols = factor.mapping.mapped_target_indices()
-        source_rows = factor.indicator.compressed[rows]
-        source_cols = [int(factor.mapping.compressed[c]) for c in cols]
-        block = self.backend.take_columns(
-            self.backend.take_rows(storage, source_rows), source_cols
-        )
-        if not factor.redundancy.is_trivial:
-            # Mask-aware slicing: restrict R_k to the covered rows × mapped
-            # columns without densifying, then zero the redundant cells in
-            # whatever format the backend stores the block (CSR stays CSR).
-            restricted = factor.redundancy.submatrix(rows, cols)
-            block = self.backend.apply_redundancy(block, restricted)
-        return rows, block, cols
 
     # -- element-wise and aggregation operators ----------------------------------------------
     def scale(self, alpha: float) -> "AmalurMatrix":

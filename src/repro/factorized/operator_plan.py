@@ -1,0 +1,209 @@
+"""Compiled per-factor operator plans for the §IV-A rewrites.
+
+An :class:`OperatorPlan` is built once per source factor when an
+:class:`~repro.factorized.normalized_matrix.AmalurMatrix` is constructed.
+It precomputes every index array the LMM / RMM / transpose-LMM /
+cross-product hot loops need from the compressed mapping (``CM_k``) and
+indicator (``CI_k``) vectors, so the per-iteration paths of gradient
+descent run as pure NumPy fancy indexing and CSR kernels with **zero
+Python-level per-element loops**.
+
+What is precomputed
+-------------------
+* ``target_cols`` / ``source_cols`` — mapped target-column indices and the
+  corresponding source-column indices (from ``CM_k``). They drive the
+  operand-row gather of LMM (``M_kᵀ X``) and the column/row scatter of
+  RMM / transpose-LMM (``M_k`` on the result side). Both index lists are
+  duplicate-free by construction (a mapping matrix has at most one ``1``
+  per row and per column), so scatters are single fancy-indexed ``+=``.
+* ``target_rows`` / ``source_rows`` — mapped target-row indices and the
+  corresponding source-row indices (from ``CI_k``). They drive the
+  indicator lift of LMM (``I_k ·``) and the row projection of RMM /
+  transpose-LMM (``I_kᵀ ·``).
+* ``projector`` — only for many-to-one joins (one source row feeding
+  several target rows): ``I_kᵀ`` as a CSR matrix, so the row accumulation
+  runs as one compiled sparse-times-dense matmul. 1:1 joins skip it and
+  use plain fancy indexing.
+* the factor's **effective contribution** for ``crossprod`` — the
+  deduplicated block of covered rows × mapped columns in backend storage
+  form (CSR stays CSR) — cached after the first Gram computation.
+* the sparse **correction matrix** holding the values of the factor's
+  redundant cells, cached after first use by any operator.
+
+When plans are invalidated
+--------------------------
+A plan is immutable and tied to one ``(factor, storage, backend)``
+triple. Every operation that yields a different factorization —
+``AmalurMatrix.with_backend``, ``select_columns``, ``scale`` — returns a
+*new* ``AmalurMatrix``, which builds fresh plans (and a fresh Gram cache)
+for its own factors; existing plans are never mutated, so stale index
+arrays cannot leak across views.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.backends import Backend
+from repro.backends.base import Storage
+from repro.matrices.builder import SourceFactor
+
+
+class OperatorPlan:
+    """Precomputed gather/scatter structure of one source factor.
+
+    See the module docstring for what is precomputed and when plans are
+    rebuilt. All arrays exposed here are read-only views shared with the
+    factor's mapping/indicator caches — cheap to hold, safe to index with.
+    """
+
+    __slots__ = (
+        "factor",
+        "storage",
+        "backend",
+        "n_source_columns",
+        "n_source_rows",
+        "target_cols",
+        "source_cols",
+        "target_rows",
+        "source_rows",
+        "rows_injective",
+        "rows_fully_mapped",
+        "projector",
+        "n_mapped_rows",
+        "n_mapped_cols",
+        "has_correction",
+        "_correction",
+        "_effective",
+    )
+
+    def __init__(self, factor: SourceFactor, storage: Storage, backend: Backend):
+        self.factor = factor
+        self.storage = storage
+        self.backend = backend
+        mapping = factor.mapping
+        indicator = factor.indicator
+        self.n_source_columns = mapping.n_source_columns
+        self.n_source_rows = indicator.n_source_rows
+        # Column maps (CM_k): duplicate-free on both sides.
+        self.target_cols = mapping.mapped_target_indices()
+        self.source_cols = mapping.mapped_source_indices()
+        # Row maps (CI_k): target side duplicate-free, source side only for
+        # 1:1 joins.
+        self.target_rows = indicator.mapped_target_rows()
+        self.source_rows = indicator.mapped_source_rows()
+        self.rows_injective = indicator.is_injective
+        self.n_mapped_rows = int(self.target_rows.size)
+        self.n_mapped_cols = int(self.target_cols.size)
+        # Every target row covered ⇒ the lift is a pure gather followed by
+        # a contiguous add, which beats a fancy-indexed scatter by a wide
+        # margin at millions of rows.
+        self.rows_fully_mapped = self.n_mapped_rows == indicator.n_target_rows
+        # I_kᵀ as CSR for the many-to-one accumulation; 1:1 joins scatter
+        # with fancy indexing instead (cheaper than a sparse matmul).
+        self.projector: Optional[sparse.csr_matrix] = None
+        if not self.rows_injective:
+            self.projector = sparse.csr_matrix(
+                (
+                    np.ones(self.n_mapped_rows, dtype=np.float64),
+                    (self.source_rows, self.target_rows),
+                ),
+                shape=(self.n_source_rows, indicator.n_target_rows),
+            )
+        self.has_correction = not factor.redundancy.is_trivial
+        self._correction: Optional[sparse.csr_matrix] = None
+        self._effective = None
+
+    # -- mapping-side kernels (columns) ----------------------------------------------------
+    def gather_operand_rows(self, x: np.ndarray) -> np.ndarray:
+        """``M_kᵀ X`` — gather operand rows onto source columns (c_Sk × m)."""
+        gathered = np.zeros((self.n_source_columns, x.shape[1]))
+        gathered[self.source_cols] = x[self.target_cols]
+        return gathered
+
+    def scatter_add_rows(self, out: np.ndarray, local: np.ndarray) -> None:
+        """``out += M_k @ local`` — scatter source-column rows of ``local``
+        onto the mapped target-column rows of ``out`` (transpose-LMM)."""
+        self.backend.scatter_add(out, self.target_cols, local[self.source_cols])
+
+    def scatter_add_columns(self, out: np.ndarray, local: np.ndarray) -> None:
+        """``out += local @ M_kᵀ`` — scatter source columns of ``local`` onto
+        the mapped target columns of ``out`` (RMM)."""
+        out[:, self.target_cols] += local[:, self.source_cols]
+
+    # -- indicator-side kernels (rows) -----------------------------------------------------
+    def lift_add(self, out: np.ndarray, local: np.ndarray) -> None:
+        """``out += I_k @ local`` — lift source rows onto target rows (LMM)."""
+        if self.rows_fully_mapped:
+            out += local[self.source_rows]
+        else:
+            self.backend.scatter_add(out, self.target_rows, local[self.source_rows])
+
+    def project_rows(self, x: np.ndarray) -> np.ndarray:
+        """``I_kᵀ X`` — accumulate target rows onto source rows (r_Sk × m)."""
+        if self.rows_injective:
+            out = np.zeros((self.n_source_rows, x.shape[1]))
+            out[self.source_rows] = x[self.target_rows]
+            return out
+        return self.projector @ x
+
+    # -- cached heavy structure ------------------------------------------------------------
+    def correction(self) -> sparse.csr_matrix:
+        """Sparse matrix with the values of this factor's redundant cells.
+
+        Subtracting ``correction @ x`` (or transposes thereof) turns the
+        cheap unmasked rewrite into the exact masked result. Cached after
+        the first build; only meaningful when ``has_correction``.
+        """
+        if self._correction is None:
+            factor = self.factor
+            complement = factor.redundancy.to_sparse_complement().tocoo()
+            target_rows = np.asarray(complement.row, dtype=np.intp)
+            target_cols = np.asarray(complement.col, dtype=np.intp)
+            compressed_rows = np.asarray(factor.indicator.compressed)
+            compressed_cols = np.asarray(factor.mapping.compressed)
+            source_rows = compressed_rows[target_rows]
+            source_cols = compressed_cols[target_cols]
+            mapped = (source_rows >= 0) & (source_cols >= 0)
+            target_rows, target_cols = target_rows[mapped], target_cols[mapped]
+            # One vectorized gather over D_k (sparse storage stays sparse).
+            values = factor.cells(source_rows[mapped], source_cols[mapped])
+            nonzero = values != 0.0
+            self._correction = sparse.csr_matrix(
+                (values[nonzero], (target_rows[nonzero], target_cols[nonzero])),
+                shape=(factor.indicator.n_target_rows, factor.mapping.n_target_columns),
+            )
+        return self._correction
+
+    def effective_contribution(self) -> Tuple[np.ndarray, Storage, np.ndarray]:
+        """Covered target rows, the deduplicated block there (in backend
+        storage form — CSR stays CSR), and the mapped target columns.
+
+        This is the per-factor structure ``crossprod`` reduces over; it is
+        cached because Gram computations revisit it across solver calls.
+        """
+        if self._effective is None:
+            block = self.backend.take_columns(
+                self.backend.take_rows(self.storage, self.source_rows),
+                self.source_cols,
+            )
+            if self.has_correction:
+                # Mask-aware slicing: restrict R_k to the covered rows ×
+                # mapped columns without densifying, then zero the redundant
+                # cells in whatever format the backend stores the block.
+                restricted = self.factor.redundancy.submatrix(
+                    self.target_rows, self.target_cols
+                )
+                block = self.backend.apply_redundancy(block, restricted)
+            self._effective = (self.target_rows, block, self.target_cols)
+        return self._effective
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorPlan({self.factor.name!r}, mapped_rows={self.n_mapped_rows}, "
+            f"mapped_cols={self.n_mapped_cols}, injective={self.rows_injective}, "
+            f"correction={self.has_correction})"
+        )

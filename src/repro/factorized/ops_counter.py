@@ -73,20 +73,25 @@ def redundancy_apply_flops(n_redundant: int) -> float:
     return float(n_redundant)
 
 
-def _normalize_source_nnz(shapes, source_nnz):
-    """Pad a per-source nnz list with ``None`` (dense) to match ``shapes``.
+def _normalize_per_source(shapes, values, name: str):
+    """Pad a per-source value list with ``None`` to match ``shapes``.
 
     A list longer than ``shapes`` is a caller bug — reject it rather than
     silently dropping entries.
     """
-    if source_nnz is None:
+    if values is None:
         return [None] * len(shapes)
-    nnz_list = list(source_nnz)
-    if len(nnz_list) > len(shapes):
+    value_list = list(values)
+    if len(value_list) > len(shapes):
         raise ValueError(
-            f"source_nnz has {len(nnz_list)} entries for {len(shapes)} sources"
+            f"{name} has {len(value_list)} entries for {len(shapes)} sources"
         )
-    return nnz_list + [None] * (len(shapes) - len(nnz_list))
+    return value_list + [None] * (len(shapes) - len(value_list))
+
+
+def _normalize_source_nnz(shapes, source_nnz):
+    """Pad a per-source nnz list with ``None`` (dense) to match ``shapes``."""
+    return _normalize_per_source(shapes, source_nnz, "source_nnz")
 
 
 def factorized_lmm_flops(
@@ -95,6 +100,7 @@ def factorized_lmm_flops(
     x_cols: int,
     redundant_cells: int = 0,
     source_nnz=None,
+    mapped_rows=None,
 ) -> float:
     """FLOPs of the factorized rewrite ``Σ_k I_k (D_k (M_kᵀ X))``.
 
@@ -107,15 +113,25 @@ def factorized_lmm_flops(
     ``None`` entries for dense sources), the per-source multiply uses the
     sparse ``nnz · m`` count instead of the dense ``r·c·m`` count — the
     nnz-aware formula for plans executed on a sparse backend.
+
+    When ``mapped_rows`` is given (one mapped-target-row count per source,
+    or ``None`` entries meaning every target row), the indicator lift is
+    charged per *mapped* row instead of per target row — matching what the
+    compiled operator plans execute: a partial-coverage source (outer
+    join, union) scatters only the rows it actually covers.
     """
     shapes = list(source_shapes)
+    per_source_mapped = _normalize_per_source(shapes, mapped_rows, "mapped_rows")
     flops = 0.0
-    for (n_rows, n_cols), nnz in zip(shapes, _normalize_source_nnz(shapes, source_nnz)):
+    for (n_rows, n_cols), nnz, lifted in zip(
+        shapes, _normalize_source_nnz(shapes, source_nnz), per_source_mapped
+    ):
         if nnz is None:
             flops += dense_matmul_flops(n_rows, n_cols, x_cols)  # D_k @ (M_kᵀ X)
         else:
             flops += sparse_matmul_flops(nnz, x_cols)
-        flops += float(n_target_rows) * x_cols  # indicator lift / accumulate
+        lift_rows = n_target_rows if lifted is None else lifted
+        flops += float(lift_rows) * x_cols  # indicator lift / accumulate
     flops += float(redundant_cells) * x_cols  # redundancy correction
     return flops
 

@@ -8,7 +8,6 @@ from typing import List, Optional
 import numpy as np
 
 from repro.learning.base import OperandLike, as_linop
-from repro.learning.metrics import mean_squared_error
 
 
 @dataclass
@@ -62,6 +61,8 @@ class LinearRegression:
         return self
 
     def _fit_normal(self, operand, targets: np.ndarray, n_columns: int) -> np.ndarray:
+        # Factorized operands cache the Gram matrix, so repeated fits (and
+        # the silo orchestrator's retries) pay for crossprod once.
         gram = operand.crossprod()
         if self.l2_penalty:
             gram = gram + self.l2_penalty * np.eye(n_columns)
@@ -69,15 +70,20 @@ class LinearRegression:
         return np.linalg.solve(gram + 1e-12 * np.eye(n_columns), moment)
 
     def _fit_gd(self, operand, targets: np.ndarray, n_columns: int) -> np.ndarray:
-        weights = np.zeros(n_columns)
+        # Column-vector operands allocated once: every iteration then hands
+        # the factorized operand a float64 2-D array, which its compiled
+        # plans accept without re-validation copies or reshapes.
+        weights = np.zeros((n_columns, 1))
+        targets_column = np.asarray(targets, dtype=np.float64)[:, None]
         n_rows = operand.shape[0]
         self.loss_history_ = []
         for _ in range(self.n_iterations):
-            predictions = operand.lmm(weights[:, None])[:, 0]
-            residuals = predictions - targets
-            loss = mean_squared_error(targets, predictions)
-            self.loss_history_.append(loss)
-            gradient = operand.transpose_lmm(residuals[:, None])[:, 0] / n_rows
+            predictions = operand.lmm(weights)
+            residuals = predictions - targets_column
+            # mean_squared_error(targets, predictions) on the 1-D views —
+            # computed from the residuals to avoid another subtraction.
+            self.loss_history_.append(float(np.mean(residuals * residuals)))
+            gradient = operand.transpose_lmm(residuals) / n_rows
             if self.l2_penalty:
                 gradient = gradient + self.l2_penalty * weights / n_rows
             new_weights = weights - self.learning_rate * gradient
@@ -85,7 +91,7 @@ class LinearRegression:
                 weights = new_weights
                 break
             weights = new_weights
-        return weights
+        return weights[:, 0]
 
     def predict(self, features: OperandLike) -> np.ndarray:
         if self.coef_ is None:

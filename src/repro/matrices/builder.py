@@ -11,7 +11,7 @@ linear-algebra layer in :mod:`repro.factorized`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -150,9 +150,9 @@ class SourceFactor:
         """
         lifted = self.indicator.apply(self.data)  # (r_T, c_Sk)
         out = np.zeros((self.indicator.n_target_rows, self.mapping.n_target_columns))
-        for target_col, source_col in enumerate(self.mapping.compressed):
-            if source_col >= 0:
-                out[:, target_col] = lifted[:, source_col]
+        out[:, self.mapping.mapped_target_indices()] = lifted[
+            :, self.mapping.mapped_source_indices()
+        ]
         return out
 
     def masked_contribution(self) -> np.ndarray:

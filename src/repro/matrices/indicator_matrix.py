@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -39,10 +39,14 @@ class IndicatorMatrix:
         self.n_target_rows = n_target_rows
         self.n_source_rows = n_source_rows
         self._compressed = compressed
-        # Cached index arrays for the fast gather/scatter paths in apply().
+        # Cached index arrays for the fast gather/scatter paths in apply()
+        # and the compiled operator plans; read-only because they are
+        # shared with callers (mapped_target_rows / mapped_source_rows).
         self._mapped_mask = compressed >= 0
-        self._mapped_target_indices = np.nonzero(self._mapped_mask)[0]
-        self._mapped_source_indices = compressed[self._mapped_mask]
+        self._mapped_target_indices = np.nonzero(self._mapped_mask)[0].astype(np.intp)
+        self._mapped_source_indices = compressed[self._mapped_mask].astype(np.intp)
+        self._mapped_target_indices.setflags(write=False)
+        self._mapped_source_indices.setflags(write=False)
         self._fully_mapped = bool(self._mapped_mask.all()) if compressed.size else True
         # Injective = no source row is referenced by two target rows (a 1:1
         # join); enables the fast scatter path in apply_transpose().
@@ -58,7 +62,12 @@ class IndicatorMatrix:
     @property
     def n_mapped(self) -> int:
         """Number of target rows this source contributes to (r_Sk mapped)."""
-        return int(np.sum(self._compressed >= 0))
+        return int(self._mapped_target_indices.size)
+
+    @property
+    def is_injective(self) -> bool:
+        """True when no source row feeds two target rows (a 1:1 join)."""
+        return self._injective
 
     @property
     def density(self) -> float:
@@ -73,19 +82,23 @@ class IndicatorMatrix:
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape, dtype=np.float64)
-        for i, j in enumerate(self._compressed):
-            if j >= 0:
-                dense[i, j] = 1.0
+        dense[self._mapped_target_indices, self._mapped_source_indices] = 1.0
         return dense
 
     def to_sparse(self) -> sparse.csr_matrix:
-        rows = [i for i, j in enumerate(self._compressed) if j >= 0]
-        cols = [int(j) for j in self._compressed if j >= 0]
-        data = np.ones(len(rows), dtype=np.float64)
-        return sparse.csr_matrix((data, (rows, cols)), shape=self.shape)
+        data = np.ones(self._mapped_target_indices.size, dtype=np.float64)
+        return sparse.csr_matrix(
+            (data, (self._mapped_target_indices, self._mapped_source_indices)),
+            shape=self.shape,
+        )
 
-    def mapped_target_rows(self) -> List[int]:
-        return [i for i, j in enumerate(self._compressed) if j >= 0]
+    def mapped_target_rows(self) -> np.ndarray:
+        """Target-row indices this source covers (cached, read-only)."""
+        return self._mapped_target_indices
+
+    def mapped_source_rows(self) -> np.ndarray:
+        """Source-row indices in mapped-target order (cached, read-only)."""
+        return self._mapped_source_indices
 
     def source_row_of(self, target_row: int) -> Optional[int]:
         j = int(self._compressed[target_row])

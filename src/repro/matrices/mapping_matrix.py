@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -57,6 +57,15 @@ class MappingMatrix:
             seen_targets.add(target_column)
             compressed[target_index[target_column]] = source_index[source_column]
         self._compressed = compressed
+        # Cached index arrays (computed once; the compressed vector is
+        # immutable) backing the operator-plan gather/scatter kernels. The
+        # caches are marked read-only so callers can index with them but
+        # never mutate them in place.
+        mapped_mask = compressed >= 0
+        self._mapped_target_indices = np.nonzero(mapped_mask)[0].astype(np.intp)
+        self._mapped_source_indices = compressed[mapped_mask].astype(np.intp)
+        self._mapped_target_indices.setflags(write=False)
+        self._mapped_source_indices.setflags(write=False)
 
     # -- shapes ------------------------------------------------------------------
     @property
@@ -85,17 +94,16 @@ class MappingMatrix:
     def to_dense(self) -> np.ndarray:
         """The full binary matrix ``M_k`` of shape ``(c_T, c_Sk)``."""
         dense = np.zeros(self.shape, dtype=np.float64)
-        for i, j in enumerate(self._compressed):
-            if j >= 0:
-                dense[i, j] = 1.0
+        dense[self._mapped_target_indices, self._mapped_source_indices] = 1.0
         return dense
 
     def to_sparse(self) -> sparse.csr_matrix:
         """The full matrix in CSR form (the physical-level choice of §III-D)."""
-        rows = [i for i, j in enumerate(self._compressed) if j >= 0]
-        cols = [int(j) for j in self._compressed if j >= 0]
-        data = np.ones(len(rows), dtype=np.float64)
-        return sparse.csr_matrix((data, (rows, cols)), shape=self.shape)
+        data = np.ones(self._mapped_target_indices.size, dtype=np.float64)
+        return sparse.csr_matrix(
+            (data, (self._mapped_target_indices, self._mapped_source_indices)),
+            shape=self.shape,
+        )
 
     @property
     def density(self) -> float:
@@ -114,11 +122,13 @@ class MappingMatrix:
         j = int(self._compressed[i])
         return j if j >= 0 else None
 
-    def mapped_target_indices(self) -> List[int]:
-        return [i for i, j in enumerate(self._compressed) if j >= 0]
+    def mapped_target_indices(self) -> np.ndarray:
+        """Target-column indices with a source mapping (cached, read-only)."""
+        return self._mapped_target_indices
 
-    def mapped_source_indices(self) -> List[int]:
-        return [int(j) for j in self._compressed if j >= 0]
+    def mapped_source_indices(self) -> np.ndarray:
+        """Source-column indices in mapped-target order (cached, read-only)."""
+        return self._mapped_source_indices
 
     # -- round-trips ----------------------------------------------------------------
     @classmethod

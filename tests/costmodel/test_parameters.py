@@ -70,6 +70,41 @@ class TestFromDataset:
         assert parameters.redundant_cells == 2
         assert not parameters.has_full_tgds_only
 
+    def test_mapped_rows_from_indicators(self, hospital_dataset):
+        parameters = CostParameters.from_dataset(hospital_dataset)
+        assert parameters.source_mapped_rows == [
+            f.indicator.n_mapped for f in hospital_dataset.factors
+        ]
+        # Full outer join: each source covers only part of the target rows.
+        assert all(m < parameters.n_target_rows for m in parameters.source_mapped_rows)
+
+    def test_mapped_rows_default_to_full_coverage(self):
+        parameters = CostParameters(
+            source_shapes=[(10, 2), (4, 3)], n_target_rows=10, n_target_columns=5
+        )
+        assert parameters.mapped_rows_of(0) == 10
+        assert parameters.mapped_rows_of(1) == 10
+        with pytest.raises(CostModelError):
+            parameters.mapped_rows_of(2)
+
+    def test_invalid_mapped_rows_rejected(self):
+        with pytest.raises(CostModelError):
+            CostParameters(
+                source_shapes=[(10, 2)],
+                n_target_rows=10,
+                n_target_columns=5,
+                source_mapped_rows=[11],
+            )
+
+    def test_mapped_rows_longer_than_sources_rejected(self):
+        with pytest.raises(CostModelError):
+            CostParameters(
+                source_shapes=[(10, 2)],
+                n_target_rows=10,
+                n_target_columns=5,
+                source_mapped_rows=[10, 4],
+            )
+
     def test_inner_join_marks_full_tgds(self):
         from repro.datagen.hospital import hospital_integrated_dataset
 

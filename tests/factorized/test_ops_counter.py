@@ -88,6 +88,44 @@ class TestSparseFlopFormulas:
         assert sparse == 4 * 100 * 4 + 50 * 20
 
 
+class TestMappedRowAwareFormulas:
+    """Gather/scatter costs charged by mapped rows, not r_T (plan parity)."""
+
+    def test_mapped_rows_reduce_lift_charge(self):
+        shapes = [(10, 2), (4, 3)]
+        full = factorized_lmm_flops(shapes, n_target_rows=10, x_cols=2)
+        partial = factorized_lmm_flops(
+            shapes, n_target_rows=10, x_cols=2, mapped_rows=[10, 4]
+        )
+        # Second source covers only 4 of the 10 target rows: 6·2 fewer adds.
+        assert full - partial == 12.0
+
+    def test_full_coverage_matches_default(self):
+        shapes = [(10, 2), (4, 3)]
+        assert factorized_lmm_flops(
+            shapes, n_target_rows=10, x_cols=2, mapped_rows=[10, 10]
+        ) == factorized_lmm_flops(shapes, n_target_rows=10, x_cols=2)
+
+    def test_none_entries_fall_back_to_target_rows(self):
+        shapes = [(10, 2), (4, 3)]
+        assert factorized_lmm_flops(
+            shapes, n_target_rows=10, x_cols=2, mapped_rows=[None, 4]
+        ) == factorized_lmm_flops(shapes, n_target_rows=10, x_cols=2, mapped_rows=[10, 4])
+
+    def test_mapped_rows_longer_than_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            factorized_lmm_flops(
+                [(10, 2)], n_target_rows=10, x_cols=2, mapped_rows=[10, 4]
+            )
+
+    def test_composes_with_source_nnz(self):
+        shapes = [(10, 2), (100, 50)]
+        flops = factorized_lmm_flops(
+            shapes, n_target_rows=10, x_cols=1, source_nnz=[None, 100], mapped_rows=[10, 5]
+        )
+        assert flops == 10 * 2 * 1 + 10 + 100 * 1 + 5
+
+
 class TestFlopCounter:
     def test_add_and_total(self):
         counter = FlopCounter()

@@ -38,7 +38,7 @@ class TestStructure:
         assert np.array_equal(ci1.to_sparse().toarray(), ci1.to_dense())
 
     def test_lookups(self, ci2):
-        assert ci2.mapped_target_rows() == [3, 4, 5]
+        assert np.array_equal(ci2.mapped_target_rows(), [3, 4, 5])
         assert ci2.source_row_of(3) == 2
         assert ci2.source_row_of(0) is None
 

@@ -58,8 +58,8 @@ class TestStructure:
         assert m2.target_index_of("unknown") is None
         assert m2.source_index_of("hr") is None
         assert m2.source_index_of("a") == 1
-        assert m2.mapped_target_indices() == [0, 1, 3]
-        assert m2.mapped_source_indices() == [0, 1, 2]
+        assert np.array_equal(m2.mapped_target_indices(), [0, 1, 3])
+        assert np.array_equal(m2.mapped_source_indices(), [0, 1, 2])
 
     def test_at_most_one_per_row_and_column(self, m1):
         dense = m1.to_dense()
