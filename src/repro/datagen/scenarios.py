@@ -68,9 +68,13 @@ def generate_scenario_tables(
     columns, the other table carries ``other_features`` columns of which
     ``overlap_columns`` duplicate base columns (source redundancy).
 
+    Tables are assembled column-array-at-a-time: entity-level values (label,
+    shared features) are drawn once per entity from a dedicated stream and
+    indexed by entity id, so overlapping entities carry identical values in
+    both sources without per-row RNG construction.
+
     Returns ``(base, other, column_matches, row_matches, target_columns)``.
     """
-    rng = np.random.default_rng(spec.seed)
     is_union = spec.scenario is ScenarioType.UNION
     shared = spec.base_features if is_union else spec.overlap_columns
 
@@ -78,33 +82,46 @@ def generate_scenario_tables(
     other_features = spec.base_features if is_union else spec.other_features
     other_schema = _feature_schema("o", other_features, shared, label=is_union)
 
-    overlap_ids = list(range(spec.overlap_rows))
-    base_ids = list(range(spec.base_rows))
+    base_ids = np.arange(spec.base_rows, dtype=np.int64)
     if is_union:
-        other_ids = list(range(spec.base_rows, spec.base_rows + spec.other_rows))
+        other_ids = np.arange(
+            spec.base_rows, spec.base_rows + spec.other_rows, dtype=np.int64
+        )
     else:
-        other_only = list(range(spec.base_rows, spec.base_rows + spec.other_rows - spec.overlap_rows))
-        other_ids = overlap_ids + other_only
+        other_ids = np.concatenate(
+            [
+                np.arange(spec.overlap_rows, dtype=np.int64),
+                np.arange(
+                    spec.base_rows,
+                    spec.base_rows + spec.other_rows - spec.overlap_rows,
+                    dtype=np.int64,
+                ),
+            ]
+        )
 
-    def build_rows(ids, schema: Schema):
-        rows = []
-        for entity_id in ids:
-            row = []
-            entity_rng = np.random.default_rng(spec.seed * 1_000_003 + entity_id)
-            for column in schema:
-                if column.name == "id":
-                    row.append(entity_id)
-                elif column.is_label:
-                    row.append(int(entity_rng.integers(0, 2)))
-                elif column.name.startswith("shared_"):
-                    row.append(float(np.round(entity_rng.normal(), 4)))
-                else:
-                    row.append(float(np.round(rng.normal(), 4)))
-            rows.append(row)
-        return rows
+    # Entity-level value streams, indexed by entity id (shared across tables).
+    n_entities = spec.base_rows + spec.other_rows
+    entity_rng = np.random.default_rng(spec.seed * 1_000_003 + 1)
+    labels_all = entity_rng.integers(0, 2, size=n_entities)
+    shared_all = np.round(entity_rng.standard_normal((n_entities, shared)), 4)
+    # Table-local feature draws (not shared between sources).
+    rng = np.random.default_rng(spec.seed)
 
-    base = Table.from_rows("S1", base_schema, build_rows(base_ids, base_schema))
-    other = Table.from_rows("S2", other_schema, build_rows(other_ids, other_schema))
+    def build_columns(ids: np.ndarray, schema: Schema):
+        columns = {}
+        for column in schema:
+            if column.name == "id":
+                columns[column.name] = ids
+            elif column.is_label:
+                columns[column.name] = labels_all[ids]
+            elif column.name.startswith("shared_"):
+                columns[column.name] = shared_all[ids, int(column.name[len("shared_"):])]
+            else:
+                columns[column.name] = np.round(rng.standard_normal(ids.size), 4)
+        return columns
+
+    base = Table("S1", base_schema, build_columns(base_ids, base_schema))
+    other = Table("S2", other_schema, build_columns(other_ids, other_schema))
 
     column_matches = [ColumnMatch("S1", "id", "S2", "id", 1.0)]
     for i in range(shared):
@@ -117,12 +134,9 @@ def generate_scenario_tables(
     if is_union:
         row_matches: List[RowMatch] = []
     else:
-        other_index = {entity_id: j for j, entity_id in enumerate(other_ids)}
-        row_matches = [
-            RowMatch(i, other_index[entity_id], 1.0)
-            for i, entity_id in enumerate(base_ids)
-            if entity_id in other_index
-        ]
+        # Overlapping entities are ids 0..overlap_rows-1, sitting at the same
+        # position in both tables by construction.
+        row_matches = [RowMatch(i, i, 1.0) for i in range(spec.overlap_rows)]
 
     target_columns = ["label"]
     target_columns += [f"shared_{i}" for i in range(shared)]

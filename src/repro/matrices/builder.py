@@ -12,7 +12,7 @@ linear-algebra layer in :mod:`repro.factorized`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse
@@ -26,7 +26,6 @@ from repro.metadata.entity_resolution import RowMatch
 from repro.metadata.mappings import ScenarioType
 from repro.metadata.schema_matching import ColumnMatch
 from repro.relational.table import Table
-from repro.relational.types import is_null
 
 
 @dataclass
@@ -350,43 +349,67 @@ class IntegratedDataset:
 # ---------------------------------------------------------------------------------
 
 
+RowMatchesLike = Union[Sequence[RowMatch], Tuple[np.ndarray, np.ndarray]]
+
+
+def _row_match_arrays(row_matches: RowMatchesLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalize row matches to (left_rows, right_rows) int64 index arrays.
+
+    Accepts either a sequence of :class:`RowMatch` (the resolver's object
+    form) or a pre-built pair of index arrays (the vectorized fast path of
+    ``KeyBasedResolver.resolve_index``).
+    """
+    if isinstance(row_matches, tuple) and len(row_matches) == 2:
+        left, right = row_matches
+        return (
+            np.asarray(left, dtype=np.int64),
+            np.asarray(right, dtype=np.int64),
+        )
+    left = np.fromiter((m.left_row for m in row_matches), dtype=np.int64,
+                       count=len(row_matches))
+    right = np.fromiter((m.right_row for m in row_matches), dtype=np.int64,
+                        count=len(row_matches))
+    return left, right
+
+
 def _target_rows_for_scenario(
     base: Table,
     other: Table,
-    row_matches: Sequence[RowMatch],
+    row_matches: RowMatchesLike,
     scenario: ScenarioType,
-) -> Tuple[List[int], List[int]]:
+) -> Tuple[np.ndarray, np.ndarray]:
     """Return, per target row, the originating base row and other row (-1 if none)."""
-    matched_other_by_base: Dict[int, int] = {m.left_row: m.right_row for m in row_matches}
-    matched_other_rows = set(matched_other_by_base.values())
-
-    base_rows: List[int] = []
-    other_rows: List[int] = []
+    matched_left, matched_right = _row_match_arrays(row_matches)
+    # Per base row, its matched other row (-1 when unmatched); for duplicate
+    # left rows the last match wins, like the dict the seed implementation
+    # built.
+    other_of_base = np.full(base.n_rows, -1, dtype=np.int64)
+    other_of_base[matched_left] = matched_right
 
     if scenario is ScenarioType.INNER_JOIN:
-        for i in range(base.n_rows):
-            if i in matched_other_by_base:
-                base_rows.append(i)
-                other_rows.append(matched_other_by_base[i])
+        base_rows = np.nonzero(other_of_base >= 0)[0].astype(np.int64)
+        other_rows = other_of_base[base_rows]
     elif scenario is ScenarioType.LEFT_JOIN:
-        for i in range(base.n_rows):
-            base_rows.append(i)
-            other_rows.append(matched_other_by_base.get(i, -1))
+        base_rows = np.arange(base.n_rows, dtype=np.int64)
+        other_rows = other_of_base
     elif scenario is ScenarioType.FULL_OUTER_JOIN:
-        for i in range(base.n_rows):
-            base_rows.append(i)
-            other_rows.append(matched_other_by_base.get(i, -1))
-        for j in range(other.n_rows):
-            if j not in matched_other_rows:
-                base_rows.append(-1)
-                other_rows.append(j)
+        matched_other = np.zeros(other.n_rows, dtype=bool)
+        matched_other[other_of_base[other_of_base >= 0]] = True
+        other_only = np.nonzero(~matched_other)[0].astype(np.int64)
+        base_rows = np.concatenate(
+            [np.arange(base.n_rows, dtype=np.int64),
+             np.full(other_only.size, -1, dtype=np.int64)]
+        )
+        other_rows = np.concatenate([other_of_base, other_only])
     elif scenario is ScenarioType.UNION:
-        for i in range(base.n_rows):
-            base_rows.append(i)
-            other_rows.append(-1)
-        for j in range(other.n_rows):
-            base_rows.append(-1)
-            other_rows.append(j)
+        base_rows = np.concatenate(
+            [np.arange(base.n_rows, dtype=np.int64),
+             np.full(other.n_rows, -1, dtype=np.int64)]
+        )
+        other_rows = np.concatenate(
+            [np.full(base.n_rows, -1, dtype=np.int64),
+             np.arange(other.n_rows, dtype=np.int64)]
+        )
     else:  # pragma: no cover - exhaustive enum
         raise MappingError(f"unknown scenario {scenario!r}")
     return base_rows, other_rows
@@ -410,27 +433,29 @@ def _numeric_mapped_columns(
 
 def _contribution_mask(
     table: Table,
-    row_map: Sequence[int],
+    row_map: np.ndarray,
     correspondences: Dict[str, str],
     target_columns: Sequence[str],
 ) -> np.ndarray:
     """Boolean mask of target cells where this source provides a non-null value."""
     target_index = {c: i for i, c in enumerate(target_columns)}
-    mask = np.zeros((len(row_map), len(target_columns)), dtype=bool)
+    row_map = np.asarray(row_map, dtype=np.int64)
+    mask = np.zeros((row_map.size, len(target_columns)), dtype=bool)
+    mapped = row_map >= 0
+    gather = np.where(mapped, row_map, 0)
     for source_column, target_column in correspondences.items():
-        if target_column not in target_index:
+        j = target_index.get(target_column)
+        if j is None:
             continue
-        j = target_index[target_column]
-        for i, source_row in enumerate(row_map):
-            if source_row < 0:
-                continue
-            mask[i, j] = not is_null(table.cell(source_row, source_column))
+        valid = table.column_valid(source_column)
+        if valid.size:
+            mask[:, j] = mapped & valid[gather]
     return mask
 
 
 def _build_factor(
     table: Table,
-    row_map: Sequence[int],
+    row_map: np.ndarray,
     correspondences: Dict[str, str],
     target_columns: Sequence[str],
     redundancy: RedundancyMatrix,
@@ -446,8 +471,11 @@ def _build_factor(
         source_columns,
         {c: correspondences[c] for c in source_columns},
     )
-    pairs = [(i, j) for i, j in enumerate(row_map) if j >= 0]
-    indicator = IndicatorMatrix.from_row_pairs(table.name, len(row_map), table.n_rows, pairs)
+    # The target-row → source-row map *is* the compressed indicator vector
+    # CI_k; no per-row pair expansion needed.
+    indicator = IndicatorMatrix(
+        table.name, len(row_map), table.n_rows, np.asarray(row_map, dtype=np.int64)
+    )
     return SourceFactor(
         table.name, data, source_columns, mapping, indicator, redundancy, backend=backend
     )
@@ -457,7 +485,7 @@ def integrate_tables(
     base: Table,
     other: Table,
     column_matches: Sequence[ColumnMatch],
-    row_matches: Sequence[RowMatch],
+    row_matches: RowMatchesLike,
     target_columns: Sequence[str],
     scenario: ScenarioType,
     label_column: Optional[str] = None,
@@ -473,7 +501,9 @@ def integrate_tables(
     column_matches:
         Column correspondences *between the two sources* (left = base).
     row_matches:
-        Row correspondences between the two sources (left = base row index).
+        Row correspondences between the two sources (left = base row index):
+        either a sequence of :class:`RowMatch` or a pre-built
+        ``(left_rows, right_rows)`` pair of index arrays.
     target_columns:
         The mediated schema: numeric columns named after the base table's
         columns where the base provides them, otherwise after the other
@@ -500,7 +530,7 @@ def integrate_tables(
             other_correspondences[column] = target
 
     base_rows, other_rows = _target_rows_for_scenario(base, other, row_matches, scenario)
-    n_target_rows = len(base_rows)
+    n_target_rows = int(base_rows.size)
 
     base_mask = _contribution_mask(base, base_rows, base_correspondences, target_columns)
     other_mask = _contribution_mask(other, other_rows, other_correspondences, target_columns)
@@ -560,10 +590,10 @@ def build_integrated_dataset(
     claimed = np.zeros((n_target_rows, len(target_columns)), dtype=bool)
     for table in sources:
         table_correspondences = correspondences.get(table.name, {})
-        row_map = list(row_maps.get(table.name, []))
-        if len(row_map) != n_target_rows:
+        row_map = np.asarray(row_maps.get(table.name, []), dtype=np.int64)
+        if row_map.size != n_target_rows:
             raise MappingError(
-                f"row map for {table.name!r} has length {len(row_map)}, expected {n_target_rows}"
+                f"row map for {table.name!r} has length {row_map.size}, expected {n_target_rows}"
             )
         mask = _contribution_mask(table, row_map, table_correspondences, target_columns)
         redundancy = RedundancyMatrix.from_complement(

@@ -1,4 +1,4 @@
-"""Join operators with row provenance.
+"""Vectorized join operators with row provenance.
 
 The Amalur paper (Table I) characterizes the dataset relationships that
 matter for ML over silos as four join flavours: full outer join, inner
@@ -8,17 +8,38 @@ every output row, which source row (if any) of each input produced it.
 That provenance is exactly what the indicator matrices of Section III-B
 encode, so the matrix builder derives ``I_k`` from these results and the
 property tests can check that factorized reconstruction equals the join.
+
+All four flavours execute as hash joins over factorized key codes
+(:mod:`repro.relational.factorize`): keys are mapped into a shared integer
+code space with ``np.unique``, matched with ``np.searchsorted``, and the
+output columns are materialized column-at-a-time from the inputs' typed
+storage arrays — no Python loop ever touches an individual row. NULL and
+duplicate-key semantics match the row-at-a-time implementation exactly:
+NULL keys never match (not even each other), duplicate keys expand
+combinatorially in left-row-major / right-row order, and overlapping
+columns prefer the left (base) value, falling back to the right value when
+the left one is NULL.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import JoinError
+from repro.relational.factorize import gather_column, hash_join_index, key_codes
 from repro.relational.schema import Column, Schema
 from repro.relational.table import Table
-from repro.relational.types import NULL, is_null
+from repro.relational.types import (
+    _STORAGE_DTYPE,
+    NULL,
+    DataType,
+    coerce_column,
+    int_exact_cast,
+    null_placeholder,
+)
 
 
 @dataclass
@@ -45,26 +66,20 @@ class JoinResult:
     right_columns: Dict[str, Optional[str]] = field(default_factory=dict)
 
     @property
+    def left_row_array(self) -> np.ndarray:
+        """Left provenance as an int64 array (for the vectorized builder)."""
+        return np.asarray(self.left_rows, dtype=np.int64)
+
+    @property
+    def right_row_array(self) -> np.ndarray:
+        """Right provenance as an int64 array (for the vectorized builder)."""
+        return np.asarray(self.right_rows, dtype=np.int64)
+
+    @property
     def n_overlapping_rows(self) -> int:
-        return sum(
-            1
-            for left, right in zip(self.left_rows, self.right_rows)
-            if left >= 0 and right >= 0
+        return int(
+            np.count_nonzero((self.left_row_array >= 0) & (self.right_row_array >= 0))
         )
-
-
-def _key_tuple(table: Table, row: int, keys: Sequence[str]) -> Tuple[Any, ...]:
-    values = tuple(table.cell(row, k) for k in keys)
-    if any(is_null(v) for v in values):
-        return ("__null__", row)  # NULL keys never match anything
-    return values
-
-
-def _build_key_index(table: Table, keys: Sequence[str]) -> Dict[Tuple[Any, ...], List[int]]:
-    index: Dict[Tuple[Any, ...], List[int]] = {}
-    for i in range(table.n_rows):
-        index.setdefault(_key_tuple(table, i, keys), []).append(i)
-    return index
 
 
 def _validate_join_inputs(
@@ -91,9 +106,7 @@ def _default_target_columns(left: Table, right: Table) -> List[str]:
     return names
 
 
-def _target_schema(
-    left: Table, right: Table, target_columns: Sequence[str], name: str
-) -> Schema:
+def _target_schema(left: Table, right: Table, target_columns: Sequence[str]) -> Schema:
     columns: List[Column] = []
     for col_name in target_columns:
         if col_name in left.schema:
@@ -104,36 +117,134 @@ def _target_schema(
     return Schema(columns)
 
 
-def _emit_row(
-    left: Table,
-    right: Table,
-    left_row: int,
-    right_row: int,
-    target_columns: Sequence[str],
-    prefer_left: bool = True,
-) -> List[Any]:
-    """Produce one output row, filling from the preferred side first."""
-    out: List[Any] = []
-    for name in target_columns:
-        value = NULL
-        in_left = name in left.schema and left_row >= 0
-        in_right = name in right.schema and right_row >= 0
-        if prefer_left:
-            if in_left:
-                value = left.cell(left_row, name)
-            if is_null(value) and in_right:
-                value = right.cell(right_row, name)
-        else:
-            if in_right:
-                value = right.cell(right_row, name)
-            if is_null(value) and in_left:
-                value = left.cell(left_row, name)
-        out.append(value)
-    return out
-
-
 def _column_provenance(table: Table, target_columns: Sequence[str]) -> Dict[str, Optional[str]]:
     return {name: (name if name in table.schema else None) for name in target_columns}
+
+
+def _canonical_storage(values, valid, dtype: DataType):
+    """Force placeholder values at invalid positions so storage is canonical."""
+    if bool(valid.all()):
+        return values
+    if dtype is DataType.STRING:
+        return np.where(valid, values, NULL)
+    return np.where(valid, values, null_placeholder(dtype))
+
+
+def _combine_column(
+    column: Column,
+    primary,  # (values, valid, dtype) of the preferred side, or None
+    secondary,  # (values, valid, dtype) of the fallback side, or None
+    n_rows: int,
+):
+    """Merge up to two gathered source columns into target storage.
+
+    Reproduces the per-cell rule of the row-at-a-time join: take the
+    preferred side's value, fall back to the other side when it is NULL,
+    coercing to the target column's dtype (same :class:`SchemaError`
+    conditions as scalar coercion).
+    """
+    target_dtype = column.dtype
+    if primary is None and secondary is None:
+        values = np.full(
+            n_rows, null_placeholder(target_dtype), dtype=_STORAGE_DTYPE[target_dtype]
+        )
+        return values, np.zeros(n_rows, dtype=bool)
+
+    sides = [s for s in (primary, secondary) if s is not None]
+
+    if len(sides) == 1:
+        values, valid, source_dtype = sides[0]
+        if source_dtype is target_dtype:
+            return _canonical_storage(values, valid, target_dtype), valid
+        return _recoerce(values, valid, source_dtype, target_dtype)
+
+    (p_values, p_valid, p_dtype), (s_values, s_valid, s_dtype) = sides
+    out_valid = p_valid | s_valid
+    if p_dtype is s_dtype is target_dtype:
+        merged = np.where(p_valid, p_values, s_values)
+        return _canonical_storage(merged, out_valid, target_dtype), out_valid
+    if (
+        p_dtype.is_numeric or p_dtype is DataType.BOOL
+    ) and (s_dtype.is_numeric or s_dtype is DataType.BOOL) and (
+        target_dtype.is_numeric
+    ):
+        if target_dtype is DataType.INT:
+            # Merge exactly in int64: a float64 round-trip would corrupt
+            # integers above 2**53. Only the cells actually chosen from a
+            # side are coerced, matching the per-cell seed semantics.
+            merged = np.zeros(n_rows, dtype=np.int64)
+            for (values, _, dtype), selection in (
+                ((p_values, p_valid, p_dtype), p_valid),
+                ((s_values, s_valid, s_dtype), ~p_valid & s_valid),
+            ):
+                if not bool(selection.any()):
+                    continue
+                chosen = values[selection]
+                if np.asarray(chosen).dtype.kind == "f":
+                    merged[selection] = int_exact_cast(
+                        np.asarray(chosen, dtype=np.float64)
+                    )
+                else:
+                    merged[selection] = np.asarray(chosen).astype(np.int64)
+            return merged, out_valid
+        merged = np.where(
+            p_valid,
+            np.asarray(p_values, dtype=np.float64),
+            np.asarray(s_values, dtype=np.float64),
+        )
+        return _recoerce(merged, out_valid, DataType.FLOAT, target_dtype)
+    # Mixed value classes (e.g. strings merged into a numeric column):
+    # object-level merge, then the generic column coercion.
+    p_obj = _canonical_storage(np.asarray(p_values, dtype=object), p_valid, DataType.STRING)
+    s_obj = _canonical_storage(np.asarray(s_values, dtype=object), s_valid, DataType.STRING)
+    merged = np.where(p_valid, p_obj, np.where(s_valid, s_obj, NULL))
+    return coerce_column(merged, target_dtype)
+
+
+def _recoerce(values, valid, source_dtype: DataType, target_dtype: DataType):
+    """Coerce typed storage to another dtype, preserving the validity mask."""
+    if target_dtype is DataType.FLOAT and (
+        source_dtype.is_numeric or source_dtype is DataType.BOOL
+    ):
+        out = np.asarray(values, dtype=np.float64)
+        return _canonical_storage(out, valid, target_dtype), valid
+    if target_dtype is DataType.INT and (
+        source_dtype.is_numeric or source_dtype is DataType.BOOL
+    ):
+        as_float = np.asarray(values, dtype=np.float64).copy()
+        as_float[~valid] = np.nan
+        coerced, _ = coerce_column(as_float, target_dtype)
+        return coerced, valid
+    obj = _canonical_storage(np.asarray(values, dtype=object), valid, DataType.STRING)
+    return coerce_column(obj, target_dtype)
+
+
+def _materialize_join_table(
+    left: Table,
+    right: Table,
+    left_rows: np.ndarray,
+    right_rows: np.ndarray,
+    target_columns: Sequence[str],
+    schema: Schema,
+    result_name: str,
+) -> Table:
+    n_rows = left_rows.size
+    data: Dict[str, np.ndarray] = {}
+    valid: Dict[str, np.ndarray] = {}
+    for column in schema:
+        name = column.name
+        primary = None
+        secondary = None
+        if name in left.schema:
+            values, mask = gather_column(left, name, left_rows)
+            primary = (values, mask, left.schema[name].dtype)
+        if name in right.schema:
+            values, mask = gather_column(right, name, right_rows)
+            secondary = (values, mask, right.schema[name].dtype)
+        merged, merged_valid = _combine_column(column, primary, secondary, n_rows)
+        data[name] = np.ascontiguousarray(merged)
+        valid[name] = np.ascontiguousarray(merged_valid)
+    return Table._from_storage(result_name, schema, data, valid)
 
 
 def _join(
@@ -149,42 +260,24 @@ def _join(
     if target_columns is None:
         target_columns = _default_target_columns(left, right)
     _validate_join_inputs(left, right, on, target_columns)
-    schema = _target_schema(left, right, target_columns, result_name)
-    right_index = _build_key_index(right, on)
+    schema = _target_schema(left, right, target_columns)
 
-    rows: List[List[Any]] = []
-    left_rows: List[int] = []
-    right_rows: List[int] = []
-    matched_right: set = set()
-
-    for i in range(left.n_rows):
-        key = _key_tuple(left, i, on)
-        matches = right_index.get(key, [])
-        real_matches = [j for j in matches if key[0] != "__null__"]
-        if real_matches:
-            for j in real_matches:
-                rows.append(_emit_row(left, right, i, j, target_columns))
-                left_rows.append(i)
-                right_rows.append(j)
-                matched_right.add(j)
-        elif keep_left_unmatched:
-            rows.append(_emit_row(left, right, i, -1, target_columns))
-            left_rows.append(i)
-            right_rows.append(-1)
-
+    left_codes, right_codes = key_codes(left, right, [(k, k) for k in on])
+    left_rows, right_rows, matched_right = hash_join_index(
+        left_codes, right_codes, keep_left_unmatched=keep_left_unmatched
+    )
     if keep_right_unmatched:
-        for j in range(right.n_rows):
-            if j in matched_right:
-                continue
-            rows.append(_emit_row(left, right, -1, j, target_columns))
-            left_rows.append(-1)
-            right_rows.append(j)
+        extra = np.nonzero(~matched_right)[0].astype(np.int64)
+        left_rows = np.concatenate([left_rows, np.full(extra.size, -1, dtype=np.int64)])
+        right_rows = np.concatenate([right_rows, extra])
 
-    table = Table.from_rows(result_name, schema, rows)
+    table = _materialize_join_table(
+        left, right, left_rows, right_rows, target_columns, schema, result_name
+    )
     return JoinResult(
         table=table,
-        left_rows=left_rows,
-        right_rows=right_rows,
+        left_rows=left_rows.tolist(),
+        right_rows=right_rows.tolist(),
         left_columns=_column_provenance(left, target_columns),
         right_columns=_column_provenance(right, target_columns),
     )
@@ -264,22 +357,25 @@ def union_all(
         if name not in left.schema or name not in right.schema:
             raise JoinError(f"union target column {name!r} missing from one input")
     schema = Schema([left.schema[name] for name in target_columns])
-    rows: List[List[Any]] = []
-    left_rows: List[int] = []
-    right_rows: List[int] = []
-    for i in range(left.n_rows):
-        rows.append([left.cell(i, name) for name in target_columns])
-        left_rows.append(i)
-        right_rows.append(-1)
-    for j in range(right.n_rows):
-        rows.append([right.cell(j, name) for name in target_columns])
-        left_rows.append(-1)
-        right_rows.append(j)
-    table = Table.from_rows(result_name, schema, rows)
+    left_rows = np.concatenate(
+        [
+            np.arange(left.n_rows, dtype=np.int64),
+            np.full(right.n_rows, -1, dtype=np.int64),
+        ]
+    )
+    right_rows = np.concatenate(
+        [
+            np.full(left.n_rows, -1, dtype=np.int64),
+            np.arange(right.n_rows, dtype=np.int64),
+        ]
+    )
+    table = _materialize_join_table(
+        left, right, left_rows, right_rows, target_columns, schema, result_name
+    )
     return JoinResult(
         table=table,
-        left_rows=left_rows,
-        right_rows=right_rows,
+        left_rows=left_rows.tolist(),
+        right_rows=right_rows.tolist(),
         left_columns={name: name for name in target_columns},
         right_columns={name: name for name in target_columns},
     )

@@ -1,4 +1,4 @@
-"""Column-oriented in-memory tables."""
+"""Column-oriented in-memory tables backed by typed numpy arrays."""
 
 from __future__ import annotations
 
@@ -8,19 +8,45 @@ import numpy as np
 
 from repro.exceptions import TableError
 from repro.relational.schema import Column, Schema, SourceDescription
-from repro.relational.types import NULL, DataType, coerce_value, infer_type, is_null
+from repro.relational.types import (
+    NULL,
+    DataType,
+    coerce_column,
+    infer_type,
+    is_null,
+    storage_to_list,
+)
+
+_COLUMN_OVERRIDE_KEYS = frozenset({"dtype", "is_key", "is_label", "description"})
+
+
+def _owned(values: np.ndarray, raw) -> np.ndarray:
+    """Copy ``values`` when coercion aliased the caller's array.
+
+    Table storage is write-protected; without the copy, write-protecting an
+    aliased array would freeze the caller's data, and writable views the
+    caller already holds could mutate the "immutable" table storage (and
+    silently invalidate the to_matrix cache).
+    """
+    if isinstance(raw, np.ndarray) and np.shares_memory(values, raw):
+        return values.copy()
+    return values
 
 
 class Table:
     """An immutable, column-oriented relational table.
 
-    Data is stored as one Python list per column; numeric projections are
-    exported to numpy arrays on demand (:meth:`to_matrix`). The class is the
+    Every column is a typed numpy array (``int64``/``float64``/``bool_`` for
+    numeric and boolean columns, ``object`` for strings) paired with a boolean
+    validity mask encoding NULLs. Coercion happens column-at-a-time at
+    construction (:func:`repro.relational.types.coerce_column`), so building a
+    table from arrays never touches Python per value. The class is the
     substrate under both the materialization path (joins) and the factorized
-    path (per-source data matrices ``D_k``).
+    path (per-source data matrices ``D_k``); numeric projections export to a
+    cached, read-only matrix via :meth:`to_matrix`.
     """
 
-    def __init__(self, name: str, schema: Schema, columns: Dict[str, List[Any]]):
+    def __init__(self, name: str, schema: Schema, columns: Dict[str, Any]):
         if set(columns) != set(schema.names):
             raise TableError(
                 f"column data {sorted(columns)} does not match schema {schema.names}"
@@ -31,10 +57,46 @@ class Table:
         self._name = name
         self._schema = schema
         self._n_rows = lengths.pop() if lengths else 0
-        self._columns: Dict[str, List[Any]] = {
-            column.name: [coerce_value(v, column.dtype) for v in columns[column.name]]
-            for column in schema
-        }
+        self._data: Dict[str, np.ndarray] = {}
+        self._valid: Dict[str, np.ndarray] = {}
+        for column in schema:
+            raw = columns[column.name]
+            values, valid = coerce_column(raw, column.dtype)
+            values = _owned(values, raw)
+            values.setflags(write=False)
+            valid.setflags(write=False)
+            self._data[column.name] = values
+            self._valid[column.name] = valid
+        self._matrix_cache: Dict[Tuple, np.ndarray] = {}
+
+    @classmethod
+    def _from_storage(
+        cls,
+        name: str,
+        schema: Schema,
+        data: Dict[str, np.ndarray],
+        valid: Dict[str, np.ndarray],
+    ) -> "Table":
+        """Trusted constructor from already-typed storage arrays (no coercion).
+
+        Arrays are shared, not copied; they are marked read-only so sharing
+        across derived tables (project/rename/...) is safe.
+        """
+        table = cls.__new__(cls)
+        table._name = name
+        table._schema = schema
+        table._n_rows = len(next(iter(data.values()))) if data else 0
+        table._data = {}
+        table._valid = {}
+        for column in schema:
+            values = data[column.name]
+            mask = valid[column.name]
+            values.setflags(write=False)
+            mask.setflags(write=False)
+            table._data[column.name] = values
+            table._valid[column.name] = mask
+        table._matrix_cache = {}
+        return table
 
     # -- constructors -------------------------------------------------------------
     @classmethod
@@ -46,26 +108,45 @@ class Table:
     ) -> "Table":
         """Build a table from row tuples ordered like the schema."""
         rows = list(rows)
-        columns: Dict[str, List[Any]] = {column.name: [] for column in schema}
         for row in rows:
             if len(row) != len(schema):
                 raise TableError(
                     f"row of width {len(row)} does not match schema of width {len(schema)}"
                 )
-            for column, value in zip(schema, row):
-                columns[column.name].append(value)
+        if rows:
+            transposed = list(zip(*rows))
+            columns = {
+                column.name: list(transposed[i]) for i, column in enumerate(schema)
+            }
+        else:
+            columns = {column.name: [] for column in schema}
         return cls(name, schema, columns)
 
     @classmethod
-    def from_dict(cls, name: str, data: Dict[str, List[Any]], **column_kwargs: Dict[str, Any]) -> "Table":
+    def from_dict(cls, name: str, data: Dict[str, Any], **column_kwargs: Dict[str, Any]) -> "Table":
         """Build a table from a column dict, inferring data types.
 
-        ``column_kwargs`` may carry per-column overrides, e.g.
-        ``Table.from_dict("s1", data, m={"is_label": True})``.
+        Column values may be lists or numpy arrays (typed arrays skip
+        per-value inference entirely). ``column_kwargs`` may carry per-column
+        overrides, e.g. ``Table.from_dict("s1", data, m={"is_label": True})``;
+        valid override keys are ``dtype``, ``is_key``, ``is_label`` and
+        ``description`` — anything else (or an override for a column that does
+        not exist) raises :class:`TableError`.
         """
+        unknown_columns = set(column_kwargs) - set(data)
+        if unknown_columns:
+            raise TableError(
+                f"column overrides for unknown columns: {sorted(unknown_columns)}"
+            )
         columns = []
         for col_name, values in data.items():
             overrides = column_kwargs.get(col_name, {})
+            unknown_keys = set(overrides) - _COLUMN_OVERRIDE_KEYS
+            if unknown_keys:
+                raise TableError(
+                    f"unknown override keys {sorted(unknown_keys)} for column "
+                    f"{col_name!r}; valid keys: {sorted(_COLUMN_OVERRIDE_KEYS)}"
+                )
             dtype = overrides.get("dtype", infer_type(values))
             columns.append(
                 Column(
@@ -76,7 +157,7 @@ class Table:
                     description=overrides.get("description", ""),
                 )
             )
-        return cls(name, Schema(columns), {k: list(v) for k, v in data.items()})
+        return cls(name, Schema(columns), dict(data))
 
     @classmethod
     def from_matrix(
@@ -86,7 +167,7 @@ class Table:
         column_names: Optional[Sequence[str]] = None,
         label_column: Optional[str] = None,
     ) -> "Table":
-        """Build a numeric table from a 2-D numpy array."""
+        """Build a numeric table from a 2-D numpy array (NaN cells become NULL)."""
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2:
             raise TableError(f"expected a 2-D matrix, got shape {matrix.shape}")
@@ -95,12 +176,13 @@ class Table:
             column_names = [f"c{i}" for i in range(n_cols)]
         if len(column_names) != n_cols:
             raise TableError("column_names length does not match matrix width")
-        columns = [
-            Column(col, DataType.FLOAT, is_label=(col == label_column)) for col in column_names
-        ]
-        data = {col: [NULL if np.isnan(v) else float(v) for v in matrix[:, i]]
-                for i, col in enumerate(column_names)}
-        return cls(name, Schema(columns), data)
+        schema = Schema(
+            [Column(col, DataType.FLOAT, is_label=(col == label_column)) for col in column_names]
+        )
+        # Explicit copies: a column slice can alias the caller's matrix.
+        data = {col: matrix[:, i].copy() for i, col in enumerate(column_names)}
+        valid = {col: ~np.isnan(data[col]) for col in column_names}
+        return cls._from_storage(name, schema, data, valid)
 
     @classmethod
     def empty(cls, name: str, schema: Schema) -> "Table":
@@ -133,16 +215,38 @@ class Table:
     def __repr__(self) -> str:
         return f"Table({self._name!r}, rows={self._n_rows}, cols={self._schema.names})"
 
-    def column(self, name: str) -> List[Any]:
-        """Return the values of one column (a copy)."""
+    def column_values(self, name: str) -> np.ndarray:
+        """The typed storage array of one column (read-only, shared).
+
+        NULL positions hold a placeholder (0 / NaN / False / the sentinel);
+        consult :meth:`column_valid` to distinguish them.
+        """
         if name not in self._schema:
             raise TableError(f"table {self._name!r} has no column {name!r}")
-        return list(self._columns[name])
+        return self._data[name]
+
+    def column_valid(self, name: str) -> np.ndarray:
+        """Boolean validity mask of one column (True = non-NULL; read-only)."""
+        if name not in self._schema:
+            raise TableError(f"table {self._name!r} has no column {name!r}")
+        return self._valid[name]
+
+    def column(self, name: str) -> List[Any]:
+        """Return the values of one column as a Python list (a copy)."""
+        if name not in self._schema:
+            raise TableError(f"table {self._name!r} has no column {name!r}")
+        return storage_to_list(self._data[name], self._valid[name])
+
+    def _cell(self, row: int, column: str) -> Any:
+        if not self._valid[column][row]:
+            return NULL
+        value = self._data[column][row]
+        return value.item() if isinstance(value, np.generic) else value
 
     def row(self, index: int) -> Tuple[Any, ...]:
         if not 0 <= index < self._n_rows:
             raise TableError(f"row index {index} out of range for {self._n_rows} rows")
-        return tuple(self._columns[name][index] for name in self._schema.names)
+        return tuple(self._cell(index, name) for name in self._schema.names)
 
     def rows(self) -> Iterator[Tuple[Any, ...]]:
         for i in range(self._n_rows):
@@ -151,47 +255,68 @@ class Table:
     def cell(self, row: int, column: str) -> Any:
         if not 0 <= row < self._n_rows:
             raise TableError(f"row index {row} out of range")
-        return self._columns[column][row]
+        if column not in self._schema:
+            raise TableError(f"table {self._name!r} has no column {column!r}")
+        return self._cell(row, column)
 
     # -- relational operators --------------------------------------------------------
     def project(self, names: Sequence[str]) -> "Table":
         schema = self._schema.project(names)
-        return Table(self._name, schema, {name: list(self._columns[name]) for name in names})
+        return Table._from_storage(
+            self._name,
+            schema,
+            {name: self._data[name] for name in names},
+            {name: self._valid[name] for name in names},
+        )
 
     def drop(self, names: Iterable[str]) -> "Table":
         schema = self._schema.drop(names)
-        return Table(
-            self._name, schema, {c.name: list(self._columns[c.name]) for c in schema}
+        return Table._from_storage(
+            self._name,
+            schema,
+            {c.name: self._data[c.name] for c in schema},
+            {c.name: self._valid[c.name] for c in schema},
         )
 
     def rename(self, renames: Dict[str, str]) -> "Table":
         schema = self._schema.rename(renames)
         data = {}
+        valid = {}
         for old_name, column in zip(self._schema.names, schema):
-            data[column.name] = list(self._columns[old_name])
-        return Table(self._name, schema, data)
+            data[column.name] = self._data[old_name]
+            valid[column.name] = self._valid[old_name]
+        return Table._from_storage(self._name, schema, data, valid)
 
     def renamed_table(self, new_name: str) -> "Table":
-        return Table(new_name, self._schema, {k: list(v) for k, v in self._columns.items()})
+        return Table._from_storage(new_name, self._schema, dict(self._data), dict(self._valid))
 
     def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Table":
         """Select rows where ``predicate(row_dict)`` is truthy."""
+        columns = {name: self.column(name) for name in self._schema.names}
         keep = [
             i
             for i in range(self._n_rows)
-            if predicate({name: self._columns[name][i] for name in self._schema.names})
+            if predicate({name: columns[name][i] for name in self._schema.names})
         ]
         return self.take(keep)
 
     def take(self, indices: Sequence[int]) -> "Table":
         """Return a table containing the given row indices, in order."""
-        for i in indices:
-            if not 0 <= i < self._n_rows:
-                raise TableError(f"row index {i} out of range for {self._n_rows} rows")
-        data = {
-            name: [self._columns[name][i] for i in indices] for name in self._schema.names
-        }
-        return Table(self._name, self._schema, data)
+        raw = np.asarray(indices)
+        if raw.size and raw.dtype.kind not in "iub":
+            # Fail loudly on fractional/typed-wrong indices instead of
+            # silently truncating through an int64 cast.
+            raise TableError(f"row indices must be integers, got dtype {raw.dtype}")
+        indices = raw.astype(np.int64) if raw.size else np.empty(0, dtype=np.int64)
+        if indices.size:
+            low = int(indices.min())
+            high = int(indices.max())
+            if low < 0 or high >= self._n_rows:
+                bad = low if low < 0 else high
+                raise TableError(f"row index {bad} out of range for {self._n_rows} rows")
+        data = {name: self._data[name][indices] for name in self._schema.names}
+        valid = {name: self._valid[name][indices] for name in self._schema.names}
+        return Table._from_storage(self._name, self._schema, data, valid)
 
     def head(self, n: int = 5) -> "Table":
         return self.take(list(range(min(n, self._n_rows))))
@@ -200,9 +325,13 @@ class Table:
         if len(values) != self._n_rows:
             raise TableError("new column length does not match table")
         schema = self._schema.with_column(column)
-        data = {k: list(v) for k, v in self._columns.items()}
-        data[column.name] = list(values)
-        return Table(self._name, schema, data)
+        new_values, new_valid = coerce_column(values, column.dtype)
+        new_values = _owned(new_values, values)
+        data = dict(self._data)
+        valid = dict(self._valid)
+        data[column.name] = new_values
+        valid[column.name] = new_valid
+        return Table._from_storage(self._name, schema, data, valid)
 
     def set_roles(self, *, keys: Sequence[str] = (), label: Optional[str] = None) -> "Table":
         """Return a copy with key/label roles set on the named columns."""
@@ -211,7 +340,9 @@ class Table:
             is_key = column.name in keys if keys else column.is_key
             is_label = (column.name == label) if label is not None else column.is_label
             new_columns.append(column.with_role(is_key=is_key, is_label=is_label))
-        return Table(self._name, Schema(new_columns), {k: list(v) for k, v in self._columns.items()})
+        return Table._from_storage(
+            self._name, Schema(new_columns), dict(self._data), dict(self._valid)
+        )
 
     # -- analytics helpers -------------------------------------------------------------
     def null_ratio(self, column: Optional[str] = None) -> float:
@@ -219,43 +350,55 @@ class Table:
         if self._n_rows == 0:
             return 0.0
         if column is not None:
-            values = self._columns[column]
-            return sum(1 for v in values if is_null(v)) / self._n_rows
+            return float(np.count_nonzero(~self._valid[column])) / self._n_rows
         total = self._n_rows * len(self._schema)
-        nulls = sum(
-            1 for values in self._columns.values() for v in values if is_null(v)
-        )
+        nulls = sum(int(np.count_nonzero(~mask)) for mask in self._valid.values())
         return nulls / total if total else 0.0
 
     def distinct_values(self, column: str) -> set:
-        return {v for v in self._columns[column] if not is_null(v)}
+        values = self._data[column][self._valid[column]]
+        return set(values.tolist())
 
     def to_matrix(
         self,
         columns: Optional[Sequence[str]] = None,
         null_value: float = 0.0,
     ) -> np.ndarray:
-        """Export numeric columns to a dense float matrix.
+        """Export numeric columns to a dense float matrix (cached, read-only).
 
         NULLs are replaced by ``null_value`` (0.0 by default, matching the
-        paper's Figure 4 where unmatched cells contribute zeros).
+        paper's Figure 4 where unmatched cells contribute zeros). The table is
+        immutable, so repeated projections of the same columns return the
+        same cached (write-protected) array — the executor's materialized
+        path re-fits without re-extracting.
         """
         if columns is None:
             columns = [c.name for c in self._schema if c.dtype.is_numeric]
+        columns = tuple(columns)
+        cache_key = (columns, float(null_value))
+        cached = self._matrix_cache.get(cache_key)
+        if cached is not None:
+            return cached
         for name in columns:
             if not self._schema[name].dtype.is_numeric:
                 raise TableError(f"column {name!r} is not numeric")
-        out = np.empty((self._n_rows, len(columns)), dtype=float)
+        out = np.empty((self._n_rows, len(columns)), dtype=np.float64)
         for j, name in enumerate(columns):
-            values = self._columns[name]
-            out[:, j] = [null_value if is_null(v) else float(v) for v in values]
+            values = self._data[name]
+            valid = self._valid[name]
+            if bool(valid.all()):
+                out[:, j] = values
+            else:
+                out[:, j] = np.where(valid, values, null_value)
+        out.setflags(write=False)
+        self._matrix_cache[cache_key] = out
         return out
 
     def to_rows(self) -> List[Tuple[Any, ...]]:
         return list(self.rows())
 
     def to_dict(self) -> Dict[str, List[Any]]:
-        return {name: list(values) for name, values in self._columns.items()}
+        return {name: self.column(name) for name in self._schema.names}
 
     def describe(self, silo: str = "") -> SourceDescription:
         """Produce the basic-metadata record for the metadata catalog."""
@@ -276,15 +419,33 @@ class Table:
         if self._n_rows != other.n_rows:
             return False
         for name in self._schema.names:
-            left, right = self._columns[name], other._columns[name]
-            for a, b in zip(left, right):
-                if is_null(a) and is_null(b):
-                    continue
-                if is_null(a) != is_null(b):
+            if not bool(np.array_equal(self._valid[name], other._valid[name])):
+                return False
+            valid = self._valid[name]
+            left, right = self._data[name], other._data[name]
+            left_dtype = self._schema[name].dtype
+            right_dtype = other.schema[name].dtype
+            if left_dtype is DataType.INT and right_dtype is DataType.INT:
+                # Integers compare exactly (isclose would blur large ids).
+                if not bool(np.array_equal(left[valid], right[valid])):
                     return False
-                if isinstance(a, float) or isinstance(b, float):
-                    if not np.isclose(float(a), float(b)):
+            elif left_dtype.is_numeric and right_dtype.is_numeric:
+                a = np.asarray(left, dtype=np.float64)[valid]
+                b = np.asarray(right, dtype=np.float64)[valid]
+                if not bool(np.isclose(a, b).all()):
+                    return False
+            elif left_dtype is right_dtype and left_dtype is not DataType.STRING:
+                if not bool(np.array_equal(left[valid], right[valid])):
+                    return False
+            else:
+                for a, b in zip(storage_to_list(left, valid), storage_to_list(right, valid)):
+                    if is_null(a) and is_null(b):
+                        continue
+                    if is_null(a) != is_null(b):
                         return False
-                elif a != b:
-                    return False
+                    if isinstance(a, float) or isinstance(b, float):
+                        if not np.isclose(float(a), float(b)):
+                            return False
+                    elif a != b:
+                        return False
         return True

@@ -54,6 +54,25 @@ class TestConstruction:
         table = Table.from_dict("t", {"m": [0, 1]}, m={"is_label": True})
         assert table.schema["m"].is_label
 
+    def test_from_dict_rejects_unknown_override_keys(self):
+        # A typo like `is_lable` must fail loudly instead of passing silently.
+        with pytest.raises(TableError, match="is_lable"):
+            Table.from_dict("t", {"m": [0, 1]}, m={"is_lable": True})
+
+    def test_from_dict_rejects_overrides_for_unknown_columns(self):
+        with pytest.raises(TableError, match="missing"):
+            Table.from_dict("t", {"m": [0, 1]}, missing={"is_key": True})
+
+    def test_from_dict_accepts_numpy_arrays(self):
+        table = Table.from_dict(
+            "t",
+            {"a": np.arange(3), "b": np.array([1.5, np.nan, 3.0])},
+            a={"is_key": True},
+        )
+        assert table.schema["a"].dtype is DataType.INT
+        assert table.schema["b"].dtype is DataType.FLOAT
+        assert table.cell(1, "b") is NULL
+
     def test_from_matrix_and_nan_to_null(self):
         matrix = np.array([[1.0, np.nan], [2.0, 3.0]])
         table = Table.from_matrix("t", matrix, ["a", "b"])
@@ -161,3 +180,84 @@ class TestAnalytics:
     def test_to_dict_roundtrip(self, table):
         rebuilt = Table("t", table.schema, table.to_dict())
         assert table.equals(rebuilt)
+
+
+class TestColumnarStorage:
+    def test_construction_does_not_freeze_or_alias_caller_arrays(self):
+        source = np.arange(3)
+        table = Table.from_dict("t", {"a": source})
+        source[0] = 99  # caller's array must stay writable...
+        assert table.cell(0, "a") == 0  # ...and the table must not see the write
+
+    def test_equals_compares_integers_exactly(self):
+        a = Table.from_dict("t", {"x": [1_000_000]})
+        b = Table.from_dict("t", {"x": [1_000_001]})
+        assert not a.equals(b)
+
+    def test_take_rejects_fractional_indices(self, table):
+        with pytest.raises(TableError, match="integers"):
+            table.take([1.7])
+
+    def test_int_coercion_rejects_inf_and_overflow(self):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            Table.from_dict("t", {"x": np.array([1.0, np.inf])},
+                            x={"dtype": DataType.INT})
+        with pytest.raises(SchemaError):
+            Table.from_dict("t", {"x": np.array([1e30])}, x={"dtype": DataType.INT})
+
+    def test_nan_string_fallback_is_null(self):
+        # The element-wise fallback (forced by the NULL sentinel) must mark a
+        # coerced NaN invalid, like the vectorized fast path does.
+        table = Table.from_dict("t", {"x": [NULL, "nan", 1.0]},
+                                x={"dtype": DataType.FLOAT})
+        assert table.cell(1, "x") is NULL
+        assert table.null_ratio("x") == pytest.approx(2 / 3)
+        assert table.equals(table)
+
+
+    def test_column_values_and_validity(self, table):
+        values = table.column_values("x")
+        valid = table.column_valid("x")
+        assert values.dtype == np.float64
+        assert valid.tolist() == [True, False, True]
+        assert values[0] == pytest.approx(1.5)
+
+    def test_storage_arrays_are_read_only(self, table):
+        with pytest.raises(ValueError):
+            table.column_values("x")[0] = 7.0
+        with pytest.raises(ValueError):
+            table.column_valid("x")[0] = False
+
+    def test_int_column_storage(self, table):
+        assert table.column_values("id").dtype == np.int64
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(TableError):
+            table.column_values("missing")
+
+    def test_derived_tables_share_storage(self, table):
+        projected = table.project(["x"])
+        assert projected.column_values("x") is table.column_values("x")
+
+
+class TestToMatrixCache:
+    def test_same_projection_returns_cached_array(self, table):
+        first = table.to_matrix(["x"])
+        second = table.to_matrix(["x"])
+        assert first is second
+
+    def test_cached_matrix_is_read_only(self, table):
+        matrix = table.to_matrix(["x"])
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 123.0
+
+    def test_distinct_projections_are_distinct_entries(self, table):
+        assert table.to_matrix(["x"]) is not table.to_matrix(["x", "id"])
+        assert table.to_matrix(["x"]) is not table.to_matrix(["x"], null_value=-1.0)
+
+    def test_default_projection_shares_explicit_cache_entry(self, table):
+        default = table.to_matrix()
+        explicit = table.to_matrix(["id", "label", "x"])
+        assert default is explicit
