@@ -10,8 +10,9 @@ directly from numpy arrays.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from repro.metadata.schema_matching import ColumnMatch
 from repro.relational.schema import Column, Schema
 from repro.relational.table import Table
 from repro.relational.types import DataType
+from repro.streaming.chunks import DEFAULT_CHUNK_ROWS, TableChunk, TableChunkStream
 
 
 @dataclass
@@ -158,3 +160,156 @@ def generate_scenario_dataset(spec: ScenarioSpec) -> IntegratedDataset:
         scenario=spec.scenario,
         label_column="label",
     )
+
+
+# ---------------------------------------------------------------------------------
+# Streaming scenario generation (out-of-core)
+# ---------------------------------------------------------------------------------
+#
+# The chunked generator never materializes a table: every cell is a pure
+# function of (seed, table, column, entity id / row index) via a vectorized
+# splitmix64 hash, so any row block can be produced independently — the
+# emitted values do not depend on the chunk size, overlapping entities carry
+# identical label/shared values in both sources, and materializing the
+# stream (``read_table``) equals consuming it chunk-wise bit for bit.
+
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SPLITMIX_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLITMIX_MUL2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, vectorized over uint64 (modular arithmetic)."""
+    with np.errstate(over="ignore"):
+        z = (x + _SPLITMIX_GAMMA).astype(np.uint64)
+        z = (z ^ (z >> np.uint64(30))) * _SPLITMIX_MUL1
+        z = (z ^ (z >> np.uint64(27))) * _SPLITMIX_MUL2
+        return z ^ (z >> np.uint64(31))
+
+
+def _hash_uniform(indices: np.ndarray, salt: int) -> np.ndarray:
+    """Deterministic uniforms in [0, 1) for (index, salt) pairs."""
+    with np.errstate(over="ignore"):
+        mixed = _mix64(indices.astype(np.uint64) ^ _mix64(np.uint64(salt & 0xFFFFFFFFFFFFFFFF)))
+    return (mixed >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
+
+def _column_salt(seed: int, scope: str, column: str) -> int:
+    token = f"{scope}/{column}".encode()
+    return (zlib.crc32(token) << 20) ^ (seed * 1_000_003 + 7)
+
+
+class HashedScenarioStream(TableChunkStream):
+    """One scenario source table as a chunk stream of hashed values.
+
+    ``ids`` gives each row's entity id; entity-scoped columns (label,
+    shared features) hash the id, table-local feature columns hash the
+    absolute row index under a table-specific salt.
+    """
+
+    def __init__(self, name: str, schema: Schema, ids: np.ndarray, seed: int,
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS):
+        self.name = name
+        self._schema = schema
+        self._ids = np.asarray(ids, dtype=np.int64)
+        self._seed = int(seed)
+        self._chunk_rows = max(1, int(chunk_rows))
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return int(self._ids.size)
+
+    def _column_block(self, column, ids: np.ndarray, start: int) -> np.ndarray:
+        if column.name == "id":
+            return ids
+        if column.is_label:
+            return (_hash_uniform(ids, _column_salt(self._seed, "entity", "label")) < 0.5
+                    ).astype(np.int64)
+        if column.name.startswith("shared_"):
+            uniform = _hash_uniform(ids, _column_salt(self._seed, "entity", column.name))
+            return np.round(uniform * 2.0 - 1.0, 4)
+        rows = np.arange(start, start + ids.size, dtype=np.int64)
+        uniform = _hash_uniform(rows, _column_salt(self._seed, self.name, column.name))
+        return np.round(uniform * 2.0 - 1.0, 4)
+
+    def chunks(self) -> Iterator[TableChunk]:
+        for start in range(0, self.n_rows, self._chunk_rows):
+            stop = min(start + self._chunk_rows, self.n_rows)
+            ids = self._ids[start:stop]
+            data = {}
+            valid = {}
+            for column in self._schema:
+                data[column.name] = self._column_block(column, ids, start)
+                valid[column.name] = np.ones(ids.size, dtype=bool)
+            yield TableChunk(self._schema, data, valid, offset=start)
+
+
+def generate_scenario_streams(
+    spec: ScenarioSpec, chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> Tuple[
+    HashedScenarioStream,
+    HashedScenarioStream,
+    List[ColumnMatch],
+    Tuple[np.ndarray, np.ndarray],
+    List[str],
+]:
+    """The two source tables of a scenario as bounded-memory chunk streams.
+
+    Row structure (entity ids, overlap placement), schemas, column matches
+    and target columns mirror :func:`generate_scenario_tables`; values come
+    from the hash streams above instead of sequential RNG draws, so a row
+    block can be generated without generating its predecessors. Row
+    matches are returned as ``(left_rows, right_rows)`` index arrays — the
+    builder's vectorized fast path.
+    """
+    is_union = spec.scenario is ScenarioType.UNION
+    shared = spec.base_features if is_union else spec.overlap_columns
+
+    base_schema = _feature_schema("b", spec.base_features, shared, label=True)
+    other_features = spec.base_features if is_union else spec.other_features
+    other_schema = _feature_schema("o", other_features, shared, label=is_union)
+
+    base_ids = np.arange(spec.base_rows, dtype=np.int64)
+    if is_union:
+        other_ids = np.arange(
+            spec.base_rows, spec.base_rows + spec.other_rows, dtype=np.int64
+        )
+    else:
+        other_ids = np.concatenate(
+            [
+                np.arange(spec.overlap_rows, dtype=np.int64),
+                np.arange(
+                    spec.base_rows,
+                    spec.base_rows + spec.other_rows - spec.overlap_rows,
+                    dtype=np.int64,
+                ),
+            ]
+        )
+
+    base = HashedScenarioStream("S1", base_schema, base_ids, spec.seed, chunk_rows)
+    other = HashedScenarioStream("S2", other_schema, other_ids, spec.seed, chunk_rows)
+
+    column_matches = [ColumnMatch("S1", "id", "S2", "id", 1.0)]
+    for i in range(shared):
+        column_matches.append(ColumnMatch("S1", f"shared_{i}", "S2", f"shared_{i}", 1.0))
+    if is_union:
+        column_matches.append(ColumnMatch("S1", "label", "S2", "label", 1.0))
+        for i in range(spec.base_features - shared):
+            column_matches.append(ColumnMatch("S1", f"b_{i}", "S2", f"b_{i}", 1.0))
+
+    if is_union:
+        row_matches = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    else:
+        overlap = np.arange(spec.overlap_rows, dtype=np.int64)
+        row_matches = (overlap, overlap.copy())
+
+    target_columns = ["label"]
+    target_columns += [f"shared_{i}" for i in range(shared)]
+    target_columns += [f"b_{i}" for i in range(spec.base_features - shared)]
+    if not is_union:
+        target_columns += [f"o_{i}" for i in range(other_features - shared)]
+    return base, other, column_matches, row_matches, target_columns

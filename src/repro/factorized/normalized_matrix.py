@@ -28,7 +28,7 @@ from scipy import sparse
 from repro.backends import Backend, BackendSpec, resolve_backend
 from repro.backends.base import as_float64 as _as_float64
 from repro.exceptions import FactorizationError
-from repro.factorized.operator_plan import OperatorPlan
+from repro.factorized.operator_plan import BlockedMatrixView, OperatorPlan
 from repro.factorized.ops_counter import FlopCounter
 from repro.matrices.builder import IntegratedDataset, SourceFactor
 
@@ -320,6 +320,26 @@ class AmalurMatrix:
             return self
         keep = [c for c in self.dataset.target_columns if c != self.dataset.label_column]
         return self.select_columns(keep)
+
+    def blocked(self, columns: Optional[Sequence[str]] = None) -> BlockedMatrixView:
+        """A row-block view for bounded-memory (out-of-core) execution.
+
+        ``columns`` optionally restricts the view to a subset of target
+        columns *at the plan-index level* — unlike :meth:`select_columns`
+        no factor data is sliced or copied, so the view works over spilled
+        (memory-mapped) factors without pulling them into RAM. Used by
+        :class:`repro.learning.StreamingGD` to train on datasets larger
+        than memory.
+        """
+        keep = None
+        if columns is not None:
+            missing = [n for n in columns if n not in self.dataset.target_columns]
+            if missing:
+                raise FactorizationError(f"unknown target columns {missing}")
+            keep = np.asarray(
+                [self.dataset.target_columns.index(n) for n in columns], dtype=np.intp
+            )
+        return BlockedMatrixView(self._plans, self.n_rows, self.n_columns, keep)
 
     def select_columns(self, names: Sequence[str]) -> "AmalurMatrix":
         """Project the factorized target onto a subset of its columns."""

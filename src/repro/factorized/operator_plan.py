@@ -42,7 +42,7 @@ arrays cannot leak across views.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -207,3 +207,157 @@ class OperatorPlan:
             f"mapped_cols={self.n_mapped_cols}, injective={self.rows_injective}, "
             f"correction={self.has_correction})"
         )
+
+
+class BlockedFactorView:
+    """Row-block execution structure of one factor for out-of-core training.
+
+    Reuses the compiled plan's gather indices: ``plan.target_rows`` is
+    sorted ascending (it comes from ``np.nonzero`` over ``CI_k``), so the
+    slice of the row maps falling inside a target-row block ``[start,
+    stop)`` is found with two ``searchsorted`` probes — no per-block index
+    rebuild, and the factor's backing storage (typically an
+    ``np.memmap`` spilled by the streaming builder) is only ever gathered
+    one block of rows at a time.
+
+    ``keep_targets`` optionally restricts the view to a subset of target
+    columns *at the index level* (``CM_k`` re-aimed at the subset's
+    positions), so selecting the feature columns of a spilled dataset
+    copies no data — unlike ``AmalurMatrix.select_columns``, which slices
+    ``D_k`` itself.
+    """
+
+    __slots__ = (
+        "plan", "backend", "storage",
+        "sel_source_cols", "sel_target_pos", "all_source_cols", "n_out_columns",
+        "_correction_sel",
+    )
+
+    def __init__(self, plan: OperatorPlan, keep_targets: Optional[np.ndarray] = None):
+        self.plan = plan
+        self.backend = plan.backend
+        self.storage = plan.storage
+        n_target_columns = plan.factor.mapping.n_target_columns
+        if keep_targets is None:
+            self.sel_source_cols = plan.source_cols
+            self.sel_target_pos = plan.target_cols
+            self.n_out_columns = n_target_columns
+        else:
+            keep_targets = np.asarray(keep_targets, dtype=np.intp)
+            new_position = np.full(n_target_columns, -1, dtype=np.int64)
+            new_position[keep_targets] = np.arange(keep_targets.size)
+            kept = new_position[plan.target_cols] >= 0
+            self.sel_source_cols = plan.source_cols[kept]
+            self.sel_target_pos = new_position[plan.target_cols[kept]].astype(np.intp)
+            self.n_out_columns = int(keep_targets.size)
+        self.all_source_cols = (
+            self.sel_source_cols.size == plan.n_source_columns
+        )
+        self._correction_sel = None
+        if plan.has_correction:
+            correction = plan.correction()
+            if keep_targets is None:
+                self._correction_sel = correction
+            else:
+                self._correction_sel = correction[:, keep_targets].tocsr()
+
+    def _row_bounds(self, start: int, stop: int) -> Tuple[int, int]:
+        rows = self.plan.target_rows
+        return (
+            int(np.searchsorted(rows, start, side="left")),
+            int(np.searchsorted(rows, stop, side="left")),
+        )
+
+    def _storage_block(self, lo: int, hi: int):
+        """The (rows × selected columns) slice of ``D_k`` a block touches."""
+        block = self.backend.take_rows(self.storage, self.plan.source_rows[lo:hi])
+        if not self.all_source_cols:
+            block = self.backend.take_columns(block, self.sel_source_cols)
+        return block
+
+    def lmm_block_add(self, x: np.ndarray, start: int, stop: int, out: np.ndarray) -> None:
+        """Add this factor's share of ``(T @ X)[start:stop]`` into ``out``."""
+        lo, hi = self._row_bounds(start, stop)
+        if hi > lo:
+            gathered = np.zeros((self.sel_source_cols.size, x.shape[1]))
+            gathered[:] = x[self.sel_target_pos]
+            local = self.backend.matmul(self._storage_block(lo, hi), gathered)
+            out[self.plan.target_rows[lo:hi] - start] += local
+        if self._correction_sel is not None:
+            out -= self._correction_sel[start:stop] @ x
+
+    def transpose_lmm_block_add(
+        self, x_block: np.ndarray, start: int, stop: int, out: np.ndarray
+    ) -> None:
+        """Accumulate this factor's share of ``Tᵀ X`` for rows ``[start, stop)``."""
+        lo, hi = self._row_bounds(start, stop)
+        if hi > lo:
+            rows = x_block[self.plan.target_rows[lo:hi] - start]
+            local = self.backend.transpose_matmul(self._storage_block(lo, hi), rows)
+            out[self.sel_target_pos] += local
+        if self._correction_sel is not None:
+            out -= self._correction_sel[start:stop].T @ x_block
+
+
+class BlockedMatrixView:
+    """Row-block view over a factorized matrix (all factors together).
+
+    The view computes exactly what ``AmalurMatrix.lmm`` /
+    ``transpose_lmm`` compute, one target-row block at a time, so
+    gradient-descent training can run in bounded memory over factors whose
+    backing storage lives on disk. Constructed via
+    :meth:`repro.factorized.AmalurMatrix.blocked`.
+    """
+
+    def __init__(
+        self,
+        plans: Sequence,
+        n_rows: int,
+        n_target_columns: int,
+        keep_targets: Optional[np.ndarray] = None,
+    ):
+        self.factors = [BlockedFactorView(plan, keep_targets) for plan in plans]
+        n_columns = (
+            int(np.asarray(keep_targets).size)
+            if keep_targets is not None
+            else n_target_columns
+        )
+        self.shape = (int(n_rows), n_columns)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        return self.shape[1]
+
+    def row_blocks(self, block_rows: int) -> Sequence[Tuple[int, int]]:
+        """The ``[start, stop)`` block bounds covering every target row."""
+        block_rows = max(1, int(block_rows))
+        return [
+            (start, min(start + block_rows, self.shape[0]))
+            for start in range(0, self.shape[0], block_rows)
+        ]
+
+    def lmm_block(self, x: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """``(T @ X)[start:stop]`` — one row block of the LMM result."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        out = np.zeros((stop - start, x.shape[1]))
+        for factor in self.factors:
+            factor.lmm_block_add(x, start, stop, out)
+        return out
+
+    def transpose_lmm_add(
+        self, x_block: np.ndarray, start: int, stop: int, out: np.ndarray
+    ) -> None:
+        """Accumulate ``Tᵀ X`` contributions of rows ``[start, stop)`` into
+        ``out`` (shape ``n_columns × m``); summing over all blocks yields
+        exactly ``transpose_lmm`` of the stacked operand."""
+        x_block = np.asarray(x_block, dtype=np.float64)
+        if x_block.ndim == 1:
+            x_block = x_block[:, None]
+        for factor in self.factors:
+            factor.transpose_lmm_block_add(x_block, start, stop, out)

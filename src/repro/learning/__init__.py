@@ -12,6 +12,7 @@ training accuracy").
 from repro.learning.base import DenseMatrix, as_linop, LinearOperand
 from repro.learning.linear_regression import LinearRegression
 from repro.learning.logistic_regression import LogisticRegression
+from repro.learning.streaming_gd import StreamingGD
 from repro.learning.kmeans import KMeans
 from repro.learning.gaussian_nmf import GaussianNMF
 from repro.learning.metrics import (
@@ -27,6 +28,7 @@ __all__ = [
     "LinearOperand",
     "LinearRegression",
     "LogisticRegression",
+    "StreamingGD",
     "KMeans",
     "GaussianNMF",
     "mean_squared_error",

@@ -373,50 +373,79 @@ def _row_match_arrays(row_matches: RowMatchesLike) -> Tuple[np.ndarray, np.ndarr
 
 
 def _target_rows_for_scenario(
-    base: Table,
-    other: Table,
+    n_base_rows: int,
+    n_other_rows: int,
     row_matches: RowMatchesLike,
     scenario: ScenarioType,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Return, per target row, the originating base row and other row (-1 if none)."""
+    """Return, per target row, the originating base row and other row (-1 if none).
+
+    Takes plain row counts (not tables) so the out-of-core streaming
+    builder can derive the same row maps from chunk-stream metadata.
+    """
     matched_left, matched_right = _row_match_arrays(row_matches)
     # Per base row, its matched other row (-1 when unmatched); for duplicate
     # left rows the last match wins, like the dict the seed implementation
     # built.
-    other_of_base = np.full(base.n_rows, -1, dtype=np.int64)
+    other_of_base = np.full(n_base_rows, -1, dtype=np.int64)
     other_of_base[matched_left] = matched_right
 
     if scenario is ScenarioType.INNER_JOIN:
         base_rows = np.nonzero(other_of_base >= 0)[0].astype(np.int64)
         other_rows = other_of_base[base_rows]
     elif scenario is ScenarioType.LEFT_JOIN:
-        base_rows = np.arange(base.n_rows, dtype=np.int64)
+        base_rows = np.arange(n_base_rows, dtype=np.int64)
         other_rows = other_of_base
     elif scenario is ScenarioType.FULL_OUTER_JOIN:
-        matched_other = np.zeros(other.n_rows, dtype=bool)
+        matched_other = np.zeros(n_other_rows, dtype=bool)
         matched_other[other_of_base[other_of_base >= 0]] = True
         other_only = np.nonzero(~matched_other)[0].astype(np.int64)
         base_rows = np.concatenate(
-            [np.arange(base.n_rows, dtype=np.int64),
+            [np.arange(n_base_rows, dtype=np.int64),
              np.full(other_only.size, -1, dtype=np.int64)]
         )
         other_rows = np.concatenate([other_of_base, other_only])
     elif scenario is ScenarioType.UNION:
         base_rows = np.concatenate(
-            [np.arange(base.n_rows, dtype=np.int64),
-             np.full(other.n_rows, -1, dtype=np.int64)]
+            [np.arange(n_base_rows, dtype=np.int64),
+             np.full(n_other_rows, -1, dtype=np.int64)]
         )
         other_rows = np.concatenate(
-            [np.full(base.n_rows, -1, dtype=np.int64),
-             np.arange(other.n_rows, dtype=np.int64)]
+            [np.full(n_base_rows, -1, dtype=np.int64),
+             np.arange(n_other_rows, dtype=np.int64)]
         )
     else:  # pragma: no cover - exhaustive enum
         raise MappingError(f"unknown scenario {scenario!r}")
     return base_rows, other_rows
 
 
+def two_source_correspondences(
+    base_columns: Sequence[str],
+    other_columns: Sequence[str],
+    column_matches: Sequence[ColumnMatch],
+    target_columns: Sequence[str],
+) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Source-column → target-column maps for the two-source scenarios.
+
+    The mediated schema names target columns after the base table where the
+    base provides them; matched columns of the other table map onto the
+    base name, unmatched ones onto their own name (when in the target).
+    """
+    matched_base_by_other = {m.right_column: m.left_column for m in column_matches}
+    target_set = set(target_columns)
+    base_correspondences = {
+        column: column for column in base_columns if column in target_set
+    }
+    other_correspondences: Dict[str, str] = {}
+    for column in other_columns:
+        target = matched_base_by_other.get(column, column)
+        if target in target_set:
+            other_correspondences[column] = target
+    return base_correspondences, other_correspondences
+
+
 def _numeric_mapped_columns(
-    table: Table, correspondences: Dict[str, str], target_columns: Sequence[str]
+    schema, correspondences: Dict[str, str], target_columns: Sequence[str]
 ) -> List[str]:
     """Source columns that map into the numeric target schema, in source order."""
     wanted = {
@@ -426,7 +455,7 @@ def _numeric_mapped_columns(
     }
     return [
         column.name
-        for column in table.schema
+        for column in schema
         if column.name in wanted and column.dtype.is_numeric
     ]
 
@@ -461,7 +490,7 @@ def _build_factor(
     redundancy: RedundancyMatrix,
     backend: Optional[Backend] = None,
 ) -> SourceFactor:
-    source_columns = _numeric_mapped_columns(table, correspondences, target_columns)
+    source_columns = _numeric_mapped_columns(table.schema, correspondences, target_columns)
     if not source_columns:
         raise MappingError(f"source {table.name!r} maps no numeric target columns")
     data = table.to_matrix(source_columns)
@@ -518,18 +547,13 @@ def integrate_tables(
     """
     resolved_backend = resolve_backend(backend) if backend is not None else None
     target_columns = list(target_columns)
-    matched_base_by_other = {m.right_column: m.left_column for m in column_matches}
+    base_correspondences, other_correspondences = two_source_correspondences(
+        base.schema.names, other.schema.names, column_matches, target_columns
+    )
 
-    base_correspondences = {
-        column: column for column in base.schema.names if column in target_columns
-    }
-    other_correspondences: Dict[str, str] = {}
-    for column in other.schema.names:
-        target = matched_base_by_other.get(column, column)
-        if target in target_columns:
-            other_correspondences[column] = target
-
-    base_rows, other_rows = _target_rows_for_scenario(base, other, row_matches, scenario)
+    base_rows, other_rows = _target_rows_for_scenario(
+        base.n_rows, other.n_rows, row_matches, scenario
+    )
     n_target_rows = int(base_rows.size)
 
     base_mask = _contribution_mask(base, base_rows, base_correspondences, target_columns)

@@ -1,15 +1,25 @@
-"""CSV import/export for the relational substrate."""
+"""CSV import/export for the relational substrate.
+
+``read_csv`` routes through the chunked columnar reader
+(:class:`repro.streaming.ingest.ChunkedCsvReader`): the file is parsed
+block-at-a-time straight into typed numpy columns + validity masks, so
+in-memory ingest no longer builds per-cell Python lists. The empty-file and
+row-width :class:`TableError` behavior of the seed reader is preserved
+bit-for-bit.
+
+``write_csv`` protects STRING values that would otherwise re-parse as NULL
+(``"null"``, ``"na"``, the empty string, ...) with a one-backslash escape
+that ``parse_cell`` undoes, so write → read round-trips keep them as
+strings.
+"""
 
 from __future__ import annotations
 
-import csv
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
-from repro.exceptions import TableError
-from repro.relational.schema import Column, Schema
 from repro.relational.table import Table
-from repro.relational.types import NULL, infer_type, is_null, parse_cell
+from repro.relational.types import NULL_LITERALS, DataType, is_null
 
 PathLike = Union[str, Path]
 
@@ -23,48 +33,58 @@ def read_csv(
 ) -> Table:
     """Read a CSV file into a :class:`Table`, inferring column types.
 
-    Empty cells and the literals ``null``/``none``/``na``/``nan`` become NULL.
+    Empty cells and the literals ``null``/``none``/``na``/``nan`` become
+    NULL. This is the single-pass fast path of the chunked reader; use
+    :class:`repro.streaming.ingest.ChunkedCsvReader` directly for
+    bounded-memory streaming over files larger than RAM.
     """
-    path = Path(path)
-    if name is None:
-        name = path.stem
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        try:
-            header = next(reader)
-        except StopIteration as exc:
-            raise TableError(f"CSV file {path} is empty") from exc
-        raw_rows = [row for row in reader if row]
+    from repro.streaming.ingest import ChunkedCsvReader
 
-    columns = {col: [] for col in header}
-    for row in raw_rows:
-        if len(row) != len(header):
-            raise TableError(
-                f"CSV row width {len(row)} does not match header width {len(header)}"
-            )
-        for col, cell in zip(header, row):
-            columns[col].append(parse_cell(cell))
+    return ChunkedCsvReader(
+        path,
+        name=name,
+        key_columns=key_columns,
+        label_column=label_column,
+        delimiter=delimiter,
+    ).read()
 
-    schema = Schema(
-        [
-            Column(
-                col,
-                infer_type(columns[col]),
-                is_key=col in key_columns,
-                is_label=(col == label_column),
-            )
-            for col in header
-        ]
-    )
-    return Table(name, schema, columns)
+
+def _protect_string(value: str) -> str:
+    """Backslash-escape strings ``parse_cell`` would misread as NULL."""
+    if value.startswith("\\") or value.strip().lower() in NULL_LITERALS:
+        return "\\" + value
+    return value
 
 
 def write_csv(table: Table, path: PathLike, delimiter: str = ",") -> None:
-    """Write a :class:`Table` to CSV; NULLs become empty cells."""
+    """Write a :class:`Table` to CSV; NULLs become empty cells.
+
+    STRING values spelled like a NULL literal (``"null"``, ``"na"``, the
+    empty string, whitespace) — and strings already starting with a
+    backslash — are written with a single-backslash escape so a subsequent
+    ``read_csv`` returns them as strings, not NULL.
+    """
+    import csv
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    string_columns = {
+        column.name for column in table.schema if column.dtype is DataType.STRING
+    }
+    names = table.schema.names
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle, delimiter=delimiter)
-        writer.writerow(table.schema.names)
+        writer.writerow(names)
         for row in table.rows():
-            writer.writerow(["" if is_null(v) else v for v in row])
+            writer.writerow(
+                [
+                    ""
+                    if is_null(value)
+                    else (
+                        _protect_string(value)
+                        if name in string_columns and isinstance(value, str)
+                        else value
+                    )
+                    for name, value in zip(names, row)
+                ]
+            )

@@ -321,6 +321,19 @@ class Table:
     def head(self, n: int = 5) -> "Table":
         return self.take(list(range(min(n, self._n_rows))))
 
+    def row_slice(self, start: int, stop: int) -> "Table":
+        """A contiguous row range ``[start, stop)`` as zero-copy views.
+
+        Unlike :meth:`take` (which gathers, and therefore copies), basic
+        slicing shares the storage buffers — this is what the chunk-stream
+        adapters iterate large resident tables with.
+        """
+        start = max(0, min(int(start), self._n_rows))
+        stop = max(start, min(int(stop), self._n_rows))
+        data = {name: self._data[name][start:stop] for name in self._schema.names}
+        valid = {name: self._valid[name][start:stop] for name in self._schema.names}
+        return Table._from_storage(self._name, self._schema, data, valid)
+
     def with_column(self, column: Column, values: Sequence[Any]) -> "Table":
         if len(values) != self._n_rows:
             raise TableError("new column length does not match table")

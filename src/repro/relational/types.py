@@ -178,12 +178,38 @@ def _parse_string(text: str) -> Any:
         return text
 
 
+#: Cell spellings (lowercased, stripped) that CSV ingest reads as NULL.
+NULL_LITERALS = ("", "null", "none", "na", "nan")
+
+
+def unescape_protected_cell(stripped: str) -> Optional[str]:
+    """Undo the ``write_csv`` backslash escape of NULL-looking strings.
+
+    ``write_csv`` protects STRING values that would otherwise re-parse as
+    NULL (the literals in :data:`NULL_LITERALS`) — and values that already
+    start with a backslash — by prefixing one backslash. A cell starting
+    with ``\\`` whose remainder is such a protected form is therefore a
+    *string* literal: return the remainder. Any other cell (including
+    backslash-prefixed text that needs no protection) returns ``None`` and
+    parses normally.
+    """
+    if not stripped.startswith("\\"):
+        return None
+    remainder = stripped[1:]
+    if remainder.startswith("\\") or remainder.strip().lower() in NULL_LITERALS:
+        return remainder
+    return None
+
+
 def parse_cell(text: str) -> Any:
     """Parse a raw CSV cell into a typed Python value (NULL for empties)."""
     if text is None:
         return NULL
     stripped = text.strip()
-    if stripped == "" or stripped.lower() in ("null", "none", "na", "nan"):
+    unescaped = unescape_protected_cell(stripped)
+    if unescaped is not None:
+        return unescaped
+    if stripped.lower() in NULL_LITERALS:
         return NULL
     return _parse_string(stripped)
 

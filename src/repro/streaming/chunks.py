@@ -1,0 +1,156 @@
+"""Table chunks and chunk streams — the unit of out-of-core execution.
+
+A :class:`TableChunk` is a horizontal slice of a relational table in the
+columnar storage layout of :class:`repro.relational.Table` (typed numpy
+arrays + boolean validity masks). A :class:`TableChunkStream` produces a
+table as an ordered sequence of such chunks; consumers (the spillable
+builder, parity tests, materialization) are written against the stream
+interface only, so an on-disk CSV, a resident table and a synthetic
+generator all feed the same code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import TableError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+#: Default rows per chunk: small enough that a wide chunk stays a few tens
+#: of MB, large enough that per-chunk numpy dispatch overhead is noise.
+DEFAULT_CHUNK_ROWS = 65_536
+
+
+class TableChunk:
+    """A row block of a table: per-column typed storage + validity masks."""
+
+    __slots__ = ("schema", "data", "valid", "n_rows", "offset")
+
+    def __init__(
+        self,
+        schema: Schema,
+        data: Dict[str, np.ndarray],
+        valid: Dict[str, np.ndarray],
+        offset: int = 0,
+    ):
+        lengths = {len(values) for values in data.values()}
+        if len(lengths) > 1:
+            raise TableError(f"ragged chunk columns with lengths {sorted(lengths)}")
+        self.schema = schema
+        self.data = data
+        self.valid = valid
+        self.n_rows = lengths.pop() if lengths else 0
+        #: Absolute row index of this chunk's first row within the table.
+        self.offset = offset
+
+    def column_values(self, name: str) -> np.ndarray:
+        return self.data[name]
+
+    def column_valid(self, name: str) -> np.ndarray:
+        return self.valid[name]
+
+    def to_matrix(self, columns: Sequence[str], null_value: float = 0.0) -> np.ndarray:
+        """Dense float block of the named numeric columns (NULL → ``null_value``)."""
+        out = np.empty((self.n_rows, len(columns)), dtype=np.float64)
+        for j, name in enumerate(columns):
+            values = self.data[name]
+            valid = self.valid[name]
+            if bool(valid.all()):
+                out[:, j] = values
+            else:
+                out[:, j] = np.where(valid, values, null_value)
+        return out
+
+    def to_table(self, name: str) -> Table:
+        return Table._from_storage(name, self.schema, dict(self.data), dict(self.valid))
+
+
+class TableChunkStream:
+    """An ordered sequence of :class:`TableChunk` making up one table.
+
+    Subclasses provide ``name``, ``schema``, ``n_rows`` and ``chunks()``.
+    ``n_rows`` is known up front for every built-in source (resident
+    tables, the two-pass CSV reader, synthetic generators), which is what
+    lets the builder pre-size its on-disk factor stores.
+    """
+
+    name: str
+
+    @property
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    @property
+    def n_rows(self) -> int:
+        raise NotImplementedError
+
+    def chunks(self) -> Iterator[TableChunk]:
+        raise NotImplementedError
+
+    def read_table(self) -> Table:
+        """Materialize the whole stream into a resident :class:`Table`."""
+        schema = self.schema
+        blocks: List[TableChunk] = list(self.chunks())
+        data: Dict[str, np.ndarray] = {}
+        valid: Dict[str, np.ndarray] = {}
+        for column in schema:
+            if blocks:
+                data[column.name] = np.concatenate(
+                    [chunk.data[column.name] for chunk in blocks]
+                )
+                valid[column.name] = np.concatenate(
+                    [chunk.valid[column.name] for chunk in blocks]
+                )
+            else:
+                from repro.relational.types import _STORAGE_DTYPE
+
+                data[column.name] = np.empty(0, dtype=_STORAGE_DTYPE[column.dtype])
+                valid[column.name] = np.empty(0, dtype=bool)
+        return Table._from_storage(self.name, schema, data, valid)
+
+
+class InMemoryTableStream(TableChunkStream):
+    """A resident :class:`Table` exposed as a chunk stream (zero-copy views)."""
+
+    def __init__(self, table: Table, chunk_rows: int = DEFAULT_CHUNK_ROWS):
+        if chunk_rows <= 0:
+            raise TableError(f"chunk_rows must be positive, got {chunk_rows}")
+        self._table = table
+        self._chunk_rows = int(chunk_rows)
+        self.name = table.name
+
+    @property
+    def schema(self) -> Schema:
+        return self._table.schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._table.n_rows
+
+    def chunks(self) -> Iterator[TableChunk]:
+        table = self._table
+        names = table.schema.names
+        for start in range(0, table.n_rows, self._chunk_rows):
+            stop = min(start + self._chunk_rows, table.n_rows)
+            data = {name: table.column_values(name)[start:stop] for name in names}
+            valid = {name: table.column_valid(name)[start:stop] for name in names}
+            yield TableChunk(table.schema, data, valid, offset=start)
+
+    def read_table(self) -> Table:
+        return self._table
+
+
+def as_chunk_stream(
+    source, chunk_rows: Optional[int] = None
+) -> TableChunkStream:
+    """Coerce a :class:`Table` or stream into a :class:`TableChunkStream`."""
+    if isinstance(source, TableChunkStream):
+        return source
+    if isinstance(source, Table):
+        return InMemoryTableStream(source, chunk_rows or DEFAULT_CHUNK_ROWS)
+    raise TableError(
+        f"cannot stream chunks from object of type {type(source).__name__}"
+    )

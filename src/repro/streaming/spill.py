@@ -1,0 +1,117 @@
+"""Memory-mapped spill store for out-of-core factor data.
+
+The spillable builder writes each source's processed matrix ``D_k`` into a
+float64 ``np.memmap`` owned by a :class:`SpillStore` instead of a resident
+array. A memmap *is* an ndarray, so the existing :class:`Backend` protocol,
+``SourceFactor`` storage and compiled :class:`OperatorPlan` kernels work on
+it unchanged — only residency differs.
+
+Residency is the point: file-backed pages count toward RSS while mapped in,
+so after writing a block (and between training blocks) callers invoke
+:meth:`SpillStore.release` which flushes dirty pages and ``madvise``\\ s the
+mappings with ``MADV_DONTNEED``. Clean pages stay in the kernel page cache
+(subsequent reads are minor faults, not disk I/O) but leave the process
+RSS, which is what keeps the peak under a hard memory budget.
+"""
+
+from __future__ import annotations
+
+import mmap
+import tempfile
+import weakref
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+_MADV_DONTNEED = getattr(mmap, "MADV_DONTNEED", None)
+
+
+class SpillStore:
+    """A directory of named float64 memory-mapped matrices.
+
+    With no ``directory`` argument the store owns a temporary directory
+    that is deleted on :meth:`cleanup` (also invoked by garbage collection
+    via a weakref finalizer, and by ``with``-statement exit).
+    """
+
+    def __init__(self, directory: Optional[PathLike] = None):
+        if directory is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-spill-")
+            self.directory = Path(self._tmp.name)
+            self._finalizer = weakref.finalize(self, self._tmp.cleanup)
+        else:
+            self._tmp = None
+            self._finalizer = None
+            self.directory = Path(directory)
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._maps: Dict[str, np.memmap] = {}
+
+    # -- allocation -------------------------------------------------------------------
+    def allocate(self, name: str, n_rows: int, n_columns: int) -> np.memmap:
+        """Create a zero-initialized ``n_rows × n_columns`` float64 memmap.
+
+        Names are single-use: re-allocating an existing name raises instead
+        of silently clobbering a file a live factor may still be reading —
+        use one store per build (or distinct names) for repeated builds.
+        """
+        if name in self._maps:
+            raise ValueError(
+                f"spill store already holds a matrix named {name!r}; "
+                "use one store per build or distinct names"
+            )
+        path = self.directory / f"{name}.f64"
+        matrix = np.memmap(path, dtype=np.float64, mode="w+", shape=(int(n_rows), int(n_columns)))
+        self._maps[name] = matrix
+        return matrix
+
+    def get(self, name: str) -> np.memmap:
+        return self._maps[name]
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Total bytes of factor data held on disk by this store."""
+        return sum(m.nbytes for m in self._maps.values())
+
+    # -- residency control --------------------------------------------------------------
+    def release(self) -> None:
+        """Flush dirty pages and drop all mappings from the process RSS.
+
+        No-op on platforms without ``madvise``/``MADV_DONTNEED``; data is
+        never lost — file-backed shared mappings are written back before
+        pages are reclaimed, and later reads fault the pages back in.
+        """
+        for matrix in self._maps.values():
+            matrix.flush()
+            raw = getattr(matrix, "_mmap", None)
+            if raw is not None and _MADV_DONTNEED is not None and hasattr(raw, "madvise"):
+                raw.madvise(_MADV_DONTNEED)
+
+    # -- lifecycle --------------------------------------------------------------------
+    def cleanup(self) -> None:
+        """Close the mappings and delete the backing files (owned dirs only)."""
+        for matrix in self._maps.values():
+            raw = getattr(matrix, "_mmap", None)
+            if raw is not None:
+                try:
+                    raw.close()
+                except (BufferError, ValueError):
+                    pass  # live views still reference the buffer; the
+                    # finalizer will retry when they are collected
+        self._maps.clear()
+        if self._finalizer is not None and self._finalizer.alive:
+            self._finalizer()
+
+    def __enter__(self) -> "SpillStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cleanup()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillStore({str(self.directory)!r}, matrices={sorted(self._maps)}, "
+            f"bytes={self.spilled_bytes})"
+        )

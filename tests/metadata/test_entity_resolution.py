@@ -106,3 +106,107 @@ class TestResolveEntities:
         right = Table.from_dict("R", {"a": [1]})
         with pytest.raises(MatchingError):
             resolve_entities(left, right)
+
+
+class TestSimilarityResolverBatched:
+    """The bucket-batched scoring path must reproduce per-pair semantics."""
+
+    def make_tables(self):
+        left = Table.from_dict(
+            "L",
+            {
+                "name": ["jane doe", "sam smith", NULL, "bob stone", "jane doe"],
+                "age": [37, 35, 28, 44, 37],
+                "score": [1.0, NULL, 3.0, 4.0, 5.0],
+            },
+        )
+        right = Table.from_dict(
+            "R",
+            {
+                "name": ["jane do", "sam smyth", "bob stone", NULL, "jane d"],
+                "age": [37, 36, 44, 50, 39],
+                "score": [1.0, 2.0, NULL, 4.0, 5.0],
+            },
+        )
+        matches = [
+            ColumnMatch("L", "name", "R", "name", 1.0),
+            ColumnMatch("L", "age", "R", "age", 1.0),
+            ColumnMatch("L", "score", "R", "score", 1.0),
+        ]
+        return left, right, matches
+
+    def test_batched_scores_equal_row_score(self):
+        left, right, matches = self.make_tables()
+        resolver = SimilarityResolver(matches, threshold=0.0)
+        resolved = resolver.resolve(left, right)
+        for match in resolved:
+            assert match.score == pytest.approx(
+                resolver._row_score(left, match.left_row, right, match.right_row),
+                abs=1e-12,
+            )
+
+    def test_ngram_scorer_matches_scalar_ngram(self):
+        from repro.metadata.similarity import ngram_jaccard_similarity
+
+        left, right, matches = self.make_tables()
+        resolver = SimilarityResolver(
+            matches, threshold=0.0, string_scorer="ngram"
+        )
+        resolved = resolver.resolve(left, right)
+        assert resolved  # candidates exist inside the blocking buckets
+        for match in resolved:
+            scores = []
+            for column_match in matches:
+                a = left.cell(match.left_row, column_match.left_column)
+                b = right.cell(match.right_row, column_match.right_column)
+                if a is NULL or b is NULL:
+                    continue
+                if isinstance(a, str) or isinstance(b, str):
+                    scores.append(
+                        ngram_jaccard_similarity(
+                            str(a).strip().lower(), str(b).strip().lower()
+                        )
+                    )
+                else:
+                    scores.append(resolver._value_similarity(a, b))
+            assert match.score == pytest.approx(sum(scores) / len(scores), abs=1e-12)
+
+    def test_unknown_scorer_rejected(self):
+        left, right, matches = self.make_tables()
+        with pytest.raises(MatchingError):
+            SimilarityResolver(matches, string_scorer="soundex")
+
+    def test_numeric_vectorized_path_handles_nulls_and_zero_scale(self):
+        left = Table.from_dict("L", {"k": ["a", "a", "a"], "v": [0.0, NULL, -2.0]})
+        right = Table.from_dict("R", {"k": ["a", "a"], "v": [0.0, 2.0]})
+        matches = [
+            ColumnMatch("L", "k", "R", "k", 1.0),
+            ColumnMatch("L", "v", "R", "v", 1.0),
+        ]
+        resolver = SimilarityResolver(matches, threshold=0.0)
+        resolved = {
+            (m.left_row, m.right_row): m.score for m in resolver.resolve(left, right)
+        }
+        for (i, j), score in resolved.items():
+            assert score == pytest.approx(resolver._row_score(left, i, right, j))
+
+    def test_skewed_bucket_scored_in_bounded_batches(self, monkeypatch):
+        # Every key lands in one blocking bucket; with a tiny pair-batch
+        # bound the resolver must still produce the same matches.
+        left = Table.from_dict(
+            "L", {"name": [f"aa{i}" for i in range(30)], "age": list(range(30))}
+        )
+        right = Table.from_dict(
+            "R", {"name": [f"aa{i}" for i in range(20)], "age": list(range(20))}
+        )
+        matches = [
+            ColumnMatch("L", "name", "R", "name", 1.0),
+            ColumnMatch("L", "age", "R", "age", 1.0),
+        ]
+        unbatched = SimilarityResolver(matches, threshold=0.9).resolve(left, right)
+        monkeypatch.setattr(SimilarityResolver, "_PAIR_BATCH", 7)
+        batched = SimilarityResolver(matches, threshold=0.9).resolve(left, right)
+        assert batched == unbatched
+        assert [(m.left_row, m.right_row) for m in batched] == [
+            (i, i) for i in range(20)
+        ]

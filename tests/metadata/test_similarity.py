@@ -68,3 +68,35 @@ class TestNgramAndSets:
     def test_token_sort_handles_reordered_words(self):
         assert token_sort_similarity("resting heart rate", "heart_rate_resting") == 1.0
         assert token_sort_similarity("Heart-Rate", "rate heart") == 1.0
+
+
+class TestNgramJaccardMatrix:
+    def test_matches_scalar_function(self):
+        import numpy as np
+
+        from repro.metadata.similarity import ngram_jaccard_matrix
+
+        left = ["jane doe", "sam", "", "a", "heart rate", "héllo"]
+        right = ["jane do", "", "sam", "heart  rate", "xyz"]
+        matrix = ngram_jaccard_matrix(left, right)
+        for i, a in enumerate(left):
+            for j, b in enumerate(right):
+                assert matrix[i, j] == pytest.approx(
+                    ngram_jaccard_similarity(a, b), abs=1e-12
+                )
+        assert matrix.shape == (6, 5)
+        # empty vs empty short-circuits to 1.0, empty vs non-empty to 0.0
+        assert matrix[2, 1] == 1.0
+        assert matrix[2, 0] == 0.0
+        assert np.all((matrix >= 0.0) & (matrix <= 1.0))
+
+    def test_code_sets_are_sorted_and_shared(self):
+        import numpy as np
+
+        from repro.metadata.similarity import ngram_code_sets
+
+        codes, indptr = ngram_code_sets(["abab", "abab", "cd"])
+        first = codes[indptr[0]:indptr[1]]
+        second = codes[indptr[1]:indptr[2]]
+        assert np.array_equal(first, second)  # equal strings share codes
+        assert np.all(np.diff(first) > 0)  # sorted, duplicate-free
