@@ -42,6 +42,7 @@ import numpy as np
 if __name__ == "__main__":  # allow `python benchmarks/bench_operator_plans.py`
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import telemetry
 from repro.datagen.scenarios import ScenarioSpec, generate_scenario_dataset
 from repro.datagen.synthetic import OneHotSpec, generate_one_hot_pair
 from repro.factorized.normalized_matrix import AmalurMatrix
@@ -267,6 +268,34 @@ def _bench_case(name, dataset, backend, repeats, materializable, failures):
     return record
 
 
+def _telemetry_record(dataset, backend, failures) -> dict:
+    """One instrumented compiled GD iteration + crossprod on the wide case.
+
+    Embeds the run report in the results JSON so the trajectory keeps span
+    timings and FLOP counters alongside the wall times, and guards that the
+    telemetry ``flops.*`` counters agree exactly with the legacy ops counter.
+    """
+    session = telemetry.enable()
+    matrix = AmalurMatrix(dataset, backend=backend)
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal((matrix.n_columns, 1))
+    targets = rng.standard_normal((matrix.n_rows, 1))
+    _gd_iteration(matrix, weights, targets)
+    matrix.crossprod()
+    telemetry.disable()
+    report = session.report()
+    legacy = {f"flops.{op}": count for op, count in matrix.counter.by_operation.items()}
+    mirrored = {
+        name: value for name, value in report.counters.items() if name.startswith("flops.")
+    }
+    if mirrored != legacy:
+        failures.append(
+            "telemetry flops.* counters disagree with the legacy FLOP counter: "
+            f"{mirrored} vs {legacy}"
+        )
+    return report.to_dict()
+
+
 def run(scale: bool = False) -> int:
     failures: list = []
     cases = {}
@@ -283,6 +312,7 @@ def run(scale: bool = False) -> int:
         "wide_one_hot", wide_dataset, "auto", WIDE_REPEATS,
         materializable=True, failures=failures,
     )
+    telemetry_record = _telemetry_record(wide_dataset, "auto", failures)
 
     if scale:
         scale_dataset = generate_one_hot_pair(SCALE_SPEC, backend="auto")
@@ -327,6 +357,7 @@ def run(scale: bool = False) -> int:
         "small_tolerance": SMALL_TOLERANCE,
         "wide_min_speedup": WIDE_MIN_SPEEDUP,
         "cases": cases,
+        "telemetry": telemetry_record,
         "guards_failed": failures,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)

@@ -5,6 +5,13 @@ non-zero when a parity or perf guard fails — the CI ``pipeline-guard`` job)::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py
 
+``--telemetry-only`` runs just the telemetry phase (the CI
+``telemetry-guard`` job): the 100k pipeline with telemetry enabled vs
+disabled, enforcing the instrumentation-overhead budget, exact FLOP-counter
+parity with the legacy ``FlopCounter`` and peak-RSS probe agreement, and
+writing the Chrome trace + run report artifacts without touching the
+committed benchmark cases.
+
 PR 3 made the factorized operators pure NumPy/CSR; this benchmark guards the
 layers *in front* of them: entity resolution, the four Table I join
 operators, and the ``(D_k, M_k, I_k, R_k)`` builder. The timed pipeline is
@@ -42,6 +49,7 @@ import numpy as np
 if __name__ == "__main__":  # allow `python benchmarks/bench_pipeline.py`
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import telemetry
 from repro.datagen.scenarios import ScenarioSpec, generate_scenario_tables
 from repro.factorized.normalized_matrix import AmalurMatrix
 from repro.learning.linear_regression import LinearRegression
@@ -63,7 +71,13 @@ SMALL_REPEATS = 3
 LARGE_REPEATS = 1
 TRAIN_ITERATIONS = 20
 
+TELEMETRY_OVERHEAD_TOLERANCE = 1.05  # enabled may cost <= 5% over disabled
+TELEMETRY_REPEATS = 5  # interleaved disabled/enabled pairs, best-of each side
+RSS_PARITY_TOLERANCE = 0.05  # report peak RSS within 5% of the direct probe
+
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_PIPELINE.json"
+TRACE_PATH = Path(__file__).parent / "results" / "TRACE_PIPELINE.json"
+REPORT_PATH = Path(__file__).parent / "results" / "PIPELINE_RUN_REPORT.json"
 
 SCENARIO_SPECS = {
     "inner_join": ScenarioSpec(
@@ -437,6 +451,127 @@ def _bench_case(name: str, spec: ScenarioSpec, repeats: int, failures: List[str]
     return record
 
 
+# ---------------------------------------------------------------------------------
+# Telemetry phase: overhead budget, FLOP-counter parity, memory-probe parity
+# ---------------------------------------------------------------------------------
+
+
+def _telemetry_phase(failures: List[str]) -> Dict[str, Any]:
+    """Run the 100k pipeline with telemetry off vs on; guard the budget.
+
+    Emits the Chrome trace and run report artifacts from the fastest
+    enabled run, whose session covers exactly one pipeline execution — the
+    basis of the exact FLOP parity check against the legacy FlopCounter.
+    """
+    from repro.telemetry.memory import peak_rss_bytes
+
+    spec = SCALE_SPEC
+    base, other, column_matches, _, target_columns = generate_scenario_tables(spec)
+    resolver = KeyBasedResolver([("id", "id")])
+
+    def run_once() -> AmalurMatrix:
+        matches = resolver.resolve_index(base, other)
+        dataset = integrate_tables(
+            base=base, other=other, column_matches=column_matches, row_matches=matches,
+            target_columns=target_columns, scenario=spec.scenario, label_column="label",
+        )
+        matrix = AmalurMatrix(dataset)
+        model = LinearRegression(
+            solver="gd", learning_rate=0.01, n_iterations=TRAIN_ITERATIONS
+        )
+        model.fit(matrix.feature_matrix_view(), matrix.labels())
+        return matrix
+
+    telemetry.disable()
+    run_once()  # warm lazy structure and caches outside timing
+
+    # Interleave disabled/enabled pairs so slow monotonic drift (thermal,
+    # allocator growth) hits both sides equally instead of biasing the ratio.
+    disabled_s = float("inf")
+    enabled_s = float("inf")
+    session = None
+    matrix = None
+    for _ in range(TELEMETRY_REPEATS):
+        start = time.perf_counter()
+        run_once()
+        disabled_s = min(disabled_s, time.perf_counter() - start)
+
+        telemetry.enable()
+        start = time.perf_counter()
+        result = run_once()
+        elapsed = time.perf_counter() - start
+        finished = telemetry.disable()
+        if elapsed < enabled_s:
+            enabled_s, session, matrix = elapsed, finished, result
+    peak_rss_direct = peak_rss_bytes()
+
+    report = session.report()
+    overhead = enabled_s / disabled_s if disabled_s else float("inf")
+    if overhead > TELEMETRY_OVERHEAD_TOLERANCE:
+        failures.append(
+            f"telemetry: enabled pipeline is {overhead:.3f}x the disabled one "
+            f"(budget {TELEMETRY_OVERHEAD_TOLERANCE}x)"
+        )
+
+    # Exact parity: every legacy FlopCounter operation has an identical
+    # telemetry twin (and no telemetry FLOP counter lacks a legacy twin).
+    legacy = matrix.counter.by_operation
+    telemetry_flops = {
+        name[len("flops."):]: value
+        for name, value in report.counters.items()
+        if name.startswith("flops.")
+    }
+    if telemetry_flops != {op: v for op, v in legacy.items()}:
+        failures.append(
+            f"telemetry: FLOP counters diverged from the legacy FlopCounter "
+            f"(telemetry={sorted(telemetry_flops)}, legacy={sorted(legacy)})"
+        )
+
+    report_peak = report.memory.get("peak_rss_bytes", 0)
+    rss_err = abs(report_peak - peak_rss_direct) / peak_rss_direct
+    if rss_err > RSS_PARITY_TOLERANCE:
+        failures.append(
+            f"telemetry: report peak RSS {report_peak} differs from the direct "
+            f"probe {peak_rss_direct} by {rss_err:.1%} (tolerance {RSS_PARITY_TOLERANCE:.0%})"
+        )
+
+    TRACE_PATH.parent.mkdir(exist_ok=True)
+    TRACE_PATH.write_text(json.dumps(session.chrome_trace()) + "\n")
+    report.save(REPORT_PATH)
+    print(
+        f"  telemetry      disabled {disabled_s * 1e3:9.1f} ms  "
+        f"enabled {enabled_s * 1e3:9.1f} ms  overhead {overhead:5.3f}x  "
+        f"flop-parity {'exact' if telemetry_flops == legacy else 'BROKEN'}  "
+        f"rss-err {rss_err:.2%}"
+    )
+    print(f"  wrote {TRACE_PATH}")
+    print(f"  wrote {REPORT_PATH}")
+    return {
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_ratio": overhead,
+        "overhead_tolerance": TELEMETRY_OVERHEAD_TOLERANCE,
+        "flop_parity_exact": telemetry_flops == legacy,
+        "peak_rss_bytes": report_peak,
+        "peak_rss_direct_bytes": peak_rss_direct,
+        "rss_parity_tolerance": RSS_PARITY_TOLERANCE,
+        "report": report.to_dict(),
+    }
+
+
+def run_telemetry_only() -> int:
+    failures: List[str] = []
+    print("Telemetry guard (100k pipeline, enabled vs disabled, best of N):")
+    _telemetry_phase(failures)
+    if failures:
+        print("\ntelemetry-guard FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("telemetry-guard ok")
+    return 0
+
+
 def run() -> int:
     failures: List[str] = []
     cases: Dict[str, Any] = {}
@@ -463,12 +598,16 @@ def run() -> int:
             f"the required {MIN_SPEEDUP_100K}x"
         )
 
+    print("Telemetry phase (100k pipeline, enabled vs disabled):")
+    telemetry_record = _telemetry_phase(failures)
+
     record = {
         "benchmark": "pipeline",
         "parity_atol": PARITY_ATOL,
         "min_speedup_100k": MIN_SPEEDUP_100K,
         "small_tolerance": SMALL_TOLERANCE,
         "cases": cases,
+        "telemetry": telemetry_record,
         "guards_failed": failures,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
@@ -488,4 +627,6 @@ def run() -> int:
 
 
 if __name__ == "__main__":
+    if "--telemetry-only" in sys.argv[1:]:
+        sys.exit(run_telemetry_only())
     sys.exit(run())

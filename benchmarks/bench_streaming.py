@@ -30,7 +30,6 @@ more than 1.5x the committed one.
 from __future__ import annotations
 
 import json
-import resource
 import sys
 import time
 from pathlib import Path
@@ -40,6 +39,7 @@ import numpy as np
 if __name__ == "__main__":  # allow `python benchmarks/bench_streaming.py`
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import telemetry
 from repro.datagen.scenarios import (
     ScenarioSpec,
     generate_scenario_streams,
@@ -51,6 +51,7 @@ from repro.matrices.builder import integrate_tables
 from repro.metadata.mappings import ScenarioType
 from repro.relational.io import read_csv, write_csv
 from repro.streaming import InMemoryTableStream, SpillStore, integrate_streams
+from repro.telemetry.memory import peak_rss_bytes as _peak_rss_bytes
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_STREAMING.json"
 
@@ -70,11 +71,6 @@ BUDGET_SPEC = ScenarioSpec(
 )
 BUDGET_CHUNK_ROWS = 8_192
 BUDGET_TRAIN_ITERATIONS = 6
-
-
-def _peak_rss_bytes() -> int:
-    """Process high-water RSS in bytes (ru_maxrss is KiB on Linux)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
 # -- parity phase ---------------------------------------------------------------------
@@ -162,6 +158,7 @@ def run_budget(tmp_dir: Path) -> dict:
     budget_bytes = int(dense_bytes * RSS_BUDGET_FRACTION)
     rss_before = _peak_rss_bytes()
 
+    session = telemetry.enable()
     with SpillStore(tmp_dir / "budget-spill") as store:
         build_start = time.perf_counter()
         dataset = integrate_streams(
@@ -181,7 +178,11 @@ def run_budget(tmp_dir: Path) -> dict:
         train_seconds = time.perf_counter() - train_start
         spilled_bytes = store.spilled_bytes
         final_loss = model.loss_history_[-1]
+    telemetry.disable()
+    report = session.report()
 
+    # The probe the telemetry subsystem reports must be byte-for-byte this
+    # guard's own measurement: both read ru_maxrss through the same helper.
     peak_rss = _peak_rss_bytes()
     return {
         "target_shape": [int(n_target_rows), int(n_target_cols)],
@@ -196,6 +197,7 @@ def run_budget(tmp_dir: Path) -> dict:
         "train_seconds": train_seconds,
         "train_iterations": BUDGET_TRAIN_ITERATIONS,
         "final_loss": float(final_loss),
+        "telemetry": report.to_dict(),
     }
 
 
@@ -230,6 +232,12 @@ def check_guards(results: dict) -> list:
         failures.append(
             f"peak RSS {budget['peak_rss_bytes']:,} bytes exceeds the budget "
             f"{budget['budget_bytes']:,} (dense footprint {budget['dense_bytes']:,})"
+        )
+    telemetry_peak = budget.get("telemetry", {}).get("memory", {}).get("peak_rss_bytes", 0)
+    if abs(telemetry_peak - budget["peak_rss_bytes"]) > 0.05 * budget["peak_rss_bytes"]:
+        failures.append(
+            f"telemetry memory probe {telemetry_peak:,} bytes disagrees with the "
+            f"guard's own measurement {budget['peak_rss_bytes']:,} by more than 5%"
         )
     return failures
 

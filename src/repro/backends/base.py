@@ -21,11 +21,13 @@ dense ``numpy.ndarray`` unless documented otherwise.
 from __future__ import annotations
 
 import abc
+import time
 from typing import Union
 
 import numpy as np
 from scipy import sparse
 
+from repro import telemetry as _telemetry
 from repro.exceptions import BackendError
 
 # NOTE: repro.factorized.ops_counter owns the FLOP formulas, but importing
@@ -131,6 +133,15 @@ class Backend(abc.ABC):
             raise BackendError(
                 f"matmul shape mismatch: {storage.shape} @ {operand.shape}"
             )
+        if _telemetry.ENABLED:
+            start = time.perf_counter()
+            result = _as_dense_result(storage @ operand)
+            _telemetry.record_op(
+                "backend.matmul",
+                time.perf_counter() - start,
+                self.matmul_flops(storage, operand.shape[1]),
+            )
+            return result
         return _as_dense_result(storage @ operand)
 
     def transpose_matmul(self, storage: Storage, operand: np.ndarray) -> np.ndarray:
@@ -140,10 +151,28 @@ class Backend(abc.ABC):
             raise BackendError(
                 f"transpose-matmul shape mismatch: {storage.shape}ᵀ @ {operand.shape}"
             )
+        if _telemetry.ENABLED:
+            start = time.perf_counter()
+            result = _as_dense_result(storage.T @ operand)
+            _telemetry.record_op(
+                "backend.transpose_matmul",
+                time.perf_counter() - start,
+                self.matmul_flops(storage, operand.shape[1]),
+            )
+            return result
         return _as_dense_result(storage.T @ operand)
 
     def crossprod(self, storage: Storage) -> np.ndarray:
         """The Gram matrix ``Dᵀ D`` (dense result)."""
+        if _telemetry.ENABLED:
+            start = time.perf_counter()
+            result = _as_dense_result(storage.T @ storage)
+            _telemetry.record_op(
+                "backend.crossprod",
+                time.perf_counter() - start,
+                self.crossprod_flops(storage),
+            )
+            return result
         return _as_dense_result(storage.T @ storage)
 
     def gram_pair(self, left: Storage, right: Storage) -> np.ndarray:
@@ -152,6 +181,15 @@ class Backend(abc.ABC):
             raise BackendError(
                 f"gram-pair shape mismatch: {left.shape}ᵀ @ {right.shape}"
             )
+        if _telemetry.ENABLED:
+            start = time.perf_counter()
+            result = _as_dense_result(left.T @ right)
+            _telemetry.record_op(
+                "backend.gram_pair",
+                time.perf_counter() - start,
+                self.gram_pair_flops(left, right),
+            )
+            return result
         return _as_dense_result(left.T @ right)
 
     # -- element-wise ----------------------------------------------------------------

@@ -25,10 +25,11 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro import telemetry as _telemetry
 from repro.backends import Backend, BackendSpec, resolve_backend
 from repro.backends.base import as_float64 as _as_float64
 from repro.exceptions import FactorizationError
-from repro.factorized.operator_plan import BlockedMatrixView, OperatorPlan
+from repro.factorized.operator_plan import BlockedMatrixView, GramCache, OperatorPlan
 from repro.factorized.ops_counter import FlopCounter
 from repro.matrices.builder import IntegratedDataset, SourceFactor
 
@@ -67,8 +68,8 @@ class AmalurMatrix:
             for factor, storage in zip(dataset.factors, self._storages)
         ]
         # Gram cache for crossprod(); factors are immutable, so TᵀT never
-        # changes for this view.
-        self._gram: Optional[np.ndarray] = None
+        # changes for this view unless explicitly invalidated.
+        self.gram_cache = GramCache()
 
     # -- shapes ---------------------------------------------------------------------
     @property
@@ -150,6 +151,12 @@ class AmalurMatrix:
         indicator lift — no Python-level per-element loops.
         """
         x = self._check_lmm_operand(x)
+        if _telemetry.ENABLED:
+            with _telemetry.span("amalur.lmm", rows=self.n_rows, operand_cols=x.shape[1]):
+                return self._lmm(x)
+        return self._lmm(x)
+
+    def _lmm(self, x: np.ndarray) -> np.ndarray:
         m = x.shape[1]
         result = np.zeros((self.n_rows, m))
         for plan, storage in zip(self._plans, self._storages):
@@ -167,6 +174,12 @@ class AmalurMatrix:
     def rmm(self, x: np.ndarray) -> np.ndarray:
         """Right matrix multiplication ``X @ T``, factorized."""
         x = self._check_rmm_operand(x)
+        if _telemetry.ENABLED:
+            with _telemetry.span("amalur.rmm", rows=self.n_rows, operand_rows=x.shape[0]):
+                return self._rmm(x)
+        return self._rmm(x)
+
+    def _rmm(self, x: np.ndarray) -> np.ndarray:
         m = x.shape[0]
         result = np.zeros((m, self.n_columns))
         for plan, storage in zip(self._plans, self._storages):
@@ -189,6 +202,14 @@ class AmalurMatrix:
     def transpose_lmm(self, x: np.ndarray) -> np.ndarray:
         """``Tᵀ @ X``, factorized — the workhorse of model gradients."""
         x = self._check_transpose_operand(x)
+        if _telemetry.ENABLED:
+            with _telemetry.span(
+                "amalur.transpose_lmm", rows=self.n_rows, operand_cols=x.shape[1]
+            ):
+                return self._transpose_lmm(x)
+        return self._transpose_lmm(x)
+
+    def _transpose_lmm(self, x: np.ndarray) -> np.ndarray:
         m = x.shape[1]
         result = np.zeros((self.n_columns, m))
         for plan, storage in zip(self._plans, self._storages):
@@ -216,10 +237,19 @@ class AmalurMatrix:
         so the normal-equation solver and repeated fits reuse one Gram;
         treat the returned array as read-only. Views produced by
         ``with_backend`` / ``select_columns`` / ``scale`` start with a
-        fresh cache.
+        fresh cache. ``gram_cache`` exposes hit/miss/evict stats and
+        :meth:`invalidate_gram` forces a recompute.
         """
-        if self._gram is not None:
-            return self._gram
+        if _telemetry.ENABLED:
+            with _telemetry.span("amalur.crossprod", cols=self.n_columns):
+                return self.gram_cache.get_or_compute(self._compute_gram)
+        return self.gram_cache.get_or_compute(self._compute_gram)
+
+    def invalidate_gram(self) -> None:
+        """Drop the cached Gram matrix; the next ``crossprod`` recomputes."""
+        self.gram_cache.invalidate()
+
+    def _compute_gram(self) -> np.ndarray:
         gram = np.zeros((self.n_columns, self.n_columns))
         effective = [plan.effective_contribution() for plan in self._plans]
         for k, (rows_k, block_k, cols_k) in enumerate(effective):
@@ -243,7 +273,6 @@ class AmalurMatrix:
                 gram[np.ix_(cols_k, cols_l)] += cross
                 gram[np.ix_(cols_l, cols_k)] += cross.T
         gram.setflags(write=False)
-        self._gram = gram
         return gram
 
     # -- element-wise and aggregation operators ----------------------------------------------

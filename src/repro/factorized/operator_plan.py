@@ -47,9 +47,58 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro import telemetry as _telemetry
 from repro.backends import Backend
 from repro.backends.base import Storage
 from repro.matrices.builder import SourceFactor
+
+
+class GramCache:
+    """Single-slot cache of a view's Gram matrix with hit/miss/evict stats.
+
+    :meth:`repro.factorized.AmalurMatrix.crossprod` stores ``TᵀT`` here;
+    the factors of a view are immutable, so the cache only ever needs
+    explicit invalidation (serving-layer refreshes, tests). Hits, misses
+    and evictions are counted locally and — when telemetry is enabled —
+    mirrored into the session counters ``gram_cache.hit`` / ``.miss`` /
+    ``.evict``.
+    """
+
+    __slots__ = ("value", "hits", "misses", "evictions")
+
+    def __init__(self):
+        self.value: Optional[np.ndarray] = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_compute(self, compute) -> np.ndarray:
+        if self.value is not None:
+            self.hits += 1
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("gram_cache.hit")
+            return self.value
+        self.misses += 1
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("gram_cache.miss")
+        self.value = compute()
+        return self.value
+
+    def invalidate(self) -> None:
+        """Drop the cached Gram (the next ``get_or_compute`` recomputes)."""
+        if self.value is not None:
+            self.evictions += 1
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("gram_cache.evict")
+        self.value = None
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cached" if self.value is not None else "empty"
+        return f"GramCache({state}, hits={self.hits}, misses={self.misses})"
 
 
 class OperatorPlan:
@@ -158,6 +207,12 @@ class OperatorPlan:
         cheap unmasked rewrite into the exact masked result. Cached after
         the first build; only meaningful when ``has_correction``.
         """
+        if self._correction is not None:
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("plan_cache.correction.hit")
+            return self._correction
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("plan_cache.correction.miss")
         if self._correction is None:
             factor = self.factor
             complement = factor.redundancy.to_sparse_complement().tocoo()
@@ -185,6 +240,12 @@ class OperatorPlan:
         This is the per-factor structure ``crossprod`` reduces over; it is
         cached because Gram computations revisit it across solver calls.
         """
+        if self._effective is not None:
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("plan_cache.effective.hit")
+            return self._effective
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("plan_cache.effective.miss")
         if self._effective is None:
             block = self.backend.take_columns(
                 self.backend.take_rows(self.storage, self.source_rows),
@@ -273,6 +334,10 @@ class BlockedFactorView:
         block = self.backend.take_rows(self.storage, self.plan.source_rows[lo:hi])
         if not self.all_source_cols:
             block = self.backend.take_columns(block, self.sel_source_cols)
+        if _telemetry.ENABLED and isinstance(self.storage, np.memmap):
+            # The gather pulled these rows off the spill file (or its page
+            # cache); account them as spill read traffic.
+            _telemetry.counter_add("spill.bytes_read", float(getattr(block, "nbytes", 0)))
         return block
 
     def lmm_block_add(self, x: np.ndarray, start: int, stop: int, out: np.ndarray) -> None:

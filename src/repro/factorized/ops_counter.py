@@ -10,10 +10,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro import telemetry as _telemetry
+
 
 @dataclass
 class FlopCounter:
-    """Accumulates multiply-add counts per labelled operation."""
+    """Accumulates multiply-add counts per labelled operation.
+
+    When telemetry is enabled (:mod:`repro.telemetry`), every ``add`` is
+    mirrored into the session counter ``flops.<operation>`` — same label,
+    same value, same accumulation order — so a telemetry run report carries
+    the legacy per-operation totals exactly.
+    """
 
     total: float = 0.0
     by_operation: Dict[str, float] = field(default_factory=dict)
@@ -21,6 +29,8 @@ class FlopCounter:
     def add(self, operation: str, flops: float) -> None:
         self.total += flops
         self.by_operation[operation] = self.by_operation.get(operation, 0.0) + flops
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("flops." + operation, flops)
 
     def reset(self) -> None:
         self.total = 0.0

@@ -7,6 +7,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.learning.base import OperandLike, as_linop
 
 
@@ -77,20 +78,28 @@ class LinearRegression:
         targets_column = np.asarray(targets, dtype=np.float64)[:, None]
         n_rows = operand.shape[0]
         self.loss_history_ = []
-        for _ in range(self.n_iterations):
-            predictions = operand.lmm(weights)
-            residuals = predictions - targets_column
-            # mean_squared_error(targets, predictions) on the 1-D views —
-            # computed from the residuals to avoid another subtraction.
-            self.loss_history_.append(float(np.mean(residuals * residuals)))
-            gradient = operand.transpose_lmm(residuals) / n_rows
-            if self.l2_penalty:
-                gradient = gradient + self.l2_penalty * weights / n_rows
-            new_weights = weights - self.learning_rate * gradient
-            if self.tolerance and np.linalg.norm(new_weights - weights) < self.tolerance:
+        with _telemetry.span(
+            "train.linear_gd", rows=n_rows, columns=n_columns,
+            iterations=self.n_iterations,
+        ):
+            for _ in range(self.n_iterations):
+                predictions = operand.lmm(weights)
+                residuals = predictions - targets_column
+                # mean_squared_error(targets, predictions) on the 1-D views —
+                # computed from the residuals to avoid another subtraction.
+                loss = float(np.mean(residuals * residuals))
+                self.loss_history_.append(loss)
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("gd.iterations")
+                    _telemetry.observe("gd.linear.loss", loss)
+                gradient = operand.transpose_lmm(residuals) / n_rows
+                if self.l2_penalty:
+                    gradient = gradient + self.l2_penalty * weights / n_rows
+                new_weights = weights - self.learning_rate * gradient
+                if self.tolerance and np.linalg.norm(new_weights - weights) < self.tolerance:
+                    weights = new_weights
+                    break
                 weights = new_weights
-                break
-            weights = new_weights
         return weights[:, 0]
 
     def predict(self, features: OperandLike) -> np.ndarray:

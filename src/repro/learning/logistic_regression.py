@@ -7,6 +7,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.learning.base import OperandLike, as_linop
 from repro.learning.metrics import log_loss
 
@@ -52,22 +53,30 @@ class LogisticRegression:
         weights = np.zeros(n_columns)
         intercept = 0.0
         self.loss_history_ = []
-        for _ in range(self.n_iterations):
-            logits = operand.lmm(weights[:, None])[:, 0] + intercept
-            probabilities = _sigmoid(logits)
-            self.loss_history_.append(log_loss(labels, probabilities))
-            errors = probabilities - labels
-            gradient = operand.transpose_lmm(errors[:, None])[:, 0] / n_rows
-            if self.l2_penalty:
-                gradient = gradient + self.l2_penalty * weights / n_rows
-            step = self.learning_rate * gradient
-            new_weights = weights - step
-            if self.fit_intercept:
-                intercept -= self.learning_rate * float(errors.mean())
-            if self.tolerance and np.linalg.norm(step) < self.tolerance:
+        with _telemetry.span(
+            "train.logistic_gd", rows=n_rows, columns=n_columns,
+            iterations=self.n_iterations,
+        ):
+            for _ in range(self.n_iterations):
+                logits = operand.lmm(weights[:, None])[:, 0] + intercept
+                probabilities = _sigmoid(logits)
+                loss = log_loss(labels, probabilities)
+                self.loss_history_.append(loss)
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("gd.iterations")
+                    _telemetry.observe("gd.logistic.loss", loss)
+                errors = probabilities - labels
+                gradient = operand.transpose_lmm(errors[:, None])[:, 0] / n_rows
+                if self.l2_penalty:
+                    gradient = gradient + self.l2_penalty * weights / n_rows
+                step = self.learning_rate * gradient
+                new_weights = weights - step
+                if self.fit_intercept:
+                    intercept -= self.learning_rate * float(errors.mean())
+                if self.tolerance and np.linalg.norm(step) < self.tolerance:
+                    weights = new_weights
+                    break
                 weights = new_weights
-                break
-            weights = new_weights
         self.coef_ = weights
         self.intercept_ = intercept
         return self

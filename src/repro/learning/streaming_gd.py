@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.exceptions import FactorizationError
 from repro.factorized.operator_plan import BlockedMatrixView
 
@@ -116,10 +117,14 @@ class StreamingGD:
                 f"target vector has {targets.shape[0]} rows, features have {view.n_rows}"
             )
         blocks = view.row_blocks(self.block_rows)
-        if self.task == "linear":
-            self._fit_linear(view, blocks, targets)
-        else:
-            self._fit_logistic(view, blocks, targets)
+        with _telemetry.span(
+            "train.streaming_gd", task=self.task, rows=view.n_rows,
+            block_rows=self.block_rows,
+        ):
+            if self.task == "linear":
+                self._fit_linear(view, blocks, targets)
+            else:
+                self._fit_logistic(view, blocks, targets)
         return self
 
     def _fit_linear(self, view: BlockedMatrixView, blocks, targets: np.ndarray) -> None:
@@ -141,6 +146,9 @@ class StreamingGD:
                 view.transpose_lmm_add(residuals, start, stop, gradient)
                 self._released()
             self.loss_history_.append(loss_sum / n_rows)
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("gd.iterations")
+                _telemetry.observe("gd.streaming.loss", self.loss_history_[-1])
             gradient /= n_rows
             if self.l2_penalty:
                 gradient = gradient + self.l2_penalty * weights / n_rows
@@ -179,6 +187,9 @@ class StreamingGD:
                 view.transpose_lmm_add(errors[:, None], start, stop, gradient)
                 self._released()
             self.loss_history_.append(loss_sum / n_rows)
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("gd.iterations")
+                _telemetry.observe("gd.streaming.loss", self.loss_history_[-1])
             gradient /= n_rows
             if self.l2_penalty:
                 gradient = gradient + self.l2_penalty * weights / n_rows

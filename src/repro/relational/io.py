@@ -7,10 +7,11 @@ in-memory ingest no longer builds per-cell Python lists. The empty-file and
 row-width :class:`TableError` behavior of the seed reader is preserved
 bit-for-bit.
 
-``write_csv`` protects STRING values that would otherwise re-parse as NULL
-(``"null"``, ``"na"``, the empty string, ...) with a one-backslash escape
-that ``parse_cell`` undoes, so write → read round-trips keep them as
-strings.
+``write_csv`` protects STRING values that would otherwise re-parse as a
+different type — NULL literals (``"null"``, ``"na"``, the empty string,
+...), numeric-looking strings (``"5"``, ``"1e3"``) and bool literals
+(``"true"``) — with a one-backslash escape that ``parse_cell`` undoes, so
+write → read round-trips keep them as strings.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.relational.table import Table
-from repro.relational.types import NULL_LITERALS, DataType, is_null
+from repro.relational.types import NULL_LITERALS, DataType, _parse_string, is_null
 
 PathLike = Union[str, Path]
 
@@ -50,41 +51,68 @@ def read_csv(
 
 
 def _protect_string(value: str) -> str:
-    """Backslash-escape strings ``parse_cell`` would misread as NULL."""
+    """Backslash-escape strings ``parse_cell`` would misread as another type.
+
+    Covers NULL literals, values that already start with a backslash, and
+    strings shaped like numbers or bools (``"5"``, ``"-1e3"``, ``"true"``)
+    that the reader would otherwise re-type.
+    """
     if value.startswith("\\") or value.strip().lower() in NULL_LITERALS:
+        return "\\" + value
+    if not isinstance(_parse_string(value), str):
         return "\\" + value
     return value
 
 
-def write_csv(table: Table, path: PathLike, delimiter: str = ",") -> None:
-    """Write a :class:`Table` to CSV; NULLs become empty cells.
+def _write_protected_rows(writer, names, string_columns, rows) -> None:
+    """Stream ``rows`` through the NULL/typing escape protection."""
+    for row in rows:
+        writer.writerow(
+            [
+                ""
+                if is_null(value)
+                else (
+                    _protect_string(value)
+                    if name in string_columns and isinstance(value, str)
+                    else value
+                )
+                for name, value in zip(names, row)
+            ]
+        )
+
+
+def write_csv(table, path: PathLike, delimiter: str = ",") -> None:
+    """Write a :class:`Table` or chunk stream to CSV; NULLs become empty cells.
 
     STRING values spelled like a NULL literal (``"null"``, ``"na"``, the
-    empty string, whitespace) — and strings already starting with a
-    backslash — are written with a single-backslash escape so a subsequent
-    ``read_csv`` returns them as strings, not NULL.
+    empty string, whitespace), like a number or bool (``"5"``, ``"true"``),
+    or already starting with a backslash are written with a
+    single-backslash escape so a subsequent ``read_csv`` returns them as
+    strings with their spelling intact.
+
+    ``table`` may also be a :class:`repro.streaming.chunks.TableChunkStream`
+    — the output is then produced one chunk at a time, so a stream larger
+    than RAM round-trips through CSV in bounded memory.
     """
     import csv
 
+    from repro.streaming.chunks import TableChunkStream
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(table, TableChunkStream):
+        schema = table.schema
+        row_source = (
+            row for chunk in table.chunks() for row in chunk.to_table(table.name).rows()
+        )
+    else:
+        schema = table.schema
+        row_source = table.rows()
     string_columns = {
-        column.name for column in table.schema if column.dtype is DataType.STRING
+        column.name for column in schema if column.dtype is DataType.STRING
     }
-    names = table.schema.names
+    names = schema.names
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle, delimiter=delimiter)
         writer.writerow(names)
-        for row in table.rows():
-            writer.writerow(
-                [
-                    ""
-                    if is_null(value)
-                    else (
-                        _protect_string(value)
-                        if name in string_columns and isinstance(value, str)
-                        else value
-                    )
-                    for name, value in zip(names, row)
-                ]
-            )
+        _write_protected_rows(writer, names, string_columns, row_source)

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.exceptions import JoinError
 from repro.relational.factorize import gather_column, hash_join_index, key_codes
 from repro.relational.schema import Column, Schema
@@ -256,24 +257,31 @@ def _join(
     keep_left_unmatched: bool,
     keep_right_unmatched: bool,
     result_name: str,
+    flavor: str,
 ) -> JoinResult:
     if target_columns is None:
         target_columns = _default_target_columns(left, right)
     _validate_join_inputs(left, right, on, target_columns)
     schema = _target_schema(left, right, target_columns)
 
-    left_codes, right_codes = key_codes(left, right, [(k, k) for k in on])
-    left_rows, right_rows, matched_right = hash_join_index(
-        left_codes, right_codes, keep_left_unmatched=keep_left_unmatched
-    )
-    if keep_right_unmatched:
-        extra = np.nonzero(~matched_right)[0].astype(np.int64)
-        left_rows = np.concatenate([left_rows, np.full(extra.size, -1, dtype=np.int64)])
-        right_rows = np.concatenate([right_rows, extra])
+    with _telemetry.span(
+        f"join.{flavor}", left_rows=left.n_rows, right_rows=right.n_rows
+    ) as span:
+        left_codes, right_codes = key_codes(left, right, [(k, k) for k in on])
+        left_rows, right_rows, matched_right = hash_join_index(
+            left_codes, right_codes, keep_left_unmatched=keep_left_unmatched
+        )
+        if keep_right_unmatched:
+            extra = np.nonzero(~matched_right)[0].astype(np.int64)
+            left_rows = np.concatenate(
+                [left_rows, np.full(extra.size, -1, dtype=np.int64)]
+            )
+            right_rows = np.concatenate([right_rows, extra])
 
-    table = _materialize_join_table(
-        left, right, left_rows, right_rows, target_columns, schema, result_name
-    )
+        table = _materialize_join_table(
+            left, right, left_rows, right_rows, target_columns, schema, result_name
+        )
+        span.set(out_rows=table.n_rows, out_cols=len(target_columns))
     return JoinResult(
         table=table,
         left_rows=left_rows.tolist(),
@@ -299,6 +307,7 @@ def inner_join(
         keep_left_unmatched=False,
         keep_right_unmatched=False,
         result_name=result_name,
+        flavor="inner",
     )
 
 
@@ -318,6 +327,7 @@ def left_join(
         keep_left_unmatched=True,
         keep_right_unmatched=False,
         result_name=result_name,
+        flavor="left",
     )
 
 
@@ -337,6 +347,7 @@ def full_outer_join(
         keep_left_unmatched=True,
         keep_right_unmatched=True,
         result_name=result_name,
+        flavor="full_outer",
     )
 
 
@@ -357,21 +368,25 @@ def union_all(
         if name not in left.schema or name not in right.schema:
             raise JoinError(f"union target column {name!r} missing from one input")
     schema = Schema([left.schema[name] for name in target_columns])
-    left_rows = np.concatenate(
-        [
-            np.arange(left.n_rows, dtype=np.int64),
-            np.full(right.n_rows, -1, dtype=np.int64),
-        ]
-    )
-    right_rows = np.concatenate(
-        [
-            np.full(left.n_rows, -1, dtype=np.int64),
-            np.arange(right.n_rows, dtype=np.int64),
-        ]
-    )
-    table = _materialize_join_table(
-        left, right, left_rows, right_rows, target_columns, schema, result_name
-    )
+    with _telemetry.span(
+        "join.union", left_rows=left.n_rows, right_rows=right.n_rows
+    ) as span:
+        left_rows = np.concatenate(
+            [
+                np.arange(left.n_rows, dtype=np.int64),
+                np.full(right.n_rows, -1, dtype=np.int64),
+            ]
+        )
+        right_rows = np.concatenate(
+            [
+                np.full(left.n_rows, -1, dtype=np.int64),
+                np.arange(right.n_rows, dtype=np.int64),
+            ]
+        )
+        table = _materialize_join_table(
+            left, right, left_rows, right_rows, target_columns, schema, result_name
+        )
+        span.set(out_rows=table.n_rows, out_cols=len(target_columns))
     return JoinResult(
         table=table,
         left_rows=left_rows.tolist(),

@@ -183,20 +183,23 @@ NULL_LITERALS = ("", "null", "none", "na", "nan")
 
 
 def unescape_protected_cell(stripped: str) -> Optional[str]:
-    """Undo the ``write_csv`` backslash escape of NULL-looking strings.
+    """Undo the ``write_csv`` backslash escape of mistypeable strings.
 
-    ``write_csv`` protects STRING values that would otherwise re-parse as
-    NULL (the literals in :data:`NULL_LITERALS`) — and values that already
-    start with a backslash — by prefixing one backslash. A cell starting
-    with ``\\`` whose remainder is such a protected form is therefore a
-    *string* literal: return the remainder. Any other cell (including
-    backslash-prefixed text that needs no protection) returns ``None`` and
-    parses normally.
+    ``write_csv`` protects STRING values that would otherwise re-parse as a
+    different type — NULL (the literals in :data:`NULL_LITERALS`), numbers
+    (``"5"``, ``"1e3"``) and bool literals (``"true"``) — and values that
+    already start with a backslash — by prefixing one backslash. A cell
+    starting with ``\\`` whose remainder is such a protected form is
+    therefore a *string* literal: return the remainder. Any other cell
+    (including backslash-prefixed text that needs no protection) returns
+    ``None`` and parses normally.
     """
     if not stripped.startswith("\\"):
         return None
     remainder = stripped[1:]
     if remainder.startswith("\\") or remainder.strip().lower() in NULL_LITERALS:
+        return remainder
+    if not isinstance(_parse_string(remainder), str):
         return remainder
     return None
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro import telemetry as _telemetry
 from repro.backends import BackendSpec, resolve_backend
 from repro.exceptions import MappingError
 from repro.matrices.builder import (
@@ -79,28 +80,37 @@ def _ingest_stream(
     if not source_columns:
         raise MappingError(f"source {stream.name!r} maps no numeric target columns")
     n_rows = stream.n_rows
-    if store is not None:
-        data = store.allocate(store_key, n_rows, len(source_columns))
-    else:
-        data = np.zeros((n_rows, len(source_columns)), dtype=np.float64)
-    validity = {c: np.zeros(n_rows, dtype=bool) for c in validity_columns}
-    filled = 0
-    for chunk in stream.chunks():
-        stop = filled + chunk.n_rows
-        if stop > n_rows:
-            raise MappingError(
-                f"stream {stream.name!r} produced more rows than its declared {n_rows}"
-            )
-        data[filled:stop] = chunk.to_matrix(source_columns)
-        for column in validity_columns:
-            validity[column][filled:stop] = chunk.column_valid(column)
-        filled = stop
+    with _telemetry.span(
+        "build.ingest_stream", source=stream.name, rows=n_rows,
+        columns=len(source_columns), spilled=store is not None,
+    ):
         if store is not None:
-            store.release()
-    if filled != n_rows:
-        raise MappingError(
-            f"stream {stream.name!r} produced {filled} rows, declared {n_rows}"
-        )
+            data = store.allocate(store_key, n_rows, len(source_columns))
+        else:
+            data = np.zeros((n_rows, len(source_columns)), dtype=np.float64)
+        validity = {c: np.zeros(n_rows, dtype=bool) for c in validity_columns}
+        filled = 0
+        for chunk in stream.chunks():
+            stop = filled + chunk.n_rows
+            if stop > n_rows:
+                raise MappingError(
+                    f"stream {stream.name!r} produced more rows than its declared {n_rows}"
+                )
+            data[filled:stop] = chunk.to_matrix(source_columns)
+            for column in validity_columns:
+                validity[column][filled:stop] = chunk.column_valid(column)
+            if _telemetry.ENABLED and store is not None:
+                _telemetry.counter_add(
+                    "spill.bytes_written",
+                    float((stop - filled) * len(source_columns) * 8),
+                )
+            filled = stop
+            if store is not None:
+                store.release()
+        if filled != n_rows:
+            raise MappingError(
+                f"stream {stream.name!r} produced {filled} rows, declared {n_rows}"
+            )
     return source_columns, data, validity
 
 
@@ -177,6 +187,36 @@ def integrate_streams(
     """
     base = as_chunk_stream(base, chunk_rows)
     other = as_chunk_stream(other, chunk_rows)
+    if _telemetry.ENABLED:
+        with _telemetry.span(
+            "build.integrate_streams",
+            scenario=scenario.value,
+            base=base.name,
+            other=other.name,
+            spilled=store is not None,
+        ):
+            return _integrate_streams(
+                base, other, column_matches, row_matches, target_columns,
+                scenario, label_column, name, backend, store,
+            )
+    return _integrate_streams(
+        base, other, column_matches, row_matches, target_columns,
+        scenario, label_column, name, backend, store,
+    )
+
+
+def _integrate_streams(
+    base: TableChunkStream,
+    other: TableChunkStream,
+    column_matches: Sequence[ColumnMatch],
+    row_matches: RowMatchesLike,
+    target_columns: Sequence[str],
+    scenario: ScenarioType,
+    label_column: Optional[str],
+    name: str,
+    backend: BackendSpec,
+    store: Optional[SpillStore],
+) -> IntegratedDataset:
     resolved_backend = resolve_backend(backend) if backend is not None else None
     target_columns = list(target_columns)
     base_correspondences, other_correspondences = two_source_correspondences(

@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.exceptions import TableError
 from repro.relational.schema import Column, Schema
 from repro.relational.table import Table
@@ -373,19 +374,21 @@ class ChunkedCsvReader(TableChunkStream):
     def scan(self) -> Schema:
         """First pass: infer the schema and row count in bounded memory."""
         if self._schema is None:
-            header: List[str] = []
-            flags: List[ColumnTypeFlags] = []
-            n_rows = 0
-            for header, rows in self._raw_chunks():
+            with _telemetry.span("ingest.scan", file=str(self._path)) as span:
+                header: List[str] = []
+                flags: List[ColumnTypeFlags] = []
+                n_rows = 0
+                for header, rows in self._raw_chunks():
+                    if not flags:
+                        flags = [ColumnTypeFlags() for _ in header]
+                    n_rows += len(rows)
+                    for accumulated, block in zip(flags, self._parse_chunk(header, rows)):
+                        accumulated.merge(block.flags)
                 if not flags:
                     flags = [ColumnTypeFlags() for _ in header]
-                n_rows += len(rows)
-                for accumulated, block in zip(flags, self._parse_chunk(header, rows)):
-                    accumulated.merge(block.flags)
-            if not flags:
-                flags = [ColumnTypeFlags() for _ in header]
-            self._schema = self._schema_from_flags(header, flags)
-            self._n_rows = n_rows
+                self._schema = self._schema_from_flags(header, flags)
+                self._n_rows = n_rows
+                span.set(rows=n_rows, columns=len(header))
         return self._schema
 
     @property
@@ -403,11 +406,18 @@ class ChunkedCsvReader(TableChunkStream):
         for header, rows in self._raw_chunks():
             if not rows:
                 continue
-            data: Dict[str, np.ndarray] = {}
-            valid: Dict[str, np.ndarray] = {}
-            for column, block in zip(schema, self._parse_chunk(header, rows)):
-                data[column.name], valid[column.name] = block.finalize(column.dtype)
-            yield TableChunk(schema, data, valid, offset=offset)
+            with _telemetry.span(
+                "ingest.chunk", file=str(self._path), offset=offset, rows=len(rows)
+            ):
+                data: Dict[str, np.ndarray] = {}
+                valid: Dict[str, np.ndarray] = {}
+                for column, block in zip(schema, self._parse_chunk(header, rows)):
+                    data[column.name], valid[column.name] = block.finalize(column.dtype)
+                chunk = TableChunk(schema, data, valid, offset=offset)
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("ingest.chunks")
+                _telemetry.counter_add("ingest.rows", float(len(rows)))
+            yield chunk
             offset += len(rows)
 
     # -- one-pass materialization ------------------------------------------------------

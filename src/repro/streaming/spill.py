@@ -24,6 +24,8 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro import telemetry as _telemetry
+
 PathLike = Union[str, Path]
 
 _MADV_DONTNEED = getattr(mmap, "MADV_DONTNEED", None)
@@ -65,6 +67,9 @@ class SpillStore:
         path = self.directory / f"{name}.f64"
         matrix = np.memmap(path, dtype=np.float64, mode="w+", shape=(int(n_rows), int(n_columns)))
         self._maps[name] = matrix
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("spill.matrices")
+            _telemetry.counter_add("spill.bytes_allocated", float(matrix.nbytes))
         return matrix
 
     def get(self, name: str) -> np.memmap:
@@ -88,6 +93,9 @@ class SpillStore:
             raw = getattr(matrix, "_mmap", None)
             if raw is not None and _MADV_DONTNEED is not None and hasattr(raw, "madvise"):
                 raw.madvise(_MADV_DONTNEED)
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("spill.releases")
+            _telemetry.gauge_set("spill.bytes_on_disk", float(self.spilled_bytes))
 
     # -- lifecycle --------------------------------------------------------------------
     def cleanup(self) -> None:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro import telemetry as _telemetry
 from repro.costmodel.amalur_cost import AmalurCostModel
 from repro.matrices.builder import IntegratedDataset, integrate_tables
 from repro.metadata.catalog import MetadataCatalog, ModelMetadata
@@ -89,23 +90,29 @@ class Amalur:
         outputs (the DI metadata) are recorded in the catalog together with
         the generated schema mapping.
         """
-        base = self.catalog.table(base_name)
-        other = self.catalog.table(other_name)
-        column_matches = match_schemas(base, other, matcher=self.matcher)
-        self.catalog.record_column_matches(base_name, other_name, column_matches)
-        row_matches = resolve_entities(base, other, column_matches=column_matches)
-        self.catalog.record_row_matches(base_name, other_name, row_matches)
-        mapping = build_scenario_mapping(base, other, column_matches, target_columns, scenario)
-        self.catalog.record_schema_mapping(base_name, other_name, mapping)
-        return integrate_tables(
-            base=base,
-            other=other,
-            column_matches=column_matches,
-            row_matches=row_matches,
-            target_columns=target_columns,
-            scenario=scenario,
-            label_column=label_column,
-        )
+        with _telemetry.span(
+            "amalur.integrate", base=base_name, other=other_name,
+            scenario=scenario.value,
+        ):
+            base = self.catalog.table(base_name)
+            other = self.catalog.table(other_name)
+            column_matches = match_schemas(base, other, matcher=self.matcher)
+            self.catalog.record_column_matches(base_name, other_name, column_matches)
+            row_matches = resolve_entities(base, other, column_matches=column_matches)
+            self.catalog.record_row_matches(base_name, other_name, row_matches)
+            mapping = build_scenario_mapping(
+                base, other, column_matches, target_columns, scenario
+            )
+            self.catalog.record_schema_mapping(base_name, other_name, mapping)
+            return integrate_tables(
+                base=base,
+                other=other,
+                column_matches=column_matches,
+                row_matches=row_matches,
+                target_columns=target_columns,
+                scenario=scenario,
+                label_column=label_column,
+            )
 
     # -- planning and training --------------------------------------------------------------
     def plan(self, dataset: IntegratedDataset, model: ModelSpec) -> ExecutionPlan:
@@ -118,8 +125,9 @@ class Amalur:
         plan: Optional[ExecutionPlan] = None,
     ) -> TrainingResult:
         """Plan (unless given) and execute training, registering the model."""
-        plan = plan or self.optimizer.plan(dataset, model)
-        result = self.executor.execute(plan)
+        with _telemetry.span("amalur.train", task=model.task, dataset=dataset.name):
+            plan = plan or self.optimizer.plan(dataset, model)
+            result = self.executor.execute(plan)
         self._model_counter += 1
         metadata = ModelMetadata(
             name=f"model_{self._model_counter}",
@@ -134,6 +142,19 @@ class Amalur:
         )
         self.catalog.register_model(metadata)
         return result
+
+    # -- observability ----------------------------------------------------------------------
+    @staticmethod
+    def run_report():
+        """The active telemetry session's run report (``None`` when disabled).
+
+        Enable collection with :func:`repro.telemetry.enable` (or the
+        :func:`repro.telemetry.collect` context manager) before running the
+        pipeline, then call this to obtain the structured
+        :class:`~repro.telemetry.report.RunReport` — spans, counters,
+        histograms and memory probes.
+        """
+        return _telemetry.run_report()
 
     # -- traffic accounting ---------------------------------------------------------------
     @property

@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.costmodel.decision import Decision
 from repro.exceptions import PlanError
 from repro.factorized.normalized_matrix import AmalurMatrix
@@ -31,17 +32,20 @@ class Executor:
         self.orchestrator = orchestrator or Orchestrator()
 
     def execute(self, plan: ExecutionPlan) -> TrainingResult:
-        baseline_bytes = self.orchestrator.network.total_bytes
-        baseline_messages = self.orchestrator.network.n_messages
+        with _telemetry.span(
+            "executor.execute", strategy=plan.strategy.value, task=plan.model.task
+        ):
+            baseline_bytes = self.orchestrator.network.total_bytes
+            baseline_messages = self.orchestrator.network.n_messages
 
-        if plan.strategy is Decision.FEDERATE:
-            result = self._execute_federated(plan)
-        else:
-            result = self._execute_central(plan)
+            if plan.strategy is Decision.FEDERATE:
+                result = self._execute_federated(plan)
+            else:
+                result = self._execute_central(plan)
 
-        result.bytes_transferred = self.orchestrator.network.total_bytes - baseline_bytes
-        result.n_messages = self.orchestrator.network.n_messages - baseline_messages
-        return result
+            result.bytes_transferred = self.orchestrator.network.total_bytes - baseline_bytes
+            result.n_messages = self.orchestrator.network.n_messages - baseline_messages
+            return result
 
     # -- centralized strategies (materialize / factorize) ---------------------------------
     def _execute_central(self, plan: ExecutionPlan) -> TrainingResult:

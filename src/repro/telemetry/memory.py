@@ -1,0 +1,99 @@
+"""Process-memory probes: current/peak RSS and a background sampler.
+
+:func:`peak_rss_bytes` is byte-for-byte the measurement the CI
+streaming-guard takes by hand (``getrusage(RUSAGE_SELF).ru_maxrss``), so a
+telemetry run report and the guard agree on the high-water mark by
+construction. :func:`current_rss_bytes` reads the instantaneous resident
+set from ``/proc/self/statm`` (Linux; falls back to the high-water mark
+elsewhere), which is what the :class:`RssSampler` thread records to show
+*when* in a run the memory went.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+#: ru_maxrss unit: bytes on macOS, kilobytes everywhere else (Linux).
+_RU_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def peak_rss_bytes() -> int:
+    """Process peak resident set size in bytes (the getrusage high-water
+    mark — the exact measurement the CI streaming-guard budgets against)."""
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * _RU_MAXRSS_UNIT
+
+
+def current_rss_bytes() -> int:
+    """Instantaneous resident set size in bytes (0 if unreadable)."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
+        return peak_rss_bytes()
+
+
+class RssSampler:
+    """Background thread sampling the resident set at a fixed interval."""
+
+    def __init__(self, interval: float = 0.05):
+        self.interval = float(interval)
+        self._stop_event = threading.Event()
+        self._lock = threading.Lock()
+        self._samples: List[Tuple[float, int]] = []
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry-rss", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        self._sample()
+        while not self._stop_event.wait(self.interval):
+            self._sample()
+
+    def _sample(self) -> None:
+        sample = (time.time(), current_rss_bytes())
+        with self._lock:
+            self._samples.append(sample)
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    @property
+    def samples(self) -> List[Tuple[float, int]]:
+        with self._lock:
+            return list(self._samples)
+
+    @property
+    def sampled_peak_bytes(self) -> int:
+        samples = self.samples
+        return max((rss for _, rss in samples), default=0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """The memory section of the run report."""
+        return {
+            "peak_rss_bytes": peak_rss_bytes(),
+            "sampled_peak_rss_bytes": self.sampled_peak_bytes,
+            "n_samples": len(self.samples),
+        }

@@ -1,0 +1,123 @@
+"""Metric instruments: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is the session-scoped home of every named
+instrument. Instruments are created on first touch (``registry.counter(
+"flops.lmm.local")``), accumulate as plain Python floats under one lock,
+and snapshot into the run report. The FLOP counters mirror the legacy
+:class:`repro.factorized.ops_counter.FlopCounter` labels exactly — the
+parity tests assert value-for-value equality.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from repro.telemetry.tracer import json_safe
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """An ordered series of observations (e.g. the GD loss curve).
+
+    Every observation is kept — series in this codebase are bounded by
+    iteration counts, and the full curve is what the report consumers
+    (loss-curve plots, convergence diffs) need.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def summary(self) -> Dict[str, object]:
+        values = self.values
+        if not values:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "last": 0.0, "values": []}
+        return {
+            "count": len(values),
+            "total": sum(values),
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+            "last": values[-1],
+            "values": list(values),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use; thread-safe."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram(name))
+        return histogram
+
+    # -- report snapshots ---------------------------------------------------------------
+    def counter_values(self) -> Dict[str, float]:
+        with self._lock:
+            return {name: json_safe(c.value) for name, c in sorted(self._counters.items())}
+
+    def gauge_values(self) -> Dict[str, float]:
+        with self._lock:
+            return {name: json_safe(g.value) for name, g in sorted(self._gauges.items())}
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {name: h.summary() for name, h in sorted(self._histograms.items())}

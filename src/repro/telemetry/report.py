@@ -1,0 +1,228 @@
+"""Flat run reports: one schema for benches, CI guards and calibration.
+
+A :class:`RunReport` is the JSON-friendly summary of a telemetry session:
+per-span wall/CPU aggregates, every counter and gauge, histogram series
+(loss curves), and the memory probe snapshot. The three ``bench_*.py``
+scripts embed this schema verbatim in their guard JSON, and the module
+doubles as a CLI::
+
+    python -m repro.telemetry.report show  benchmarks/results/PIPELINE_RUN_REPORT.json
+    python -m repro.telemetry.report diff  old_report.json new_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Schema tag embedded in every serialized report.
+REPORT_VERSION = 1
+
+
+@dataclass
+class RunReport:
+    """Structured summary of one telemetry session."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    memory: Dict[str, int] = field(default_factory=dict)
+
+    # -- serialization ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "meta": self.meta,
+            "spans": self.spans,
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": self.histograms,
+            "memory": self.memory,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunReport":
+        return cls(
+            meta=dict(payload.get("meta", {})),
+            spans=dict(payload.get("spans", {})),
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+            histograms=dict(payload.get("histograms", {})),
+            memory=dict(payload.get("memory", {})),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: PathLike) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- rendering ----------------------------------------------------------------------
+    def render_text(self) -> str:
+        lines: List[str] = ["== run report =="]
+        if self.meta:
+            for key in sorted(self.meta):
+                lines.append(f"  {key}: {self.meta[key]}")
+        if self.memory:
+            peak = self.memory.get("peak_rss_bytes", 0)
+            sampled = self.memory.get("sampled_peak_rss_bytes", 0)
+            lines.append(
+                f"memory: peak_rss={_fmt_bytes(peak)} "
+                f"sampled_peak={_fmt_bytes(sampled)} "
+                f"samples={self.memory.get('n_samples', 0)}"
+            )
+        if self.spans:
+            lines.append("spans (by total wall time):")
+            ordered = sorted(
+                self.spans.items(), key=lambda item: item[1].get("total_s", 0.0),
+                reverse=True,
+            )
+            for name, stats in ordered:
+                lines.append(
+                    f"  {name:<32} n={int(stats.get('count', 0)):>6} "
+                    f"wall={stats.get('total_s', 0.0):>10.4f}s "
+                    f"cpu={stats.get('cpu_s', 0.0):>10.4f}s "
+                    f"max={stats.get('max_s', 0.0):.4f}s"
+                )
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<40} {_fmt_number(self.counters[name])}")
+        if self.gauges:
+            lines.append("gauges:")
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:<40} {_fmt_number(self.gauges[name])}")
+        if self.histograms:
+            lines.append("histograms:")
+            for name in sorted(self.histograms):
+                summary = self.histograms[name]
+                lines.append(
+                    f"  {name:<32} n={summary.get('count', 0)} "
+                    f"mean={_fmt_number(summary.get('mean', 0.0))} "
+                    f"min={_fmt_number(summary.get('min', 0.0))} "
+                    f"max={_fmt_number(summary.get('max', 0.0))} "
+                    f"last={_fmt_number(summary.get('last', 0.0))}"
+                )
+        return "\n".join(lines)
+
+
+def build_report(session) -> RunReport:
+    """Snapshot a :class:`~repro.telemetry.TelemetrySession` into a report."""
+    finished = session.finished_at
+    import time as _time
+
+    duration = (finished if finished is not None else _time.time()) - session.started_at
+    meta = {
+        "created_at": session.started_at,
+        "duration_s": duration,
+        "pid": os.getpid(),
+        "python": sys.version.split()[0],
+    }
+    return RunReport(
+        meta=meta,
+        spans=session.tracer.aggregate(),
+        counters=session.metrics.counter_values(),
+        gauges=session.metrics.gauge_values(),
+        histograms=session.metrics.histogram_summaries(),
+        memory=session.memory_snapshot(),
+    )
+
+
+# -- diffing ---------------------------------------------------------------------------
+def diff_reports(a: RunReport, b: RunReport) -> str:
+    """Human-readable comparison of two run reports (b relative to a)."""
+    lines: List[str] = ["== report diff (b vs a) =="]
+    lines.append("spans:")
+    for name in sorted(set(a.spans) | set(b.spans)):
+        wall_a = a.spans.get(name, {}).get("total_s", 0.0)
+        wall_b = b.spans.get(name, {}).get("total_s", 0.0)
+        lines.append(f"  {name:<32} a={wall_a:>10.4f}s b={wall_b:>10.4f}s {_ratio(wall_a, wall_b)}")
+    changed = [
+        name
+        for name in sorted(set(a.counters) | set(b.counters))
+        if a.counters.get(name, 0.0) != b.counters.get(name, 0.0)
+    ]
+    lines.append("counters (changed):" if changed else "counters: identical")
+    for name in changed:
+        va = a.counters.get(name, 0.0)
+        vb = b.counters.get(name, 0.0)
+        lines.append(
+            f"  {name:<40} a={_fmt_number(va)} b={_fmt_number(vb)} "
+            f"delta={_fmt_number(vb - va)}"
+        )
+    peak_a = a.memory.get("peak_rss_bytes", 0)
+    peak_b = b.memory.get("peak_rss_bytes", 0)
+    lines.append(
+        f"memory: peak_rss a={_fmt_bytes(peak_a)} b={_fmt_bytes(peak_b)} "
+        f"{_ratio(peak_a, peak_b)}"
+    )
+    return "\n".join(lines)
+
+
+def _ratio(a: float, b: float) -> str:
+    if a <= 0:
+        return "(new)" if b > 0 else ""
+    return f"x{b / a:.3f}"
+
+
+def _fmt_number(value) -> str:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return f"{int(number):,}"
+    return f"{number:.6g}"
+
+
+def _fmt_bytes(n: float) -> str:
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    return f"{n:.1f}GiB"  # pragma: no cover - unreachable
+
+
+# -- CLI -------------------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Render or diff telemetry run reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    show = sub.add_parser("show", help="render a run report")
+    show.add_argument("report", type=Path)
+    show.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    diff = sub.add_parser("diff", help="diff two run reports (b vs a)")
+    diff.add_argument("report_a", type=Path)
+    diff.add_argument("report_b", type=Path)
+    args = parser.parse_args(argv)
+
+    if args.command == "show":
+        report = RunReport.load(args.report)
+        print(report.to_json() if args.json else report.render_text())
+        return 0
+    report_a = RunReport.load(args.report_a)
+    report_b = RunReport.load(args.report_b)
+    print(diff_reports(report_a, report_b))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Span tracer: nestable wall/CPU-timed spans with Chrome-trace export.
+
+Spans nest per thread (a thread-local stack records depth and parent), are
+cheap to open/close (two clock reads and one lock-protected list append on
+exit) and carry free-form attributes. The finished-span list renders in two
+forms: the Chrome ``trace_event`` JSON that ``chrome://tracing`` / Perfetto
+load directly, and the per-name aggregate table of the flat run report.
+
+The tracer itself never consults the global enable flag — that is the job
+of :mod:`repro.telemetry`'s ``span()`` facade, which hands out the shared
+:data:`NOOP_SPAN` when telemetry is disabled so the disabled cost of an
+instrumented call site is a single branch.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+def json_safe(value: Any) -> Any:
+    """Coerce a span attribute / metric value into a JSON-serializable one.
+
+    Numpy scalars (not JSON-serializable) become plain ints/floats;
+    anything non-numeric that is not already a JSON primitive falls back to
+    ``str``.
+    """
+    if value is None or isinstance(value, (bool, str, int, float)):
+        return value
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if number.is_integer() and abs(number) < 2**53:
+        return int(number)
+    return number
+
+
+class NoopSpan:
+    """The do-nothing span handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> "NoopSpan":
+        return self
+
+
+#: Shared singleton: disabled call sites allocate nothing per span.
+NOOP_SPAN = NoopSpan()
+
+
+class SpanRecord:
+    """One finished span: timing, thread, nesting and attributes."""
+
+    __slots__ = ("name", "tid", "start_ns", "duration_ns", "cpu_ns", "depth", "parent", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        tid: int,
+        start_ns: int,
+        duration_ns: int,
+        cpu_ns: int,
+        depth: int,
+        parent: Optional[str],
+        attrs: Dict[str, Any],
+    ):
+        self.name = name
+        self.tid = tid
+        #: Start offset in ns relative to the tracer's creation.
+        self.start_ns = start_ns
+        self.duration_ns = duration_ns
+        self.cpu_ns = cpu_ns
+        self.depth = depth
+        self.parent = parent
+        self.attrs = attrs
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    @property
+    def cpu_s(self) -> float:
+        return self.cpu_ns / 1e9
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SpanRecord({self.name!r}, wall={self.duration_s:.6f}s, "
+            f"depth={self.depth}, parent={self.parent!r})"
+        )
+
+
+class Span:
+    """An open span; a context manager that records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "depth", "parent", "_start_ns", "_cpu_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.depth = 0
+        self.parent: Optional[str] = None
+        self._start_ns = 0
+        self._cpu_start_ns = 0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes after the span opened (e.g. output row counts)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        if stack:
+            self.parent = stack[-1].name
+            self.depth = len(stack)
+        stack.append(self)
+        self._cpu_start_ns = time.thread_time_ns()
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        end_ns = time.perf_counter_ns()
+        cpu_ns = time.thread_time_ns() - self._cpu_start_ns
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                tid=threading.get_ident(),
+                start_ns=self._start_ns - self._tracer._t0_ns,
+                duration_ns=end_ns - self._start_ns,
+                cpu_ns=cpu_ns,
+                depth=self.depth,
+                parent=self.parent,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects finished spans; thread-safe, per-thread nesting stacks."""
+
+    def __init__(self):
+        self._t0_ns = time.perf_counter_ns()
+        self.started_at = time.time()
+        self._records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        return Span(self, name, dict(attrs) if attrs else {})
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name totals for the flat run report."""
+        out: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            entry = out.get(record.name)
+            if entry is None:
+                out[record.name] = {
+                    "count": 1,
+                    "total_s": record.duration_s,
+                    "cpu_s": record.cpu_s,
+                    "min_s": record.duration_s,
+                    "max_s": record.duration_s,
+                }
+            else:
+                entry["count"] += 1
+                entry["total_s"] += record.duration_s
+                entry["cpu_s"] += record.cpu_s
+                entry["min_s"] = min(entry["min_s"], record.duration_s)
+                entry["max_s"] = max(entry["max_s"], record.duration_s)
+        return out
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` JSON object (load in Perfetto or
+        ``chrome://tracing``); one complete ("X") event per finished span,
+        timestamps in microseconds relative to tracer creation."""
+        pid = os.getpid()
+        events = []
+        for record in self.records:
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": record.start_ns / 1e3,
+                    "dur": record.duration_ns / 1e3,
+                    "pid": pid,
+                    "tid": record.tid,
+                    "args": {key: json_safe(val) for key, val in record.attrs.items()},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -170,7 +170,7 @@ class TestGramCache:
         matrix = AmalurMatrix(dataset)
         gram = matrix.crossprod()
         rebound = matrix.with_backend("sparse")
-        assert rebound._gram is None
+        assert rebound.gram_cache.value is None
         np.testing.assert_allclose(rebound.crossprod(), gram, atol=ATOL, rtol=0)
 
     def test_counter_not_recharged_on_cache_hit(self):

@@ -4,8 +4,10 @@ import pytest
 
 from repro.exceptions import TableError
 from repro.relational.io import read_csv, write_csv
+from repro.relational.schema import Column, Schema
 from repro.relational.table import Table
 from repro.relational.types import DataType, NULL
+from repro.streaming.chunks import InMemoryTableStream
 
 
 class TestReadCsv:
@@ -59,3 +61,66 @@ class TestReadCsv:
         path = tmp_path / "nested" / "dir" / "t.csv"
         write_csv(table, path)
         assert path.exists()
+
+
+class TestStringTypedRoundTrip:
+    """STRING values spelled like another type survive write → read intact."""
+
+    @pytest.mark.parametrize(
+        "value", ["5", "-3", "+7", "1.5", "1e3", "-2.5e-4", "true", "False", "null", "NA"]
+    )
+    def test_typed_looking_string_stays_string(self, tmp_path, value):
+        schema = Schema([Column("s", DataType.STRING)])
+        table = Table.from_rows("t", schema, [[value], ["plain"]])
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.schema["s"].dtype is DataType.STRING
+        assert loaded.cell(0, "s") == value
+
+    def test_mixed_string_column_round_trip(self, tmp_path):
+        schema = Schema([Column("s", DataType.STRING), Column("x", DataType.INT)])
+        table = Table.from_rows(
+            "t", schema,
+            [["5", 1], ["abc", 2], ["true", 3], [NULL, 4], ["\\slash", 5]],
+        )
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert table.equals(loaded)
+        assert loaded.schema["s"].dtype is DataType.STRING
+        assert loaded.schema["x"].dtype is DataType.INT
+
+    def test_numeric_columns_unaffected(self, tmp_path):
+        table = Table.from_dict("t", {"a": [5, -3], "b": [1.5, None]})
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        text = path.read_text()
+        assert "\\" not in text  # only STRING columns get the escape
+        loaded = read_csv(path)
+        assert loaded.schema["a"].dtype is DataType.INT
+        assert loaded.schema["b"].dtype is DataType.FLOAT
+        assert table.equals(loaded)
+
+
+class TestStreamingWriteCsv:
+    def test_chunk_stream_write_matches_table_write(self, tmp_path):
+        schema = Schema([Column("s", DataType.STRING), Column("x", DataType.FLOAT)])
+        table = Table.from_rows(
+            "t", schema,
+            [["5", 1.0], ["null", 2.5], ["abc", None], [NULL, 4.0], ["true", 5.0]],
+        )
+        resident_path = tmp_path / "resident.csv"
+        streamed_path = tmp_path / "streamed.csv"
+        write_csv(table, resident_path)
+        write_csv(InMemoryTableStream(table, chunk_rows=2), streamed_path)
+        assert streamed_path.read_text() == resident_path.read_text()
+
+    def test_chunk_stream_round_trip(self, tmp_path):
+        table = Table.from_dict(
+            "t", {"id": list(range(10)), "x": [float(i) / 3 for i in range(10)]}
+        )
+        path = tmp_path / "t.csv"
+        write_csv(InMemoryTableStream(table, chunk_rows=3), path)
+        loaded = read_csv(path, name="t")
+        assert table.equals(loaded)

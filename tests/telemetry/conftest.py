@@ -1,0 +1,11 @@
+"""Shared fixtures: telemetry state never leaks between tests."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_disabled_after_each():
+    yield
+    telemetry.disable()

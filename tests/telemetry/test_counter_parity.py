@@ -1,0 +1,51 @@
+"""Telemetry FLOP counters mirror the legacy FlopCounter value-for-value.
+
+Runs the four Table I scenarios through the factorized operators with
+telemetry enabled and asserts that every ``flops.<operation>`` counter in
+the run report equals the corresponding ``FlopCounter.by_operation`` entry
+exactly — one schema, no drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_dataset
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.metadata.mappings import ScenarioType
+
+SCENARIOS = [
+    ScenarioType.INNER_JOIN,
+    ScenarioType.LEFT_JOIN,
+    ScenarioType.FULL_OUTER_JOIN,
+    ScenarioType.UNION,
+]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.value)
+def test_flop_counters_match_legacy_by_operation(scenario):
+    dataset = generate_scenario_dataset(
+        ScenarioSpec(scenario=scenario, overlap_columns=2, seed=7)
+    )
+    matrix = AmalurMatrix(dataset)
+    rng = np.random.default_rng(0)
+    x_cols = rng.standard_normal((matrix.n_columns, 3))
+    x_rows = rng.standard_normal((matrix.n_rows, 2))
+
+    telemetry.enable(sample_memory=False)
+    matrix.lmm(x_cols)
+    matrix.transpose_lmm(x_rows)
+    matrix.rmm(x_rows.T)
+    matrix.crossprod()
+    report = telemetry.run_report()
+    telemetry.disable()
+
+    legacy = matrix.counter.by_operation
+    assert legacy, "legacy FlopCounter recorded nothing"
+    for operation, flops in legacy.items():
+        assert report.counters["flops." + operation] == pytest.approx(flops), operation
+    # No telemetry flop counter exists without a legacy twin.
+    telemetry_flops = {
+        name[len("flops."):] for name in report.counters if name.startswith("flops.")
+    }
+    assert telemetry_flops == set(legacy)

@@ -1,0 +1,81 @@
+"""Tests for the repro.telemetry module facade: enable/disable semantics."""
+
+from repro import telemetry
+from repro.telemetry.report import RunReport
+from repro.telemetry.tracer import NOOP_SPAN
+
+
+class TestDisabledNoOp:
+    def test_disabled_by_default(self):
+        assert telemetry.ENABLED is False
+        assert telemetry.is_enabled() is False
+        assert telemetry.active_session() is None
+
+    def test_span_is_the_shared_noop_singleton(self):
+        assert telemetry.span("anything", rows=3) is NOOP_SPAN
+
+    def test_metric_calls_are_inert(self):
+        telemetry.counter_add("c", 5.0)
+        telemetry.gauge_set("g", 1.0)
+        telemetry.observe("h", 2.0)
+        telemetry.record_op("op", 0.1, 100.0)
+        assert telemetry.active_session() is None
+
+    def test_run_report_and_trace_are_none(self):
+        assert telemetry.run_report() is None
+        assert telemetry.export_chrome_trace() is None
+
+
+class TestEnableDisable:
+    def test_enable_collects_and_disable_returns_session(self):
+        session = telemetry.enable(sample_memory=False)
+        assert telemetry.ENABLED is True
+        with telemetry.span("work", rows=2) as span:
+            span.set(out=1)
+        telemetry.counter_add("events", 2.0)
+        finished = telemetry.disable()
+        assert finished is session
+        assert telemetry.ENABLED is False
+        report = finished.report()
+        assert isinstance(report, RunReport)
+        assert report.spans["work"]["count"] == 1
+        assert report.counters["events"] == 2
+
+    def test_record_op_expands_to_three_counters(self):
+        telemetry.enable(sample_memory=False)
+        telemetry.record_op("backend.matmul", 0.25, 1000.0)
+        telemetry.record_op("backend.matmul", 0.75, 500.0)
+        report = telemetry.run_report()
+        assert report.counters["backend.matmul.calls"] == 2
+        assert report.counters["backend.matmul.seconds"] == 1.0
+        assert report.counters["backend.matmul.flops"] == 1500
+
+    def test_enable_starts_a_fresh_session(self):
+        telemetry.enable(sample_memory=False)
+        telemetry.counter_add("c")
+        second = telemetry.enable(sample_memory=False)
+        assert second.metrics.counter_values() == {}
+
+    def test_collect_context_manager(self):
+        with telemetry.collect(sample_memory=False) as session:
+            assert telemetry.ENABLED is True
+            telemetry.counter_add("inside")
+        assert telemetry.ENABLED is False
+        assert session.report().counters["inside"] == 1
+
+    def test_run_report_has_meta_and_memory(self):
+        with telemetry.collect() as session:
+            with telemetry.span("s"):
+                pass
+        report = session.report()
+        assert report.meta["pid"] > 0
+        assert report.meta["duration_s"] >= 0.0
+        assert report.memory["peak_rss_bytes"] > 0
+
+    def test_chrome_trace_from_session(self):
+        with telemetry.collect(sample_memory=False) as session:
+            with telemetry.span("s"):
+                pass
+        trace = session.chrome_trace()
+        assert len(trace["traceEvents"]) == 1
+        assert trace["traceEvents"][0]["name"] == "s"

@@ -1,0 +1,63 @@
+"""Tests for the Gram cache and its hit/miss/evict counters."""
+
+import numpy as np
+
+from repro import telemetry
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_dataset
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.factorized.operator_plan import GramCache
+from repro.metadata.mappings import ScenarioType
+
+
+class TestGramCache:
+    def test_miss_then_hit(self):
+        cache = GramCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.eye(2)
+
+        first = cache.get_or_compute(compute)
+        second = cache.get_or_compute(compute)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.stats == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_invalidate_forces_recompute(self):
+        cache = GramCache()
+        values = iter([np.eye(2), np.ones((2, 2))])
+        cache.get_or_compute(lambda: next(values))
+        cache.invalidate()
+        assert cache.value is None
+        recomputed = cache.get_or_compute(lambda: next(values))
+        assert np.array_equal(recomputed, np.ones((2, 2)))
+        assert cache.stats == {"hits": 0, "misses": 2, "evictions": 1}
+
+    def test_telemetry_counters(self):
+        cache = GramCache()
+        telemetry.enable(sample_memory=False)
+        cache.get_or_compute(lambda: np.eye(2))
+        cache.get_or_compute(lambda: np.eye(2))
+        cache.invalidate()
+        report = telemetry.run_report()
+        telemetry.disable()
+        assert report.counters["gram_cache.miss"] == 1
+        assert report.counters["gram_cache.hit"] == 1
+        assert report.counters["gram_cache.evict"] == 1
+
+
+class TestAmalurMatrixGramCache:
+    def test_crossprod_is_cached_and_invalidatable(self):
+        dataset = generate_scenario_dataset(
+            ScenarioSpec(scenario=ScenarioType.INNER_JOIN, seed=3)
+        )
+        matrix = AmalurMatrix(dataset)
+        gram = matrix.crossprod()
+        assert matrix.crossprod() is gram
+        assert matrix.gram_cache.stats["hits"] == 1
+        matrix.invalidate_gram()
+        recomputed = matrix.crossprod()
+        assert recomputed is not gram
+        assert np.allclose(recomputed, gram)
+        assert matrix.gram_cache.stats["evictions"] == 1

@@ -1,0 +1,46 @@
+"""Tests for the memory probes (peak RSS, /proc sampler)."""
+
+import time
+
+from repro.telemetry.memory import RssSampler, current_rss_bytes, peak_rss_bytes
+
+
+class TestProbes:
+    def test_peak_rss_positive(self):
+        assert peak_rss_bytes() > 1024 * 1024  # any python process exceeds 1 MiB
+
+    def test_current_rss_positive_and_at_most_peak(self):
+        current = current_rss_bytes()
+        assert current > 0
+        # ru_maxrss is a high-water mark; current residency can't exceed it
+        # by more than one sampling jitter page.
+        assert current <= peak_rss_bytes() * 1.05
+
+    def test_peak_rss_is_monotonic(self):
+        before = peak_rss_bytes()
+        ballast = bytearray(8 * 1024 * 1024)
+        ballast[::4096] = b"x" * len(ballast[::4096])  # touch the pages
+        after = peak_rss_bytes()
+        assert after >= before
+        del ballast
+
+
+class TestRssSampler:
+    def test_sampler_collects_and_stops(self):
+        sampler = RssSampler(interval=0.005)
+        sampler.start()
+        time.sleep(0.05)
+        sampler.stop()
+        snapshot = sampler.snapshot()
+        assert snapshot["n_samples"] >= 2  # initial sample + at least one tick
+        assert snapshot["sampled_peak_rss_bytes"] > 0
+        assert snapshot["peak_rss_bytes"] >= snapshot["sampled_peak_rss_bytes"] * 0.5
+        n_after_stop = snapshot["n_samples"]
+        time.sleep(0.02)
+        assert sampler.snapshot()["n_samples"] == n_after_stop
+
+    def test_stop_is_idempotent(self):
+        sampler = RssSampler(interval=0.01)
+        sampler.start()
+        sampler.stop()
+        sampler.stop()

@@ -1,0 +1,70 @@
+"""Tests for repro.telemetry.metrics."""
+
+import threading
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add()
+        registry.counter("c").add(2.5)
+        assert registry.counter_values() == {"c": 3.5}
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        registry.gauge("g").set(7.0)
+        assert registry.gauge_values() == {"g": 7}
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (3.0, 1.0, 2.0):
+            registry.histogram("h").observe(value)
+        summary = registry.histogram_summaries()["h"]
+        assert summary["count"] == 3
+        assert summary["total"] == 6.0
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["last"] == 2.0
+        assert summary["values"] == [3.0, 1.0, 2.0]
+
+    def test_empty_histogram_summary(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        summary = registry.histogram_summaries()["h"]
+        assert summary["count"] == 0
+        assert summary["values"] == []
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("x") is registry.gauge("x")
+        assert registry.histogram("x") is registry.histogram("x")
+
+    def test_snapshots_are_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").add()
+        registry.counter("a").add()
+        assert list(registry.counter_values()) == ["a", "b"]
+
+
+class TestConcurrency:
+    def test_concurrent_instrument_creation(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(4)
+
+        def work():
+            barrier.wait()
+            for i in range(100):
+                registry.counter(f"shared.{i % 5}")
+                registry.histogram("h")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(registry.counter_values()) == 5

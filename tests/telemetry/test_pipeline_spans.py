@@ -1,0 +1,95 @@
+"""End-to-end: the instrumented layers emit the expected spans/counters."""
+
+import numpy as np
+
+from repro import telemetry
+from repro.datagen.scenarios import (
+    ScenarioSpec,
+    generate_scenario_tables,
+)
+from repro.learning.linear_regression import LinearRegression
+from repro.metadata.mappings import ScenarioType
+from repro.relational.joins import inner_join, union_all
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+from repro.relational.table import Table
+from repro.streaming.builder import integrate_streams
+from repro.streaming.spill import SpillStore
+
+
+def _key_tables():
+    schema_l = Schema([Column("id", DataType.INT, is_key=True), Column("x", DataType.FLOAT)])
+    schema_r = Schema([Column("id", DataType.INT, is_key=True), Column("y", DataType.FLOAT)])
+    left = Table.from_rows("L", schema_l, [[1, 1.0], [2, 2.0], [3, 3.0]])
+    right = Table.from_rows("R", schema_r, [[2, 20.0], [3, 30.0], [4, 40.0]])
+    return left, right
+
+
+class TestJoinSpans:
+    def test_inner_join_span_with_cardinalities(self):
+        left, right = _key_tables()
+        telemetry.enable(sample_memory=False)
+        result = inner_join(left, right, on=["id"])
+        session = telemetry.disable()
+        record = next(r for r in session.tracer.records if r.name == "join.inner")
+        assert record.attrs["left_rows"] == 3
+        assert record.attrs["right_rows"] == 3
+        assert record.attrs["out_rows"] == result.table.n_rows
+
+    def test_union_span(self):
+        schema = Schema([Column("id", DataType.INT, is_key=True), Column("x", DataType.FLOAT)])
+        a = Table.from_rows("A", schema, [[1, 1.0]])
+        b = Table.from_rows("B", schema, [[2, 2.0]])
+        telemetry.enable(sample_memory=False)
+        union_all(a, b)
+        session = telemetry.disable()
+        record = next(r for r in session.tracer.records if r.name == "join.union")
+        assert record.attrs["out_rows"] == 2
+
+    def test_no_spans_recorded_while_disabled(self):
+        left, right = _key_tables()
+        session = telemetry.enable(sample_memory=False)
+        telemetry.disable()
+        inner_join(left, right, on=["id"])
+        assert session.tracer.records == []
+
+
+class TestStreamingSpans:
+    def test_spilled_integration_emits_build_and_spill_telemetry(self):
+        spec = ScenarioSpec(
+            scenario=ScenarioType.FULL_OUTER_JOIN, base_rows=64, other_rows=48,
+            overlap_rows=16, overlap_columns=1, seed=11,
+        )
+        base, other, column_matches, row_matches, target_columns = (
+            generate_scenario_tables(spec)
+        )
+        telemetry.enable(sample_memory=False)
+        with SpillStore() as store:
+            integrate_streams(
+                base, other, column_matches, row_matches, target_columns,
+                spec.scenario, label_column="label", store=store, chunk_rows=16,
+            )
+            report = telemetry.run_report()
+        telemetry.disable()
+        assert report.spans["build.integrate_streams"]["count"] == 1
+        assert report.spans["build.ingest_stream"]["count"] == 2
+        assert report.counters["spill.matrices"] == 2
+        assert report.counters["spill.bytes_written"] > 0
+        assert report.counters["spill.bytes_allocated"] > 0
+        assert report.counters["spill.releases"] > 0
+
+
+class TestTrainingSpans:
+    def test_linear_gd_span_and_loss_histogram(self):
+        rng = np.random.default_rng(5)
+        features = rng.standard_normal((64, 3))
+        targets = features @ np.array([1.0, -2.0, 0.5]) + 0.1
+        telemetry.enable(sample_memory=False)
+        model = LinearRegression(solver="gd", n_iterations=25).fit(features, targets)
+        report = telemetry.run_report()
+        telemetry.disable()
+        assert report.spans["train.linear_gd"]["count"] == 1
+        losses = report.histograms["gd.linear.loss"]
+        assert losses["count"] == 25
+        assert losses["values"] == model.loss_history_
+        assert report.counters["gd.iterations"] == 25

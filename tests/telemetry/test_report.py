@@ -1,0 +1,84 @@
+"""Tests for run reports: serialization, rendering, diffing and the CLI."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry.report import RunReport, diff_reports, main
+
+
+def _sample_report() -> RunReport:
+    with telemetry.collect(sample_memory=False) as session:
+        with telemetry.span("amalur.train", task="regression"):
+            with telemetry.span("train.linear_gd"):
+                pass
+        telemetry.counter_add("flops.lmm.local", 1234.0)
+        telemetry.gauge_set("spill.bytes_on_disk", 4096.0)
+        telemetry.observe("gd.linear.loss", 0.5)
+        telemetry.observe("gd.linear.loss", 0.25)
+    return session.report()
+
+
+class TestSerialization:
+    def test_round_trip_via_dict(self):
+        report = _sample_report()
+        clone = RunReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_save_and_load(self, tmp_path):
+        report = _sample_report()
+        path = tmp_path / "nested" / "report.json"
+        report.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        loaded = RunReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_json_is_fully_serializable(self):
+        json.loads(_sample_report().to_json())
+
+
+class TestRendering:
+    def test_render_text_sections(self):
+        text = _sample_report().render_text()
+        assert "== run report ==" in text
+        assert "amalur.train" in text
+        assert "flops.lmm.local" in text
+        assert "spill.bytes_on_disk" in text
+        assert "gd.linear.loss" in text
+
+    def test_diff_reports(self):
+        a = _sample_report()
+        b = RunReport.from_dict(a.to_dict())
+        b.counters["flops.lmm.local"] = 5678.0
+        text = diff_reports(a, b)
+        assert "counters (changed):" in text
+        assert "flops.lmm.local" in text
+        identical = diff_reports(a, RunReport.from_dict(a.to_dict()))
+        assert "counters: identical" in identical
+
+
+class TestCli:
+    def test_show(self, tmp_path, capsys):
+        path = tmp_path / "r.json"
+        _sample_report().save(path)
+        assert main(["show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== run report ==" in out
+
+    def test_show_json(self, tmp_path, capsys):
+        path = tmp_path / "r.json"
+        _sample_report().save(path)
+        assert main(["show", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+
+    def test_diff(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        report = _sample_report()
+        report.save(a)
+        report.counters["extra"] = 1.0
+        report.save(b)
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "== report diff" in out
+        assert "extra" in out

@@ -1,0 +1,149 @@
+"""Tests for repro.telemetry.tracer: span nesting, threads, Chrome export."""
+
+import json
+import threading
+
+from repro.telemetry.tracer import NOOP_SPAN, Tracer
+
+
+class TestSpanNesting:
+    def test_single_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            pass
+        records = tracer.records
+        assert len(records) == 1
+        record = records[0]
+        assert record.name == "outer"
+        assert record.duration_ns >= 0
+        assert record.depth == 0
+        assert record.parent is None
+
+    def test_nested_spans_track_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["outer"].depth == 0
+        assert by_name["middle"].depth == 1
+        assert by_name["middle"].parent == "outer"
+        assert by_name["inner"].depth == 2
+        assert by_name["inner"].parent == "middle"
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["a"].parent == "parent"
+        assert by_name["b"].parent == "parent"
+        assert by_name["a"].depth == by_name["b"].depth == 1
+
+    def test_span_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("op", {"rows": 10}) as span:
+            span.set(out_rows=7)
+        record = tracer.records[0]
+        assert record.attrs == {"rows": 10, "out_rows": 7}
+
+    def test_nesting_restored_after_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with tracer.span("after"):
+            pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["after"].depth == 0
+        assert by_name["after"].parent is None
+
+    def test_aggregate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("op"):
+                pass
+        stats = tracer.aggregate()["op"]
+        assert stats["count"] == 3
+        assert stats["total_s"] >= 0.0
+        assert stats["min_s"] <= stats["max_s"]
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_from_many_threads(self):
+        tracer = Tracer()
+        n_threads, n_spans = 4, 50
+        barrier = threading.Barrier(n_threads)
+
+        def work(thread_index):
+            barrier.wait()
+            for i in range(n_spans):
+                with tracer.span(f"t{thread_index}"):
+                    with tracer.span(f"t{thread_index}.inner"):
+                        pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = tracer.records
+        assert len(records) == n_threads * n_spans * 2
+        # Per-thread nesting is independent: every inner span has depth 1
+        # and its own thread's outer span as parent.
+        for record in records:
+            if record.name.endswith(".inner"):
+                assert record.depth == 1
+                assert record.parent == record.name[: -len(".inner")]
+            else:
+                assert record.depth == 0
+        tids = {r.tid for r in records}
+        assert len(tids) == n_threads
+
+
+class TestChromeTrace:
+    def test_schema_is_valid_trace_event_json(self):
+        tracer = Tracer()
+        with tracer.span("outer", {"rows": 5}):
+            with tracer.span("inner"):
+                pass
+        trace = tracer.to_chrome_trace()
+        # Must be JSON-serializable as-is (what Perfetto loads).
+        payload = json.loads(json.dumps(trace))
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["name"], str)
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        outer = next(e for e in events if e["name"] == "outer")
+        assert outer["args"]["rows"] == 5
+
+    def test_numpy_attrs_are_json_safe(self):
+        import numpy as np
+
+        tracer = Tracer()
+        with tracer.span("op", {"n": np.int64(3), "x": np.float64(1.5)}):
+            pass
+        json.dumps(tracer.to_chrome_trace())
+
+
+class TestNoopSpan:
+    def test_noop_span_is_reusable_and_inert(self):
+        with NOOP_SPAN as span:
+            assert span.set(anything=1) is span
+        with NOOP_SPAN:
+            pass
