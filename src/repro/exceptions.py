@@ -57,3 +57,21 @@ class PlanError(AmalurError):
 
 class CatalogError(AmalurError):
     """Raised for metadata-catalog lookup/registration failures."""
+
+
+class ServiceError(AmalurError):
+    """Base class for online-serving failures (:mod:`repro.serving`)."""
+
+
+class RequestTimeout(ServiceError):
+    """Raised when a serving request misses its per-request deadline."""
+
+
+class CapacityExceeded(ServiceError):
+    """Raised when the service rejects a request: full queue or row cap."""
+
+
+class StaleDatasetError(ServiceError):
+    """Raised when a resident dataset is too stale to serve the request
+    (accumulated deltas passed the staleness threshold and automatic
+    rebuild is disabled, or the request pinned an outdated version)."""

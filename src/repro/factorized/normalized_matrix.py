@@ -249,6 +249,15 @@ class AmalurMatrix:
         """Drop the cached Gram matrix; the next ``crossprod`` recomputes."""
         self.gram_cache.invalidate()
 
+    def invalidate(self) -> None:
+        """Drop every lazily cached structure: the Gram *and* each plan's
+        correction/effective-contribution caches. Call after mutating a
+        factor's data in place (the serving layer's delta updates); plans'
+        index arrays stay valid while shapes and row/column maps do."""
+        self.gram_cache.invalidate()
+        for plan in self._plans:
+            plan.invalidate()
+
     def _compute_gram(self) -> np.ndarray:
         gram = np.zeros((self.n_columns, self.n_columns))
         effective = [plan.effective_contribution() for plan in self._plans]

@@ -92,6 +92,17 @@ class GramCache:
                 _telemetry.counter_add("gram_cache.evict")
         self.value = None
 
+    def seed(self, value: np.ndarray) -> None:
+        """Install an externally maintained Gram (read-only) without
+        counting a miss — the serving layer's incrementally updated
+        ``TᵀT`` lands here so the first ``crossprod`` after a delta batch
+        is a hit instead of a full recompute."""
+        value = np.array(value, dtype=np.float64)  # own copy: caller keeps mutating theirs
+        value.setflags(write=False)
+        self.value = value
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("gram_cache.seed")
+
     @property
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
@@ -198,6 +209,16 @@ class OperatorPlan:
             out[self.source_rows] = x[self.target_rows]
             return out
         return self.projector @ x
+
+    def invalidate(self) -> None:
+        """Drop the lazily cached correction/effective-contribution
+        structure after the underlying factor's data changed in place
+        (serving-layer delta updates); the index arrays themselves are
+        still valid as long as the factor's shape and maps are unchanged."""
+        self._correction = None
+        self._effective = None
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("plan_cache.invalidate")
 
     # -- cached heavy structure ------------------------------------------------------------
     def correction(self) -> sparse.csr_matrix:

@@ -33,6 +33,7 @@ class LinearRegression:
     l2_penalty: float = 0.0
     fit_intercept: bool = True
     tolerance: float = 0.0
+    warm_start: bool = False
     coef_: Optional[np.ndarray] = field(default=None, init=False)
     intercept_: float = field(default=0.0, init=False)
     loss_history_: List[float] = field(default_factory=list, init=False)
@@ -74,7 +75,10 @@ class LinearRegression:
         # Column-vector operands allocated once: every iteration then hands
         # the factorized operand a float64 2-D array, which its compiled
         # plans accept without re-validation copies or reshapes.
-        weights = np.zeros((n_columns, 1))
+        if self.warm_start and self.coef_ is not None and self.coef_.size == n_columns:
+            weights = np.asarray(self.coef_, dtype=np.float64).reshape(n_columns, 1).copy()
+        else:
+            weights = np.zeros((n_columns, 1))
         targets_column = np.asarray(targets, dtype=np.float64)[:, None]
         n_rows = operand.shape[0]
         self.loss_history_ = []

@@ -36,6 +36,7 @@ class LogisticRegression:
     l2_penalty: float = 0.0
     fit_intercept: bool = True
     tolerance: float = 0.0
+    warm_start: bool = False
     coef_: Optional[np.ndarray] = field(default=None, init=False)
     intercept_: float = field(default=0.0, init=False)
     loss_history_: List[float] = field(default_factory=list, init=False)
@@ -50,8 +51,12 @@ class LogisticRegression:
         if invalid:
             raise ValueError(f"labels must be binary 0/1, found {sorted(invalid)}")
 
-        weights = np.zeros(n_columns)
-        intercept = 0.0
+        if self.warm_start and self.coef_ is not None and self.coef_.size == n_columns:
+            weights = np.asarray(self.coef_, dtype=np.float64).ravel().copy()
+            intercept = float(self.intercept_)
+        else:
+            weights = np.zeros(n_columns)
+            intercept = 0.0
         self.loss_history_ = []
         with _telemetry.span(
             "train.logistic_gd", rows=n_rows, columns=n_columns,

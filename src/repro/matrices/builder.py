@@ -588,6 +588,75 @@ def integrate_tables(
     )
 
 
+# ---------------------------------------------------------------------------------
+# Delta-aware entry points (online serving)
+# ---------------------------------------------------------------------------------
+
+
+def replace_factor_arrays(
+    factor: SourceFactor,
+    data: np.ndarray,
+    compressed: np.ndarray,
+    n_target_rows: int,
+    redundancy: RedundancyMatrix,
+) -> SourceFactor:
+    """A new :class:`SourceFactor` sharing ``factor``'s identity and column
+    maps but carrying delta-extended arrays.
+
+    This is the serving layer's incremental-maintenance entry point: after
+    a delta batch extended ``D_k`` (new source rows), ``CI_k`` (new/filled
+    target rows) and the redundancy complement, only these arrays change —
+    the mapping matrix, source columns and backend are structural and are
+    reused as-is, skipping the schema-side work of a full
+    :func:`integrate_tables` rebuild. ``data`` may be (and typically is) a
+    zero-copy view of a growable buffer.
+    """
+    indicator = IndicatorMatrix(
+        factor.name, int(n_target_rows), int(data.shape[0]),
+        np.asarray(compressed, dtype=np.int64),
+    )
+    return SourceFactor(
+        factor.name,
+        data,
+        list(factor.source_columns),
+        factor.mapping,
+        indicator,
+        redundancy,
+        backend=factor.backend,
+    )
+
+
+def target_row_values(dataset: IntegratedDataset, rows: np.ndarray) -> np.ndarray:
+    """The materialized target values of a subset of target rows.
+
+    Computes ``T[rows, :] = Σ_k ((I_k D_k M_kᵀ) ∘ R_k)[rows, :]`` touching
+    only the selected rows — the building block of the serving layer's
+    rank-k Gram updates (``Gram += VᵀV`` for appended rows,
+    ``Gram += V_newᵀV_new − V_oldᵀV_old`` for updated ones), where a full
+    :meth:`IntegratedDataset.materialize` would be O(r_T · c_T).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    n_cols = len(dataset.target_columns)
+    out = np.zeros((rows.size, n_cols))
+    if rows.size == 0:
+        return out
+    col_range = np.arange(n_cols, dtype=np.int64)
+    for factor in dataset.factors:
+        source_rows = np.asarray(factor.indicator._compressed)[rows]
+        mapped = source_rows >= 0
+        if not mapped.any():
+            continue
+        lifted = np.zeros((rows.size, n_cols))
+        block = factor.data[source_rows[mapped]]
+        lifted[np.ix_(mapped, factor.mapping.mapped_target_indices())] = block[
+            :, factor.mapping.mapped_source_indices()
+        ]
+        if not factor.redundancy.is_trivial:
+            lifted = factor.redundancy.submatrix(rows, col_range).apply(lifted)
+        out += lifted
+    return out
+
+
 def build_integrated_dataset(
     sources: Sequence[Table],
     correspondences: Dict[str, Dict[str, str]],

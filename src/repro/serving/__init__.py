@@ -1,0 +1,21 @@
+"""Online serving: resident sessions, incremental maintenance, worker pool.
+
+The serving layer keeps integrated datasets resident across requests
+(:class:`DatasetSession`), folds source-table deltas into the factorized
+representation incrementally instead of re-integrating from scratch, and
+fronts everything with a bounded worker pool (:class:`AmalurService`)
+speaking the typed request objects from :mod:`repro.system.requests`.
+"""
+
+from repro.serving.deltas import append_rows, delete_rows, update_rows
+from repro.serving.service import AmalurService
+from repro.serving.session import DatasetSession, SessionModel
+
+__all__ = [
+    "AmalurService",
+    "DatasetSession",
+    "SessionModel",
+    "append_rows",
+    "delete_rows",
+    "update_rows",
+]

@@ -1,0 +1,116 @@
+"""Columnar delta application against immutable source tables.
+
+:class:`~repro.relational.Table` storage is immutable; a delta batch
+therefore never mutates a table but derives a new one sharing every
+untouched column array. Values arrive untyped (Python lists, numpy
+arrays) and are coerced through the same
+:func:`repro.relational.types.coerce_column` path the table constructor
+uses, so a delta-extended table is indistinguishable from one built from
+scratch — the property the serving session's rebuild-parity guarantees
+rest on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+from repro.relational.table import Table
+from repro.relational.types import NULL, coerce_column
+from repro.system.requests import DeltaBatch
+
+
+def coerce_delta_columns(
+    table: Table, rows: Dict[str, Sequence], n_rows: int
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Coerce a delta payload to typed storage arrays for the named columns.
+
+    Returns ``(values, valid)`` keyed by column name. Unknown columns are
+    rejected; columns absent from ``rows`` are *not* filled here (appends
+    fill them with NULL, updates leave them untouched).
+    """
+    values: Dict[str, np.ndarray] = {}
+    valid: Dict[str, np.ndarray] = {}
+    for name, payload in rows.items():
+        if name not in table.schema:
+            raise ServiceError(
+                f"delta names column {name!r} not in table {table.name!r}"
+            )
+        if len(payload) != n_rows:
+            raise ServiceError(
+                f"delta column {name!r} has {len(payload)} values, batch has {n_rows} rows"
+            )
+        col_values, col_valid = coerce_column(payload, table.schema[name].dtype)
+        values[name] = col_values
+        valid[name] = col_valid
+    return values, valid
+
+
+def append_rows(table: Table, batch: DeltaBatch) -> Table:
+    """A new table with the batch's rows appended (missing columns NULL)."""
+    n_new = batch.n_rows
+    values, valid = coerce_delta_columns(table, batch.rows, n_new)
+    data: Dict[str, np.ndarray] = {}
+    mask: Dict[str, np.ndarray] = {}
+    for column in table.schema:
+        name = column.name
+        if name in values:
+            new_values, new_valid = values[name], valid[name]
+        else:
+            new_values, new_valid = coerce_column([NULL] * n_new, column.dtype)
+        data[name] = np.concatenate([table.column_values(name), new_values])
+        mask[name] = np.concatenate([table.column_valid(name), new_valid])
+    return Table._from_storage(table.name, table.schema, data, mask)
+
+
+def update_rows(
+    table: Table, batch: DeltaBatch
+) -> Tuple[Table, Dict[str, np.ndarray], Dict[str, np.ndarray], bool]:
+    """Apply an update batch; returns the new table plus change evidence.
+
+    Returns ``(new_table, new_values, new_valid, validity_changed)`` where
+    ``new_values``/``new_valid`` hold the coerced replacement arrays per
+    updated column and ``validity_changed`` reports whether any updated
+    cell flipped between NULL and non-NULL (the serving session falls back
+    to a rebuild in that case — validity drives the redundancy masks).
+    """
+    indices = np.asarray(batch.row_indices, dtype=np.int64)
+    if indices.size and (indices.min() < 0 or indices.max() >= table.n_rows):
+        raise ServiceError(
+            f"update indices out of range for table {table.name!r} "
+            f"({table.n_rows} rows)"
+        )
+    values, valid = coerce_delta_columns(table, batch.rows, int(indices.size))
+    validity_changed = False
+    data: Dict[str, np.ndarray] = {}
+    mask: Dict[str, np.ndarray] = {}
+    for column in table.schema:
+        name = column.name
+        if name in values:
+            col_values = table.column_values(name).copy()
+            col_valid = table.column_valid(name).copy()
+            if not np.array_equal(col_valid[indices], valid[name]):
+                validity_changed = True
+            col_values[indices] = values[name]
+            col_valid[indices] = valid[name]
+            data[name] = col_values
+            mask[name] = col_valid
+        else:
+            data[name] = table.column_values(name)
+            mask[name] = table.column_valid(name)
+    swapped = Table._from_storage(table.name, table.schema, data, mask)
+    return swapped, values, valid, validity_changed
+
+
+def delete_rows(table: Table, row_indices: Optional[Sequence[int]]) -> Table:
+    """A new table without the named rows (order of survivors preserved)."""
+    indices = np.asarray(row_indices, dtype=np.int64)
+    if indices.size and (indices.min() < 0 or indices.max() >= table.n_rows):
+        raise ServiceError(
+            f"delete indices out of range for table {table.name!r} "
+            f"({table.n_rows} rows)"
+        )
+    keep = np.setdiff1d(np.arange(table.n_rows, dtype=np.int64), indices)
+    return table.take(keep)

@@ -1,0 +1,257 @@
+"""The request-serving front end: worker pool over resident sessions.
+
+:class:`AmalurService` owns a set of named :class:`DatasetSession`\\ s and
+executes predict / train / delta requests on a fixed pool of worker
+threads behind a bounded queue:
+
+* a full queue rejects immediately with
+  :class:`~repro.exceptions.CapacityExceeded` (graceful back-pressure, no
+  unbounded buffering);
+* each request carries an optional deadline — the *caller* stops waiting
+  with :class:`~repro.exceptions.RequestTimeout`; the worker still
+  finishes the (non-cancellable) computation, keeping session state
+  consistent;
+* a per-request row cap bounds the target rows a single predict may
+  touch, rejecting oversized requests at submit time;
+* every request runs inside a ``serving.request`` telemetry span with
+  queue-depth gauges and latency histograms, so one
+  :func:`repro.telemetry.run_report` covers the whole mixed workload.
+
+Sessions serialize mutations internally and publish immutable snapshots,
+so any number of predict requests run concurrently with at most one
+in-flight mutation per session.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry as _telemetry
+from repro.exceptions import CapacityExceeded, RequestTimeout, ServiceError
+from repro.serving.session import DatasetSession, SessionModel
+from repro.system.requests import (
+    DeltaBatch,
+    PredictRequest,
+    ServiceResult,
+    TrainRequest,
+)
+
+_SENTINEL = object()
+
+
+class AmalurService:
+    """A long-lived serving endpoint over resident integrated datasets.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker threads draining the request queue.
+    max_queue:
+        Bound on queued (not yet running) requests; a full queue raises
+        :class:`CapacityExceeded` instead of buffering without limit.
+    default_timeout:
+        Seconds a caller waits for a result when the request carries no
+        timeout of its own (``None`` waits forever).
+    max_rows_per_request:
+        Upper bound on target rows one predict may span; larger requests
+        are rejected at submit time with :class:`CapacityExceeded`.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        max_queue: int = 64,
+        default_timeout: Optional[float] = None,
+        max_rows_per_request: Optional[int] = None,
+    ):
+        if n_workers < 1:
+            raise ServiceError("a service needs at least one worker")
+        self.default_timeout = default_timeout
+        self.max_rows_per_request = max_rows_per_request
+        self._sessions: Dict[str, DatasetSession] = {}
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self._request_ids = itertools.count(1)
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"amalur-serve-{i}", daemon=True
+            )
+            for i in range(n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- session registry -----------------------------------------------------------------
+    def register_session(self, name: str, session: DatasetSession) -> DatasetSession:
+        self._sessions[name] = session
+        return session
+
+    def session(self, name: str) -> DatasetSession:
+        session = self._sessions.get(name)
+        if session is None:
+            raise ServiceError(
+                f"no session named {name!r}; registered: {sorted(self._sessions)}"
+            )
+        return session
+
+    @property
+    def sessions(self) -> Dict[str, DatasetSession]:
+        return dict(self._sessions)
+
+    # -- public request API ----------------------------------------------------------------
+    def predict(
+        self, session_name: str, request: Optional[PredictRequest] = None
+    ) -> ServiceResult:
+        """Run a predict request on the pool; blocks for the result."""
+        request = request or PredictRequest()
+        session = self.session(session_name)
+        self._check_row_cap(session, request)
+        request_id, future = self._submit(
+            "predict", session_name, lambda: session.predict(request)
+        )
+        return self._await(request_id, future, request.timeout)
+
+    def train(
+        self, session_name: str, request: Optional[TrainRequest] = None
+    ) -> ServiceResult:
+        """Run a train request on the pool; blocks for the result."""
+        request = request or TrainRequest()
+        session = self.session(session_name)
+        request_id, future = self._submit(
+            "train", session_name, lambda: session.train(request)
+        )
+        return self._await(request_id, future, request.timeout)
+
+    def apply_delta(
+        self, session_name: str, batch: DeltaBatch, timeout: Optional[float] = None
+    ) -> ServiceResult:
+        """Apply a delta batch through the pool; blocks for the result."""
+        session = self.session(session_name)
+        request_id, future = self._submit(
+            "delta", session_name, lambda: session.apply_delta(batch)
+        )
+        return self._await(request_id, future, timeout)
+
+    def close(self) -> None:
+        """Drain the queue and stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "AmalurService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------------------
+    def _check_row_cap(self, session: DatasetSession, request: PredictRequest) -> None:
+        if self.max_rows_per_request is None:
+            return
+        if request.row_range is not None:
+            span = int(request.row_range[1]) - int(request.row_range[0])
+        else:
+            span = session.n_target_rows
+        if span > self.max_rows_per_request:
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("serving.rejected")
+            raise CapacityExceeded(
+                f"request spans {span} rows, cap is {self.max_rows_per_request}"
+            )
+
+    def _submit(
+        self, kind: str, session_name: str, fn: Callable[[], object]
+    ) -> Tuple[int, Future]:
+        """Enqueue a request; never blocks — a full queue rejects."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        request_id = next(self._request_ids)
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((request_id, kind, session_name, fn, future))
+        except queue.Full:
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("serving.rejected")
+            raise CapacityExceeded(
+                f"request queue is full ({self._queue.maxsize} pending)"
+            ) from None
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("serving.requests")
+            _telemetry.gauge_set("serving.queue_depth", float(self._queue.qsize()))
+        return request_id, future
+
+    def _await(
+        self, request_id: int, future: Future, timeout: Optional[float]
+    ) -> ServiceResult:
+        effective = timeout if timeout is not None else self.default_timeout
+        try:
+            return future.result(timeout=effective)
+        except _FutureTimeout:
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("serving.timeouts")
+            raise RequestTimeout(
+                f"request {request_id} missed its {effective}s deadline"
+            ) from None
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._queue.task_done()
+                return
+            request_id, kind, session_name, fn, future = item
+            if _telemetry.ENABLED:
+                _telemetry.gauge_set("serving.queue_depth", float(self._queue.qsize()))
+            if not future.set_running_or_notify_cancel():
+                self._queue.task_done()
+                continue
+            started = time.perf_counter()
+            try:
+                with _telemetry.span(
+                    "serving.request", request_id=request_id, kind=kind,
+                    session=session_name,
+                ):
+                    value = fn()
+                latency = time.perf_counter() - started
+                if _telemetry.ENABLED:
+                    _telemetry.observe("serving.latency_ms", latency * 1e3)
+                future.set_result(self._wrap(request_id, kind, session_name, value, latency))
+            except BaseException as error:  # noqa: BLE001 - delivered to the caller
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("serving.errors")
+                future.set_exception(error)
+            finally:
+                self._queue.task_done()
+
+    def _wrap(
+        self, request_id: int, kind: str, session_name: str, value, latency: float
+    ) -> ServiceResult:
+        session = self._sessions.get(session_name)
+        version = session.version if session is not None else 0
+        handle = None
+        if isinstance(value, SessionModel):
+            handle = value.handle
+        elif isinstance(value, dict) and "version" in value:
+            version = int(value["version"])
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)  # results may fan out to many readers
+        return ServiceResult(
+            request_id=request_id,
+            kind=kind,
+            value=value,
+            latency_s=latency,
+            version=version,
+            handle=handle,
+        )

@@ -1,0 +1,914 @@
+"""Long-lived dataset sessions: resident factors, incremental maintenance.
+
+A :class:`DatasetSession` keeps one :class:`IntegratedDataset` resident
+together with its compiled :class:`~repro.factorized.AmalurMatrix` (operator
+plans, Gram cache) and serves predict/train requests against it while the
+underlying source tables receive :class:`~repro.system.requests.DeltaBatch`
+mutations.
+
+Incremental maintenance
+-----------------------
+Deltas are folded into the factorized representation without re-running
+schema matching / entity resolution / ``integrate_tables`` whenever the
+scenario's target-row ordering allows it:
+
+* appended source rows extend ``D_k`` and ``CI_k`` through growable
+  buffers, with new target rows appended at the end of the target order
+  and join fill-ins flipping ``CI_k`` entries from ``-1`` to the matched
+  source row;
+* the redundancy complement grows by exactly the overlap cells the new
+  rows introduce;
+* the Gram matrix ``TᵀT`` and the column sums are maintained by rank-k
+  updates (``Gram += VᵀV`` for appended target rows, ``Gram += V_newᵀV_new
+  − V_oldᵀV_old`` for filled/updated ones) and seeded into the published
+  matrix's :class:`~repro.factorized.operator_plan.GramCache`, so the next
+  normal-equation solve is a cache hit.
+
+Join matching mirrors ``KeyBasedResolver.resolve_index`` exactly (the
+greedy 1:1 hash join: the k-th left occurrence of a key pairs with the
+k-th right occurrence; NULL keys never match) via per-key occurrence
+lists, so an incrementally maintained session is bit-compatible with a
+from-scratch rebuild — the parity tests assert ≤1e-8 agreement.
+
+Deltas the incremental rules cannot express (deletes, key/validity
+changes, target-order-breaking appends) and sessions past their staleness
+threshold fall back to a full rebuild (or raise
+:class:`~repro.exceptions.StaleDatasetError` when ``auto_rebuild`` is
+off).
+
+Concurrency
+-----------
+Mutations serialize on one lock and publish a fresh immutable
+``_SessionState`` (dataset, matrix, blocked feature view, version) with a
+single attribute store; readers (``predict``) grab the current state once
+and never lock. Published states stay internally consistent because the
+growable buffers never mutate cells a published view can see: appends
+write beyond every published length and in-place updates copy-on-write
+the whole buffer first.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro import telemetry as _telemetry
+from repro.exceptions import ServiceError, StaleDatasetError
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.learning.linear_regression import LinearRegression
+from repro.learning.logistic_regression import LogisticRegression
+from repro.matrices.builder import (
+    IntegratedDataset,
+    integrate_tables,
+    replace_factor_arrays,
+    target_row_values,
+)
+from repro.matrices.redundancy_matrix import RedundancyMatrix
+from repro.metadata.entity_resolution import KeyBasedResolver, resolve_entities
+from repro.metadata.mappings import ScenarioType
+from repro.metadata.schema_matching import match_schemas
+from repro.relational.table import Table
+from repro.serving.deltas import append_rows, delete_rows, update_rows
+from repro.system.plan import ModelHandle, ModelSpec
+from repro.system.requests import (
+    DeltaBatch,
+    IntegrationConfig,
+    PredictRequest,
+    TrainRequest,
+)
+
+
+class _GrowBuffer:
+    """A growable array whose published views never observe later writes.
+
+    ``view()`` returns the live prefix; consumers (published factors)
+    keep such views across delta batches. Safety invariants:
+
+    * ``append`` writes past every published length (and reallocates when
+      capacity runs out, leaving old allocations to the old views);
+    * ``set_rows`` copy-on-writes the backing allocation before touching
+      rows a published view can see.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self, initial: np.ndarray):
+        self._buf = np.array(initial)  # own writable copy
+        self._n = int(initial.shape[0])
+
+    def __len__(self) -> int:
+        return self._n
+
+    def view(self) -> np.ndarray:
+        return self._buf[: self._n]
+
+    def append(self, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=self._buf.dtype)
+        need = self._n + rows.shape[0]
+        if need > self._buf.shape[0]:
+            capacity = max(need, 2 * self._buf.shape[0], 8)
+            grown = np.empty((capacity,) + self._buf.shape[1:], dtype=self._buf.dtype)
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        self._buf[self._n : need] = rows
+        self._n = need
+
+    def set_rows(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        fresh = self._buf.copy()
+        fresh[np.asarray(indices, dtype=np.int64)] = rows
+        self._buf = fresh
+
+
+@dataclass
+class SessionModel:
+    """A model trained inside a session: weights plus provenance."""
+
+    handle: ModelHandle
+    task: str
+    coef_: np.ndarray
+    intercept_: float
+    version: int
+    solver: str = "normal"
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+
+class _SessionState:
+    """One immutable published snapshot of the session's dataset."""
+
+    __slots__ = ("dataset", "matrix", "features", "colsums", "version")
+
+    def __init__(self, dataset, matrix, features, colsums, version):
+        self.dataset = dataset
+        self.matrix = matrix
+        self.features = features  # BlockedMatrixView over the feature columns
+        self.colsums = colsums  # per-target-column sums, label included
+        self.version = version
+
+
+class DatasetSession:
+    """A resident integrated dataset served under delta maintenance.
+
+    Parameters
+    ----------
+    base, other:
+        The two source tables (``config.base`` / ``config.other`` must name
+        them).
+    config:
+        The :class:`~repro.system.requests.IntegrationConfig` describing
+        the mediated schema and scenario.
+    column_matches:
+        Column correspondences between the sources; matched automatically
+        when omitted.
+    staleness_threshold:
+        Fraction of target rows that may be touched by incremental deltas
+        before the session forces a rebuild (factor buffers and complement
+        coordinates accrete; a rebuild re-compacts them).
+    auto_rebuild:
+        When ``False``, deltas that need a rebuild (unsupported forms or
+        staleness overflow) raise :class:`StaleDatasetError` instead.
+    """
+
+    def __init__(
+        self,
+        base: Table,
+        other: Table,
+        config: IntegrationConfig,
+        column_matches=None,
+        matcher=None,
+        staleness_threshold: float = 0.25,
+        auto_rebuild: bool = True,
+    ):
+        if base.name != config.base or other.name != config.other:
+            raise ServiceError(
+                f"config names sources {config.base!r}/{config.other!r}, "
+                f"got tables {base.name!r}/{other.name!r}"
+            )
+        self.config = config
+        self.column_matches = (
+            list(column_matches)
+            if column_matches is not None
+            else match_schemas(base, other, matcher=matcher)
+        )
+        self.staleness_threshold = float(staleness_threshold)
+        self.auto_rebuild = bool(auto_rebuild)
+        self._base_name = base.name
+        self._other_name = other.name
+        self._tables: Dict[str, Table] = {base.name: base, other.name: other}
+        shared_keys = [
+            column.name for column in base.schema.key_columns if column.name in other.schema
+        ]
+        self._key_pairs: Optional[List[Tuple[str, str]]] = (
+            [(k, k) for k in shared_keys] if shared_keys else None
+        )
+        self._lock = threading.RLock()
+        self._models: Dict[str, SessionModel] = {}
+        self._version = 0
+        self._changed_rows = 0
+        self.deltas_applied = 0
+        self.incremental_applied = 0
+        self.rebuilds = 0
+        self._rebuild()
+        self.rebuilds = 0  # the initial build is not a delta-driven rebuild
+
+    # -- public surface -----------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._state.version
+
+    @property
+    def n_target_rows(self) -> int:
+        return self._state.dataset.n_target_rows
+
+    @property
+    def dataset(self) -> IntegratedDataset:
+        return self._state.dataset
+
+    @property
+    def matrix(self) -> AmalurMatrix:
+        return self._state.matrix
+
+    @property
+    def staleness(self) -> float:
+        """Fraction of target rows touched since the last (re)build."""
+        n = self._state.dataset.n_target_rows
+        return self._changed_rows / n if n else 0.0
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise ServiceError(f"session holds no table named {name!r}")
+        return self._tables[name]
+
+    def model(self, name: str = "default") -> SessionModel:
+        model = self._models.get(name)
+        if model is None:
+            raise ServiceError(f"session has no model named {name!r}")
+        return model
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "version": self._state.version,
+            "n_target_rows": self._state.dataset.n_target_rows,
+            "deltas_applied": self.deltas_applied,
+            "incremental_applied": self.incremental_applied,
+            "rebuilds": self.rebuilds,
+            "staleness": self.staleness,
+        }
+
+    def rebuild(self) -> None:
+        """Force a full from-scratch rebuild of the resident dataset."""
+        with self._lock:
+            self._rebuild()
+
+    # -- delta application -----------------------------------------------------------------
+    def apply_delta(self, batch: DeltaBatch) -> Dict[str, object]:
+        """Fold one delta batch into the resident dataset.
+
+        Returns a summary dict with ``mode`` (``"incremental"`` /
+        ``"rebuild"``), the new ``version`` and the row counts involved.
+        """
+        if batch.table not in self._tables:
+            raise ServiceError(
+                f"delta targets table {batch.table!r}; session holds "
+                f"{sorted(self._tables)}"
+            )
+        with self._lock:
+            with _telemetry.span(
+                "serving.delta", table=batch.table, kind=batch.kind, rows=batch.n_rows
+            ):
+                self.deltas_applied += 1
+                if batch.kind == "append":
+                    return self._apply_append(batch)
+                if batch.kind == "update":
+                    return self._apply_update(batch)
+                return self._apply_delete(batch)
+
+    # -- training -------------------------------------------------------------------------
+    def train(self, request: Optional[TrainRequest] = None) -> SessionModel:
+        """Train a model on the resident dataset; weights cached per name."""
+        request = request or TrainRequest()
+        with self._lock:
+            state = self._state
+            spec = request.model
+            name = request.model_name or "default"
+            with _telemetry.span(
+                "serving.train", task=spec.task, model=name, version=state.version
+            ):
+                model = self._fit(state, spec, request, name)
+            self._models[name] = model
+            return model
+
+    # -- prediction (lock-free readers) ----------------------------------------------------
+    def predict(self, request: Optional[PredictRequest] = None) -> np.ndarray:
+        """Predict over target rows of the current (or pinned) snapshot."""
+        request = request or PredictRequest()
+        state = self._state  # one atomic read; the snapshot stays consistent
+        if request.version is not None and request.version != state.version:
+            raise StaleDatasetError(
+                f"request pinned dataset version {request.version}, "
+                f"session is at {state.version}"
+            )
+        model = self.model(request.model_name or "default")
+        n_rows = state.dataset.n_target_rows
+        start, stop = request.row_range if request.row_range is not None else (0, n_rows)
+        if not (0 <= start <= stop <= n_rows):
+            raise ServiceError(
+                f"row range [{start}, {stop}) outside target rows [0, {n_rows})"
+            )
+        scores = (
+            state.features.lmm_block(model.coef_[:, None], int(start), int(stop))[:, 0]
+            + model.intercept_
+        )
+        if model.task == "classification":
+            return 1.0 / (1.0 + np.exp(-scores))
+        return scores
+
+    # =====================================================================================
+    # internals
+    # =====================================================================================
+
+    # -- build / publish -------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        base = self._tables[self._base_name]
+        other = self._tables[self._other_name]
+        config = self.config
+        with _telemetry.span(
+            "serving.rebuild", dataset=config.name, base_rows=base.n_rows,
+            other_rows=other.n_rows,
+        ):
+            if self._key_pairs:
+                row_matches = KeyBasedResolver(self._key_pairs).resolve_index(base, other)
+            else:
+                row_matches = resolve_entities(
+                    base, other, column_matches=self.column_matches
+                )
+            dataset = integrate_tables(
+                base=base,
+                other=other,
+                column_matches=self.column_matches,
+                row_matches=row_matches,
+                target_columns=config.target_columns,
+                scenario=config.scenario,
+                label_column=config.label_column,
+                name=config.name,
+                backend=config.backend,
+            )
+            self._adopt(dataset)
+        self.rebuilds += 1
+        self._changed_rows = 0
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("serving.rebuilds")
+
+    def _adopt(self, dataset: IntegratedDataset) -> None:
+        """Reset every maintenance structure from a freshly built dataset."""
+        base_factor, other_factor = dataset.factors
+        self._base_template = base_factor
+        self._other_template = other_factor
+        self._base_data = _GrowBuffer(np.array(base_factor.data))
+        self._other_data = _GrowBuffer(np.array(other_factor.data))
+        self._base_ci = _GrowBuffer(np.asarray(base_factor.indicator.compressed))
+        self._other_ci = _GrowBuffer(np.asarray(other_factor.indicator.compressed))
+        complement = other_factor.redundancy.to_sparse_complement().tocoo()
+        self._comp_rows = _GrowBuffer(np.asarray(complement.row, dtype=np.int64))
+        self._comp_cols = _GrowBuffer(np.asarray(complement.col, dtype=np.int64))
+        self._rebuild_key_index()
+        self._precompute_overlap()
+        matrix = AmalurMatrix(dataset)
+        self._gram = np.array(matrix.crossprod())  # writable maintained copy
+        colsums = matrix.column_sums()
+        self._publish(dataset, matrix, colsums)
+
+    def _publish(self, dataset, matrix, colsums) -> _SessionState:
+        self._version += 1
+        state = _SessionState(
+            dataset,
+            matrix,
+            matrix.blocked(columns=dataset.feature_columns),
+            np.array(colsums),
+            self._version,
+        )
+        self._state = state
+        if _telemetry.ENABLED:
+            _telemetry.gauge_set("serving.dataset_version", float(self._version))
+        return state
+
+    def _assemble_incremental(self, n_target: int) -> IntegratedDataset:
+        """A new dataset over the current buffer views (zero-copy factors)."""
+        n_cols = len(self.config.target_columns)
+        base_factor = replace_factor_arrays(
+            self._base_template,
+            self._base_data.view(),
+            self._base_ci.view(),
+            n_target,
+            RedundancyMatrix.all_ones(self._base_name, n_target, n_cols),
+        )
+        comp_rows = self._comp_rows.view()
+        complement = sparse.csr_matrix(
+            (
+                np.ones(comp_rows.size, dtype=np.float64),
+                (comp_rows, self._comp_cols.view()),
+            ),
+            shape=(n_target, n_cols),
+        )
+        other_factor = replace_factor_arrays(
+            self._other_template,
+            self._other_data.view(),
+            self._other_ci.view(),
+            n_target,
+            RedundancyMatrix.from_complement(
+                self._other_name, (n_target, n_cols), complement
+            ),
+        )
+        return IntegratedDataset(
+            target_columns=list(self.config.target_columns),
+            n_target_rows=n_target,
+            factors=[base_factor, other_factor],
+            scenario=self.config.scenario,
+            label_column=self.config.label_column,
+            name=self.config.name,
+            backend=self._state.dataset.backend,
+        )
+
+    # -- key occurrence index ---------------------------------------------------------------
+    def _rebuild_key_index(self) -> None:
+        """Per-key ordered row lists mirroring the greedy 1:1 hash join."""
+        self._left_by_key: Dict[object, List[int]] = {}
+        self._right_by_key: Dict[object, List[int]] = {}
+        if not self._key_pairs:
+            return
+        base = self._tables[self._base_name]
+        other = self._tables[self._other_name]
+        for row, key in enumerate(self._keys_for(base, True, np.arange(base.n_rows))):
+            if key is not None:
+                self._left_by_key.setdefault(key, []).append(row)
+        for row, key in enumerate(self._keys_for(other, False, np.arange(other.n_rows))):
+            if key is not None:
+                self._right_by_key.setdefault(key, []).append(row)
+
+    def _keys_for(self, table: Table, is_base: bool, rows: np.ndarray) -> List[object]:
+        """Hashable key per row (None when any key cell is NULL)."""
+        if not self._key_pairs:
+            return [None] * len(rows)
+        columns = [pair[0] if is_base else pair[1] for pair in self._key_pairs]
+        values = [table.column_values(c) for c in columns]
+        valids = [table.column_valid(c) for c in columns]
+        keys: List[object] = []
+        for row in np.asarray(rows, dtype=np.int64):
+            parts = []
+            for value_array, valid_array in zip(values, valids):
+                if not valid_array[row]:
+                    parts = None
+                    break
+                cell = value_array[row]
+                parts.append(cell.item() if isinstance(cell, np.generic) else cell)
+            if parts is None:
+                keys.append(None)
+            else:
+                keys.append(parts[0] if len(parts) == 1 else tuple(parts))
+        return keys
+
+    def _index_new_rows(self, is_base: bool, rows: np.ndarray, keys: List[object]) -> None:
+        index = self._left_by_key if is_base else self._right_by_key
+        for row, key in zip(np.asarray(rows, dtype=np.int64), keys):
+            if key is not None:
+                index.setdefault(key, []).append(int(row))
+
+    def _plan_matches(self, is_base: bool, keys: List[object]) -> np.ndarray:
+        """Greedy 1:1 partner per new row (-1 unmatched), dicts untouched.
+
+        Mirrors ``KeyBasedResolver.resolve_index``: the occurrence index of
+        a new row on its own side selects the partner at the same index on
+        the other side's per-key ordered list.
+        """
+        own = self._left_by_key if is_base else self._right_by_key
+        partner = self._right_by_key if is_base else self._left_by_key
+        matches = np.full(len(keys), -1, dtype=np.int64)
+        extra: Dict[object, int] = {}
+        for position, key in enumerate(keys):
+            if key is None:
+                continue
+            occurrence = len(own.get(key, ())) + extra.get(key, 0)
+            extra[key] = extra.get(key, 0) + 1
+            candidates = partner.get(key, ())
+            if occurrence < len(candidates):
+                matches[position] = candidates[occurrence]
+        return matches
+
+    # -- overlap (redundancy) bookkeeping ---------------------------------------------------
+    def _precompute_overlap(self) -> None:
+        """Target positions both sources map, with their source columns."""
+        base_mapping = self._base_template.mapping
+        other_mapping = self._other_template.mapping
+        base_by_target = {
+            int(t): self._base_template.source_columns[int(s)]
+            for s, t in zip(
+                base_mapping.mapped_source_indices(), base_mapping.mapped_target_indices()
+            )
+        }
+        self._overlap: List[Tuple[int, str, str]] = []
+        for s, t in zip(
+            other_mapping.mapped_source_indices(), other_mapping.mapped_target_indices()
+        ):
+            if int(t) in base_by_target:
+                self._overlap.append(
+                    (
+                        int(t),
+                        base_by_target[int(t)],
+                        self._other_template.source_columns[int(s)],
+                    )
+                )
+
+    def _overlap_cells(
+        self, target_rows: np.ndarray, base_rows: np.ndarray, other_rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Complement coordinates for target rows fed by BOTH sources."""
+        base = self._tables[self._base_name]
+        other = self._tables[self._other_name]
+        rows_out: List[np.ndarray] = []
+        cols_out: List[np.ndarray] = []
+        target_rows = np.asarray(target_rows, dtype=np.int64)
+        base_rows = np.asarray(base_rows, dtype=np.int64)
+        other_rows = np.asarray(other_rows, dtype=np.int64)
+        for position, base_column, other_column in self._overlap:
+            both = (
+                base.column_valid(base_column)[base_rows]
+                & other.column_valid(other_column)[other_rows]
+            )
+            hit = target_rows[both]
+            rows_out.append(hit)
+            cols_out.append(np.full(hit.size, position, dtype=np.int64))
+        if not rows_out:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(rows_out), np.concatenate(cols_out)
+
+    @staticmethod
+    def _matrix_rows(table: Table, columns: Sequence[str], rows: np.ndarray) -> np.ndarray:
+        """The ``to_matrix`` encoding (NULL → 0.0) of a subset of rows."""
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.zeros((rows.size, len(columns)))
+        for index, column in enumerate(columns):
+            values = np.asarray(table.column_values(column), dtype=np.float64)
+            out[:, index] = np.where(table.column_valid(column)[rows], values[rows], 0.0)
+        return out
+
+    # -- fallback --------------------------------------------------------------------------
+    def _fallback_rebuild(
+        self, new_tables: Dict[str, Table], reason: str
+    ) -> Dict[str, object]:
+        if not self.auto_rebuild:
+            raise StaleDatasetError(
+                f"delta requires a full rebuild ({reason}) and auto_rebuild is off"
+            )
+        self._tables.update(new_tables)
+        self._rebuild()
+        return {
+            "mode": "rebuild",
+            "reason": reason,
+            "version": self._version,
+            "n_target_rows": self._state.dataset.n_target_rows,
+        }
+
+    def _over_staleness(self, n_changed: int) -> bool:
+        n_target = self._state.dataset.n_target_rows
+        return self._changed_rows + n_changed > self.staleness_threshold * max(n_target, 1)
+
+    # -- appends ---------------------------------------------------------------------------
+    def _apply_append(self, batch: DeltaBatch) -> Dict[str, object]:
+        table = self._tables[batch.table]
+        is_base = batch.table == self._base_name
+        new_table = append_rows(table, batch)
+        new_rows = np.arange(table.n_rows, new_table.n_rows, dtype=np.int64)
+        scenario = self.config.scenario
+
+        if not self._key_pairs:
+            # Similarity-resolved sessions: row matches can appear anywhere,
+            # so incremental target maintenance is never sound.
+            return self._fallback_rebuild(
+                {batch.table: new_table}, "similarity-based resolution"
+            )
+
+        keys = self._keys_for(new_table, is_base, new_rows)
+        matches = self._plan_matches(is_base, keys)
+
+        # -- decide whether the scenario's target order survives an append --
+        reason = None
+        if is_base:
+            if scenario is ScenarioType.UNION:
+                reason = "base append inserts before the union's other-rows section"
+            elif scenario is ScenarioType.FULL_OUTER_JOIN and bool(
+                (self._base_ci.view() < 0).any()
+            ):
+                reason = "base append behind existing other-only target rows"
+        else:
+            if scenario is ScenarioType.INNER_JOIN and bool((matches >= 0).any()):
+                reason = "inner-join match would insert target rows mid-order"
+        if reason is not None:
+            return self._fallback_rebuild({batch.table: new_table}, reason)
+
+        # -- derive appended target rows and fill-ins -----------------------
+        fill_targets = np.empty(0, dtype=np.int64)
+        fill_other = np.empty(0, dtype=np.int64)
+        if is_base:
+            if scenario is ScenarioType.INNER_JOIN:
+                kept = matches >= 0
+                append_base, append_other = new_rows[kept], matches[kept]
+            else:  # LEFT / FULL_OUTER: every base row becomes a target row
+                append_base, append_other = new_rows, matches
+        else:
+            if scenario is ScenarioType.UNION:
+                append_base = np.full(new_rows.size, -1, dtype=np.int64)
+                append_other = new_rows
+            else:
+                matched = matches >= 0
+                # Base target rows are the identity prefix under LEFT /
+                # FULL_OUTER (rebuilds restore it; incremental appends keep
+                # it), so a matched base row *is* its target row.
+                fill_targets = matches[matched]
+                fill_other = new_rows[matched]
+                if scenario is ScenarioType.FULL_OUTER_JOIN:
+                    append_base = np.full(
+                        int((~matched).sum()), -1, dtype=np.int64
+                    )
+                    append_other = new_rows[~matched]
+                else:  # LEFT: unmatched other rows never reach the target
+                    append_base = np.empty(0, dtype=np.int64)
+                    append_other = np.empty(0, dtype=np.int64)
+
+        n_appended = int(max(append_base.size, append_other.size))
+        n_changed = n_appended + int(fill_targets.size)
+        if self._over_staleness(n_changed):
+            return self._fallback_rebuild(
+                {batch.table: new_table}, "staleness threshold exceeded"
+            )
+
+        # -- commit ----------------------------------------------------------
+        old_state = self._state
+        old_n_target = old_state.dataset.n_target_rows
+        v_old = (
+            target_row_values(old_state.dataset, fill_targets)
+            if fill_targets.size
+            else None
+        )
+
+        self._tables[batch.table] = new_table
+        template = self._base_template if is_base else self._other_template
+        data_buffer = self._base_data if is_base else self._other_data
+        data_buffer.append(
+            self._matrix_rows(new_table, template.source_columns, new_rows)
+        )
+        self._index_new_rows(is_base, new_rows, keys)
+
+        if fill_targets.size:
+            self._other_ci.set_rows(fill_targets, fill_other)
+        if n_appended:
+            if is_base:
+                self._base_ci.append(append_base)
+                self._other_ci.append(append_other)
+            else:
+                self._base_ci.append(append_base)
+                self._other_ci.append(append_other)
+        new_targets = np.arange(old_n_target, old_n_target + n_appended, dtype=np.int64)
+
+        # Complement growth: appended target rows fed by both sources, plus
+        # every fill-in (the other source now shadows base-provided cells).
+        if is_base and n_appended:
+            covered = append_other >= 0
+            rows, cols = self._overlap_cells(
+                new_targets[covered], append_base[covered], append_other[covered]
+            )
+            if rows.size:
+                self._comp_rows.append(rows)
+                self._comp_cols.append(cols)
+        if fill_targets.size:
+            rows, cols = self._overlap_cells(fill_targets, fill_targets, fill_other)
+            if rows.size:
+                self._comp_rows.append(rows)
+                self._comp_cols.append(cols)
+
+        dataset = self._assemble_incremental(old_n_target + n_appended)
+
+        # Rank-k statistics maintenance.
+        if fill_targets.size:
+            v_new = target_row_values(dataset, fill_targets)
+            self._gram += v_new.T @ v_new - v_old.T @ v_old
+            colsums_delta = v_new.sum(axis=0) - v_old.sum(axis=0)
+        else:
+            colsums_delta = 0.0
+        if n_appended:
+            v_app = target_row_values(dataset, new_targets)
+            self._gram += v_app.T @ v_app
+            colsums_delta = colsums_delta + v_app.sum(axis=0)
+
+        matrix = AmalurMatrix(dataset)
+        matrix.gram_cache.seed(self._gram)
+        self._publish(dataset, matrix, old_state.colsums + colsums_delta)
+        self._changed_rows += n_changed
+        self.incremental_applied += 1
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("serving.incremental_deltas")
+        return {
+            "mode": "incremental",
+            "version": self._version,
+            "appended_target_rows": n_appended,
+            "filled_target_rows": int(fill_targets.size),
+            "n_target_rows": dataset.n_target_rows,
+        }
+
+    # -- updates ---------------------------------------------------------------------------
+    def _apply_update(self, batch: DeltaBatch) -> Dict[str, object]:
+        table = self._tables[batch.table]
+        is_base = batch.table == self._base_name
+        new_table, values, valid, validity_changed = update_rows(table, batch)
+
+        if not self._key_pairs:
+            return self._fallback_rebuild(
+                {batch.table: new_table}, "similarity-based resolution"
+            )
+        key_columns = {p[0] if is_base else p[1] for p in self._key_pairs}
+        if key_columns & set(values):
+            return self._fallback_rebuild(
+                {batch.table: new_table}, "key column updated"
+            )
+        if validity_changed:
+            return self._fallback_rebuild(
+                {batch.table: new_table}, "NULL pattern changed"
+            )
+
+        template = self._base_template if is_base else self._other_template
+        mapped = [c for c in values if c in template.source_columns]
+        if not mapped:
+            # Only unmapped (non-target) columns changed: the factorized
+            # representation is untouched, no new version to publish.
+            self._tables[batch.table] = new_table
+            return {
+                "mode": "incremental",
+                "version": self._version,
+                "filled_target_rows": 0,
+                "appended_target_rows": 0,
+                "n_target_rows": self._state.dataset.n_target_rows,
+            }
+
+        indices = np.asarray(batch.row_indices, dtype=np.int64)
+        ci = (self._base_ci if is_base else self._other_ci).view()
+        affected = np.nonzero(np.isin(ci, indices))[0].astype(np.int64)
+        if self._over_staleness(affected.size):
+            return self._fallback_rebuild(
+                {batch.table: new_table}, "staleness threshold exceeded"
+            )
+
+        old_state = self._state
+        v_old = target_row_values(old_state.dataset, affected)
+
+        self._tables[batch.table] = new_table
+        data_buffer = self._base_data if is_base else self._other_data
+        block = data_buffer.view()[indices].copy()
+        for column in mapped:
+            position = template.source_columns.index(column)
+            block[:, position] = np.where(
+                valid[column], np.asarray(values[column], dtype=np.float64), 0.0
+            )
+        data_buffer.set_rows(indices, block)
+
+        dataset = self._assemble_incremental(old_state.dataset.n_target_rows)
+        v_new = target_row_values(dataset, affected)
+        self._gram += v_new.T @ v_new - v_old.T @ v_old
+        matrix = AmalurMatrix(dataset)
+        matrix.gram_cache.seed(self._gram)
+        self._publish(
+            dataset, matrix, old_state.colsums + v_new.sum(axis=0) - v_old.sum(axis=0)
+        )
+        self._changed_rows += int(affected.size)
+        self.incremental_applied += 1
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("serving.incremental_deltas")
+        return {
+            "mode": "incremental",
+            "version": self._version,
+            "filled_target_rows": int(affected.size),
+            "appended_target_rows": 0,
+            "n_target_rows": dataset.n_target_rows,
+        }
+
+    # -- deletes ---------------------------------------------------------------------------
+    def _apply_delete(self, batch: DeltaBatch) -> Dict[str, object]:
+        new_table = delete_rows(self._tables[batch.table], batch.row_indices)
+        # Deleting source rows shifts every later row index through CI_k;
+        # compacting that incrementally is a rebuild in all but name.
+        return self._fallback_rebuild({batch.table: new_table}, "row deletion")
+
+    # -- model fitting ---------------------------------------------------------------------
+    def _fit(
+        self, state: _SessionState, spec: ModelSpec, request: TrainRequest, name: str
+    ) -> SessionModel:
+        dataset = state.dataset
+        if spec.task not in ("regression", "classification"):
+            raise ServiceError(
+                f"session training supports regression and classification, "
+                f"not {spec.task!r}"
+            )
+        if dataset.label_column is None:
+            raise ServiceError(f"{spec.task} training requires a label column")
+        target_columns = dataset.target_columns
+        label_index = target_columns.index(dataset.label_column)
+        feature_indices = [i for i in range(len(target_columns)) if i != label_index]
+        cached = self._models.get(name)
+        warm = request.warm_start and cached is not None and cached.task == spec.task
+
+        if spec.task == "regression":
+            solver = str(spec.hyperparameters.get("solver", "normal"))
+            if solver == "normal":
+                return self._fit_normal_from_stats(
+                    state, spec, name, label_index, feature_indices
+                )
+            model = LinearRegression(
+                solver="gd",
+                learning_rate=spec.learning_rate,
+                n_iterations=spec.n_iterations,
+                l2_penalty=spec.l2_penalty,
+                warm_start=warm,
+            )
+            if warm:
+                model.coef_ = np.array(cached.coef_)
+            model.fit(state.matrix.feature_matrix_view(), state.matrix.labels())
+            metrics = {
+                "mse_loss": model.loss_history_[-1] if model.loss_history_ else float("nan")
+            }
+            return SessionModel(
+                handle=ModelHandle(name=name, task=spec.task, dataset=dataset.name),
+                task=spec.task,
+                coef_=np.array(model.coef_),
+                intercept_=float(model.intercept_),
+                version=state.version,
+                solver="gd",
+                metrics=metrics,
+            )
+
+        model = LogisticRegression(
+            learning_rate=spec.learning_rate,
+            n_iterations=spec.n_iterations,
+            l2_penalty=spec.l2_penalty,
+            warm_start=warm,
+        )
+        if warm:
+            model.coef_ = np.array(cached.coef_)
+            model.intercept_ = float(cached.intercept_)
+        model.fit(state.matrix.feature_matrix_view(), state.matrix.labels())
+        metrics = {
+            "log_loss": model.loss_history_[-1] if model.loss_history_ else float("nan")
+        }
+        return SessionModel(
+            handle=ModelHandle(name=name, task=spec.task, dataset=dataset.name),
+            task=spec.task,
+            coef_=np.array(model.coef_),
+            intercept_=float(model.intercept_),
+            version=state.version,
+            solver="gd",
+            metrics=metrics,
+        )
+
+    def _fit_normal_from_stats(
+        self,
+        state: _SessionState,
+        spec: ModelSpec,
+        name: str,
+        label_index: int,
+        feature_indices: List[int],
+    ) -> SessionModel:
+        """Closed-form normal-equation solve from the maintained statistics.
+
+        Algebraically identical to ``LinearRegression(solver="normal",
+        fit_intercept=True)`` on the feature view: with ``ȳ`` the label
+        mean, the centered moment is ``Xᵀ(y − ȳ) = Gram[f, l] −
+        ȳ·colsums[f]`` — every term read off the maintained full-target
+        Gram and column sums, no pass over the data.
+        """
+        dataset = state.dataset
+        gram = state.matrix.crossprod()  # seeded: a cache hit after deltas
+        n_rows = dataset.n_target_rows
+        if n_rows == 0:
+            raise ServiceError("cannot train on an empty target")
+        features = np.asarray(feature_indices, dtype=np.intp)
+        y_mean = state.colsums[label_index] / n_rows
+        moment = gram[features, label_index] - y_mean * state.colsums[features]
+        system = gram[np.ix_(features, features)]
+        identity = np.eye(features.size)
+        if spec.l2_penalty:
+            system = system + spec.l2_penalty * identity
+        weights = np.linalg.solve(system + 1e-12 * identity, moment)
+        return SessionModel(
+            handle=ModelHandle(name=name, task="regression", dataset=dataset.name),
+            task="regression",
+            coef_=weights,
+            intercept_=float(y_mean),
+            version=state.version,
+            solver="normal",
+            metrics={},
+        )

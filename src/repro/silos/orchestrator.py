@@ -42,6 +42,20 @@ class Orchestrator:
         for table_name in silo.table_names:
             self._table_to_silo[table_name] = silo.name
 
+    def register_table(self, silo_name: str, table_name: str) -> None:
+        """Idempotently index one table of a registered silo.
+
+        The table must already live in the silo; re-registering an
+        existing index entry is a no-op, so callers adding tables one at a
+        time don't have to re-register the whole silo.
+        """
+        silo = self.silo(silo_name)
+        if table_name not in silo.table_names:
+            raise CatalogError(
+                f"silo {silo_name!r} holds no table named {table_name!r}"
+            )
+        self._table_to_silo[table_name] = silo_name
+
     def silo(self, name: str) -> DataSilo:
         try:
             return self._silos[name]

@@ -4,9 +4,28 @@ Wires the other packages together: the metadata catalog and discovery, the
 matrix builder, the optimizer that chooses factorization, materialization
 or federated learning, and the executor that trains the requested model
 under the chosen strategy while accounting silo-boundary traffic.
+
+The public API is request-based (:mod:`repro.system.requests`): an
+:class:`IntegrationConfig` configures both batch :meth:`Amalur.integrate`
+calls and long-lived serving sessions, :class:`TrainRequest` /
+:class:`PredictRequest` drive training and prediction, and trained models
+are addressed by :class:`ModelHandle`.
 """
 
-from repro.system.plan import ExecutionPlan, PlanStep, ModelSpec, TrainingResult
+from repro.system.plan import (
+    ExecutionPlan,
+    ModelHandle,
+    ModelSpec,
+    PlanStep,
+    TrainingResult,
+)
+from repro.system.requests import (
+    DeltaBatch,
+    IntegrationConfig,
+    PredictRequest,
+    ServiceResult,
+    TrainRequest,
+)
 from repro.system.optimizer import Optimizer
 from repro.system.executor import Executor
 from repro.system.amalur import Amalur
@@ -15,7 +34,13 @@ __all__ = [
     "ExecutionPlan",
     "PlanStep",
     "ModelSpec",
+    "ModelHandle",
     "TrainingResult",
+    "IntegrationConfig",
+    "TrainRequest",
+    "PredictRequest",
+    "DeltaBatch",
+    "ServiceResult",
     "Optimizer",
     "Executor",
     "Amalur",

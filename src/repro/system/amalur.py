@@ -1,11 +1,24 @@
-"""The Amalur facade: end-to-end ML over data silos (paper Figure 3)."""
+"""The Amalur facade: end-to-end ML over data silos (paper Figure 3).
+
+The public API is request-based: :class:`IntegrationConfig` describes what
+to integrate, :class:`TrainRequest` / :class:`PredictRequest` describe what
+to run, and trained models are addressed through :class:`ModelHandle`\\ s.
+The legacy positional signatures (``integrate("S1", "S2", ...)``,
+``train(dataset, spec)``) remain as thin deprecation shims that build the
+request objects, so existing call sites keep working.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import warnings
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro import telemetry as _telemetry
 from repro.costmodel.amalur_cost import AmalurCostModel
+from repro.exceptions import ServiceError
+from repro.factorized.normalized_matrix import AmalurMatrix
 from repro.matrices.builder import IntegratedDataset, integrate_tables
 from repro.metadata.catalog import MetadataCatalog, ModelMetadata
 from repro.metadata.discovery import AugmentationCandidate, DataDiscovery
@@ -18,7 +31,12 @@ from repro.silos.orchestrator import Orchestrator
 from repro.silos.silo import DataSilo, PrivacyLevel
 from repro.system.executor import Executor
 from repro.system.optimizer import Optimizer
-from repro.system.plan import ExecutionPlan, ModelSpec, TrainingResult
+from repro.system.plan import ExecutionPlan, ModelHandle, ModelSpec, TrainingResult
+from repro.system.requests import (
+    IntegrationConfig,
+    PredictRequest,
+    TrainRequest,
+)
 
 
 class Amalur:
@@ -33,10 +51,18 @@ class Amalur:
         amalur.add_table("pulmonary", s2)
 
         candidates = amalur.discover(base="S1", label_column="m")
-        dataset = amalur.integrate("S1", "S2", target_columns=["m", "a", "hr", "o"],
-                                   scenario=ScenarioType.FULL_OUTER_JOIN, label_column="m")
-        plan = amalur.plan(dataset, ModelSpec(task="classification"))
-        result = amalur.train(dataset, ModelSpec(task="classification"))
+        config = IntegrationConfig(base="S1", other="S2",
+                                   target_columns=["m", "a", "hr", "o"],
+                                   scenario=ScenarioType.FULL_OUTER_JOIN,
+                                   label_column="m")
+        dataset = amalur.integrate(config)
+        result = amalur.train(TrainRequest(model=ModelSpec(task="classification"),
+                                           dataset=dataset))
+        scores = amalur.predict(dataset, PredictRequest(model=result.handle))
+
+    For online workloads, :meth:`open_session` keeps the integrated dataset
+    resident under incremental delta maintenance and :meth:`serve` fronts
+    sessions with a bounded worker pool (see :mod:`repro.serving`).
     """
 
     def __init__(
@@ -51,6 +77,8 @@ class Amalur:
         self.optimizer = Optimizer(orchestrator=self.orchestrator, cost_model=cost_model)
         self.executor = Executor(orchestrator=self.orchestrator)
         self._model_counter = 0
+        self._models: Dict[str, TrainingResult] = {}
+        self._last_model_name: Optional[str] = None
 
     # -- silo & catalog management ------------------------------------------------------
     def add_silo(self, name: str, privacy: PrivacyLevel = PrivacyLevel.OPEN) -> DataSilo:
@@ -61,7 +89,7 @@ class Amalur:
     def add_table(self, silo_name: str, table: Table) -> None:
         silo = self.orchestrator.silo(silo_name)
         silo.add_table(table)
-        self.orchestrator.register_silo(silo)  # refresh the table→silo index
+        self.orchestrator.register_table(silo_name, table.name)
         self.catalog.register_source(table, silo=silo_name)
 
     @property
@@ -78,41 +106,81 @@ class Amalur:
 
     def integrate(
         self,
-        base_name: str,
-        other_name: str,
-        target_columns: Sequence[str],
-        scenario: ScenarioType,
+        config: Union[IntegrationConfig, str],
+        other_name: Optional[str] = None,
+        target_columns: Optional[Sequence[str]] = None,
+        scenario: Optional[ScenarioType] = None,
         label_column: Optional[str] = None,
     ) -> IntegratedDataset:
         """Match, resolve and build the factorized representation of two sources.
+
+        The canonical form takes one :class:`IntegrationConfig`. The legacy
+        positional form ``integrate(base, other, target_columns, scenario,
+        label_column)`` still works but is deprecated.
 
         Schema matching and entity resolution run automatically and their
         outputs (the DI metadata) are recorded in the catalog together with
         the generated schema mapping.
         """
+        config = self._coerce_integration_config(
+            config, other_name, target_columns, scenario, label_column
+        )
         with _telemetry.span(
-            "amalur.integrate", base=base_name, other=other_name,
-            scenario=scenario.value,
+            "amalur.integrate", base=config.base, other=config.other,
+            scenario=config.scenario.value,
         ):
-            base = self.catalog.table(base_name)
-            other = self.catalog.table(other_name)
-            column_matches = match_schemas(base, other, matcher=self.matcher)
-            self.catalog.record_column_matches(base_name, other_name, column_matches)
-            row_matches = resolve_entities(base, other, column_matches=column_matches)
-            self.catalog.record_row_matches(base_name, other_name, row_matches)
-            mapping = build_scenario_mapping(
-                base, other, column_matches, target_columns, scenario
-            )
-            self.catalog.record_schema_mapping(base_name, other_name, mapping)
+            base, other, column_matches, row_matches = self._resolve_sources(config)
             return integrate_tables(
                 base=base,
                 other=other,
                 column_matches=column_matches,
                 row_matches=row_matches,
-                target_columns=target_columns,
-                scenario=scenario,
-                label_column=label_column,
+                target_columns=config.target_columns,
+                scenario=config.scenario,
+                label_column=config.label_column,
+                name=config.name,
+                backend=config.backend,
             )
+
+    def open_session(self, config: IntegrationConfig, **session_options):
+        """A long-lived :class:`~repro.serving.DatasetSession` over catalog tables.
+
+        The session keeps the integrated dataset resident (compiled operator
+        plans, seeded Gram cache) and folds :class:`DeltaBatch` mutations in
+        incrementally; see :mod:`repro.serving`. ``session_options`` pass
+        through (``staleness_threshold``, ``auto_rebuild``).
+        """
+        from repro.serving.session import DatasetSession
+
+        base = self.catalog.table(config.base)
+        other = self.catalog.table(config.other)
+        column_matches = match_schemas(base, other, matcher=self.matcher)
+        self.catalog.record_column_matches(config.base, config.other, column_matches)
+        mapping = build_scenario_mapping(
+            base, other, column_matches, config.target_columns, config.scenario,
+            target_name=config.name,
+        )
+        self.catalog.record_schema_mapping(config.base, config.other, mapping)
+        return DatasetSession(
+            base, other, config, column_matches=column_matches, **session_options
+        )
+
+    def serve(
+        self,
+        n_workers: int = 4,
+        max_queue: int = 64,
+        default_timeout: Optional[float] = None,
+        max_rows_per_request: Optional[int] = None,
+    ):
+        """A fresh :class:`~repro.serving.AmalurService` worker pool."""
+        from repro.serving.service import AmalurService
+
+        return AmalurService(
+            n_workers=n_workers,
+            max_queue=max_queue,
+            default_timeout=default_timeout,
+            max_rows_per_request=max_rows_per_request,
+        )
 
     # -- planning and training --------------------------------------------------------------
     def plan(self, dataset: IntegratedDataset, model: ModelSpec) -> ExecutionPlan:
@@ -120,28 +188,101 @@ class Amalur:
 
     def train(
         self,
-        dataset: IntegratedDataset,
-        model: ModelSpec,
+        request: Union[TrainRequest, IntegratedDataset],
+        model: Optional[ModelSpec] = None,
         plan: Optional[ExecutionPlan] = None,
     ) -> TrainingResult:
-        """Plan (unless given) and execute training, registering the model."""
-        with _telemetry.span("amalur.train", task=model.task, dataset=dataset.name):
-            plan = plan or self.optimizer.plan(dataset, model)
-            result = self.executor.execute(plan)
-        self._model_counter += 1
+        """Plan (unless given) and execute training, registering the model.
+
+        The canonical form takes one :class:`TrainRequest` (carrying the
+        dataset, the model spec, an optional pre-built plan and an explicit
+        ``model_name``). The legacy positional form ``train(dataset, spec,
+        plan)`` still works but is deprecated; it registers the model under
+        the implicit ``model_{counter}`` name.
+        """
+        request = self._coerce_train_request(request, model, plan)
+        dataset = request.dataset
+        if dataset is None:
+            raise ServiceError(
+                "TrainRequest.dataset is required for facade training "
+                "(session-resident training goes through DatasetSession.train)"
+            )
+        spec = request.model
+        with _telemetry.span("amalur.train", task=spec.task, dataset=dataset.name):
+            execution_plan = request.plan or self.optimizer.plan(dataset, spec)
+            warm_from = None
+            if request.warm_start and request.model_name in self._models:
+                warm_from = self._models[request.model_name].model
+            result = self.executor.execute(execution_plan, warm_start_from=warm_from)
+        auto_named = request.model_name is None
+        if auto_named:
+            self._model_counter += 1
+            name = f"model_{self._model_counter}"
+        else:
+            name = request.model_name
+        handle = ModelHandle(
+            name=name, task=spec.task, dataset=dataset.name, auto_named=auto_named
+        )
+        result.handle = handle
         metadata = ModelMetadata(
-            name=f"model_{self._model_counter}",
-            model_type=model.task,
+            name=name,
+            model_type=spec.task,
             hyperparameters={
-                "learning_rate": model.learning_rate,
-                "n_iterations": model.n_iterations,
-                "l2_penalty": model.l2_penalty,
+                "learning_rate": spec.learning_rate,
+                "n_iterations": spec.n_iterations,
+                "l2_penalty": spec.l2_penalty,
             },
             metrics=dict(result.metrics),
             training_datasets=[factor.name for factor in dataset.factors],
         )
-        self.catalog.register_model(metadata)
+        self.catalog.register_model(metadata, auto_named=auto_named)
+        self._models[name] = result
+        self._last_model_name = name
         return result
+
+    def predict(
+        self,
+        dataset: IntegratedDataset,
+        request: Optional[PredictRequest] = None,
+    ) -> np.ndarray:
+        """Predict with a previously trained model over a dataset's target rows.
+
+        ``request.model`` names the model (a :class:`ModelHandle` or string);
+        ``None`` uses the most recently trained one. ``row_range`` restricts
+        the output to target rows ``[start, stop)``.
+        """
+        request = request or PredictRequest()
+        name = request.model_name or self._last_model_name
+        if name is None or name not in self._models:
+            raise ServiceError(
+                f"no trained model named {name!r}; trained: {sorted(self._models)}"
+            )
+        trained = self._models[name].model
+        if trained is None or not hasattr(trained, "predict"):
+            raise ServiceError(
+                f"model {name!r} does not support prediction"
+            )
+        matrix = AmalurMatrix(dataset)
+        with _telemetry.span("amalur.predict", model=name, dataset=dataset.name):
+            scores = np.asarray(trained.predict(matrix.feature_matrix_view()))
+            if request.row_range is not None:
+                start, stop = request.row_range
+                if not (0 <= start <= stop <= dataset.n_target_rows):
+                    raise ServiceError(
+                        f"row range [{start}, {stop}) outside target rows "
+                        f"[0, {dataset.n_target_rows})"
+                    )
+                scores = scores[int(start):int(stop)]
+        return scores
+
+    def model_result(self, handle: Union[ModelHandle, str]) -> TrainingResult:
+        """The :class:`TrainingResult` registered under a handle or name."""
+        name = handle.name if isinstance(handle, ModelHandle) else str(handle)
+        if name not in self._models:
+            raise ServiceError(
+                f"no trained model named {name!r}; trained: {sorted(self._models)}"
+            )
+        return self._models[name]
 
     # -- observability ----------------------------------------------------------------------
     @staticmethod
@@ -160,3 +301,65 @@ class Amalur:
     @property
     def network(self) -> SimulatedNetwork:
         return self.orchestrator.network
+
+    # -- legacy-signature shims -------------------------------------------------------------
+    def _coerce_integration_config(
+        self, config, other_name, target_columns, scenario, label_column
+    ) -> IntegrationConfig:
+        if isinstance(config, IntegrationConfig):
+            if other_name is not None or target_columns is not None:
+                raise ServiceError(
+                    "pass either an IntegrationConfig or the legacy positional "
+                    "arguments, not both"
+                )
+            return config
+        warnings.warn(
+            "Amalur.integrate(base, other, target_columns, scenario, ...) is "
+            "deprecated; pass an IntegrationConfig instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if other_name is None or target_columns is None or scenario is None:
+            raise ServiceError(
+                "legacy integrate() needs base, other, target_columns and scenario"
+            )
+        return IntegrationConfig(
+            base=str(config),
+            other=other_name,
+            target_columns=list(target_columns),
+            scenario=scenario,
+            label_column=label_column,
+        )
+
+    def _coerce_train_request(self, request, model, plan) -> TrainRequest:
+        if isinstance(request, TrainRequest):
+            if model is not None or plan is not None:
+                raise ServiceError(
+                    "pass either a TrainRequest or the legacy positional "
+                    "arguments, not both"
+                )
+            return request
+        warnings.warn(
+            "Amalur.train(dataset, model, plan) is deprecated; pass a "
+            "TrainRequest instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if model is None:
+            raise ServiceError("legacy train() needs a ModelSpec")
+        return TrainRequest(model=model, dataset=request, plan=plan)
+
+    def _resolve_sources(self, config: IntegrationConfig):
+        """Catalog lookup + DI metadata derivation and recording."""
+        base = self.catalog.table(config.base)
+        other = self.catalog.table(config.other)
+        column_matches = match_schemas(base, other, matcher=self.matcher)
+        self.catalog.record_column_matches(config.base, config.other, column_matches)
+        row_matches = resolve_entities(base, other, column_matches=column_matches)
+        self.catalog.record_row_matches(config.base, config.other, row_matches)
+        mapping = build_scenario_mapping(
+            base, other, column_matches, config.target_columns, config.scenario,
+            target_name=config.name,
+        )
+        self.catalog.record_schema_mapping(config.base, config.other, mapping)
+        return base, other, column_matches, row_matches

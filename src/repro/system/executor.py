@@ -31,7 +31,10 @@ class Executor:
     def __init__(self, orchestrator: Optional[Orchestrator] = None):
         self.orchestrator = orchestrator or Orchestrator()
 
-    def execute(self, plan: ExecutionPlan) -> TrainingResult:
+    def execute(
+        self, plan: ExecutionPlan, warm_start_from: Optional[object] = None
+    ) -> TrainingResult:
+        """Run a plan; ``warm_start_from`` seeds GD weights from a prior model."""
         with _telemetry.span(
             "executor.execute", strategy=plan.strategy.value, task=plan.model.task
         ):
@@ -41,14 +44,16 @@ class Executor:
             if plan.strategy is Decision.FEDERATE:
                 result = self._execute_federated(plan)
             else:
-                result = self._execute_central(plan)
+                result = self._execute_central(plan, warm_start_from)
 
             result.bytes_transferred = self.orchestrator.network.total_bytes - baseline_bytes
             result.n_messages = self.orchestrator.network.n_messages - baseline_messages
             return result
 
     # -- centralized strategies (materialize / factorize) ---------------------------------
-    def _execute_central(self, plan: ExecutionPlan) -> TrainingResult:
+    def _execute_central(
+        self, plan: ExecutionPlan, warm_start_from: Optional[object] = None
+    ) -> TrainingResult:
         dataset = plan.dataset
         model_spec = plan.model
         if plan.strategy is Decision.MATERIALIZE:
@@ -66,10 +71,14 @@ class Executor:
         else:  # pragma: no cover - defensive
             raise PlanError(f"unsupported central strategy {plan.strategy!r}")
 
-        model, metrics, predictions = self._train_central(operand, labels, model_spec)
+        model, metrics, predictions = self._train_central(
+            operand, labels, model_spec, warm_start_from
+        )
         return TrainingResult(plan=plan, model=model, metrics=metrics, predictions=predictions)
 
-    def _account_factorized_traffic(self, dataset: IntegratedDataset, model_spec: ModelSpec) -> None:
+    def _account_factorized_traffic(
+        self, dataset: IntegratedDataset, model_spec: ModelSpec
+    ) -> None:
         operand_bytes = np.zeros(len(dataset.feature_columns))
         partial_bytes = np.zeros(dataset.n_target_rows)
         for _ in range(max(model_spec.n_iterations, 1)):
@@ -91,7 +100,9 @@ class Executor:
         feature_indices = [i for i in range(target.shape[1]) if i != label_index]
         return target[:, feature_indices], target[:, label_index]
 
-    def _train_central(self, operand, labels, model_spec: ModelSpec):
+    def _train_central(
+        self, operand, labels, model_spec: ModelSpec, warm_start_from=None
+    ):
         task = model_spec.task
         if task == "classification":
             if labels is None:
@@ -100,7 +111,10 @@ class Executor:
                 learning_rate=model_spec.learning_rate,
                 n_iterations=model_spec.n_iterations,
                 l2_penalty=model_spec.l2_penalty,
-            ).fit(operand, labels)
+                warm_start=warm_start_from is not None,
+            )
+            self._seed_weights(model, warm_start_from)
+            model = self._fit_wrapped(model, operand, labels)
             predictions = model.predict(operand)
             metrics = {
                 "accuracy": accuracy_score(labels, predictions),
@@ -115,7 +129,10 @@ class Executor:
                 learning_rate=model_spec.learning_rate,
                 n_iterations=model_spec.n_iterations,
                 l2_penalty=model_spec.l2_penalty,
-            ).fit(operand, labels)
+                warm_start=warm_start_from is not None,
+            )
+            self._seed_weights(model, warm_start_from)
+            model = self._fit_wrapped(model, operand, labels)
             predictions = model.predict(operand)
             metrics = {
                 "mse": mean_squared_error(labels, predictions),
@@ -133,6 +150,26 @@ class Executor:
             ).fit(operand)
             return model, {"reconstruction_error": model.reconstruction_error_}, None
         raise PlanError(f"unknown task {task!r}")
+
+    @staticmethod
+    def _seed_weights(model, warm_start_from) -> None:
+        """Copy weights from a compatible previous model of the same class."""
+        if warm_start_from is None or not isinstance(warm_start_from, type(model)):
+            return
+        previous_coef = getattr(warm_start_from, "coef_", None)
+        if previous_coef is not None:
+            model.coef_ = np.array(previous_coef)
+            model.intercept_ = float(getattr(warm_start_from, "intercept_", 0.0))
+
+    @staticmethod
+    def _fit_wrapped(model, operand, labels):
+        """Fit, translating learner ``ValueError``\\ s (bad labels, shape
+        mismatches) into :class:`PlanError` so the facade raises only from
+        the repro exception hierarchy."""
+        try:
+            return model.fit(operand, labels)
+        except ValueError as error:
+            raise PlanError(str(error)) from error
 
     # -- federated strategy --------------------------------------------------------------
     def _execute_federated(self, plan: ExecutionPlan) -> TrainingResult:

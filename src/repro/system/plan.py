@@ -66,6 +66,27 @@ class ExecutionPlan:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ModelHandle:
+    """An explicit reference to a trained, catalog-registered model.
+
+    Returned by :meth:`repro.system.Amalur.train` (on
+    :attr:`TrainingResult.handle`) so callers address models by handle
+    instead of guessing the facade's internal ``model_{counter}`` naming.
+    ``auto_named`` records that the name came from the counter default —
+    :meth:`repro.metadata.MetadataCatalog.model` deprecates string lookups
+    of such names.
+    """
+
+    name: str
+    task: str = ""
+    dataset: str = ""
+    auto_named: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
 @dataclass
 class TrainingResult:
     """The executor's output: the trained model plus execution evidence."""
@@ -76,6 +97,7 @@ class TrainingResult:
     predictions: Optional[np.ndarray] = None
     bytes_transferred: int = 0
     n_messages: int = 0
+    handle: Optional[ModelHandle] = None
 
     @property
     def strategy(self) -> Decision:

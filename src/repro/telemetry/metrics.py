@@ -30,16 +30,24 @@ class Counter:
 
 
 class Gauge:
-    """A last-write-wins instantaneous value."""
+    """A last-write-wins instantaneous value, tracking its high-water mark.
 
-    __slots__ = ("name", "value")
+    ``max`` keeps the largest value ever set, so bursty signals sampled at
+    set-time (the serving queue depth) survive into the report even when
+    the final value is back to zero.
+    """
+
+    __slots__ = ("name", "value", "max")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self.max = 0.0
 
     def set(self, value: float) -> None:
         self.value = float(value)
+        if self.value > self.max:
+            self.max = self.value
 
 
 class Histogram:
@@ -115,8 +123,15 @@ class MetricsRegistry:
             return {name: json_safe(c.value) for name, c in sorted(self._counters.items())}
 
     def gauge_values(self) -> Dict[str, float]:
+        """Final gauge values, plus a ``<name>.max`` high-water entry for
+        gauges whose peak exceeded their final value (queue depths)."""
         with self._lock:
-            return {name: json_safe(g.value) for name, g in sorted(self._gauges.items())}
+            values: Dict[str, float] = {}
+            for name, gauge in sorted(self._gauges.items()):
+                values[name] = json_safe(gauge.value)
+                if gauge.max > gauge.value:
+                    values[name + ".max"] = json_safe(gauge.max)
+            return values
 
     def histogram_summaries(self) -> Dict[str, Dict[str, object]]:
         with self._lock:

@@ -1,0 +1,185 @@
+"""The serving worker pool: concurrency, capacity, timeouts, telemetry."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_tables
+from repro.exceptions import CapacityExceeded, RequestTimeout, ServiceError
+from repro.metadata.mappings import ScenarioType
+from repro.serving import AmalurService, DatasetSession
+from repro.system.plan import ModelSpec
+from repro.system.requests import DeltaBatch, IntegrationConfig, PredictRequest, TrainRequest
+
+
+def make_session(seed=0):
+    spec = ScenarioSpec(
+        scenario=ScenarioType.LEFT_JOIN, base_rows=80, other_rows=40,
+        overlap_rows=30, overlap_columns=2, seed=seed,
+    )
+    base, other, matches, _, target_columns = generate_scenario_tables(spec)
+    config = IntegrationConfig(
+        base="S1", other="S2", target_columns=target_columns,
+        scenario=ScenarioType.LEFT_JOIN, label_column="label",
+    )
+    return DatasetSession(base, other, config, column_matches=matches)
+
+
+@pytest.fixture
+def service():
+    svc = AmalurService(n_workers=4, max_queue=32)
+    svc.register_session("demo", make_session())
+    yield svc
+    svc.close()
+
+
+class TestConcurrentPredict:
+    def test_concurrent_predicts_bit_identical_to_serial(self, service):
+        service.train("demo", TrainRequest(model=ModelSpec(task="regression")))
+        serial = service.predict("demo").predictions
+        results = [None] * 16
+        errors = []
+
+        def worker(slot):
+            try:
+                results[slot] = service.predict("demo").predictions
+            except Exception as error:  # pragma: no cover - failure evidence
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for predictions in results:
+            assert np.array_equal(predictions, serial)  # bit-identical
+
+    def test_delta_then_predict_matches_rebuild(self, service):
+        session = service.session("demo")
+        rng = np.random.default_rng(11)
+        rows = {"id": [9000, 30]}
+        for column in session.table("S1").schema:
+            if column.name == "id":
+                continue
+            if column.name == "label":
+                rows["label"] = [1, 0]
+            else:
+                rows[column.name] = np.round(rng.standard_normal(2), 4).tolist()
+        out = service.apply_delta(
+            "demo", DeltaBatch(table="S1", kind="append", rows=rows)
+        )
+        assert out.value["mode"] == "incremental"
+        service.train("demo", TrainRequest(model=ModelSpec(task="regression")))
+        served = service.predict("demo").predictions
+
+        reference = DatasetSession(
+            session.table("S1"), session.table("S2"), session.config,
+            column_matches=session.column_matches,
+        )
+        reference.train(TrainRequest(model=ModelSpec(task="regression")))
+        expected = reference.predict(PredictRequest())
+        assert np.allclose(served, expected, atol=1e-8)
+
+    def test_result_envelope(self, service):
+        trained = service.train(
+            "demo", TrainRequest(model=ModelSpec(task="regression"), model_name="m")
+        )
+        assert trained.kind == "train"
+        assert trained.handle is not None and trained.handle.name == "m"
+        assert trained.latency_s > 0.0
+        predicted = service.predict("demo", PredictRequest(model="m"))
+        assert predicted.kind == "predict"
+        assert predicted.version == service.session("demo").version
+        assert predicted.predictions.shape == (service.session("demo").n_target_rows,)
+
+
+class TestCapacityAndTimeouts:
+    def test_full_queue_rejects_gracefully(self):
+        svc = AmalurService(n_workers=1, max_queue=2)
+        release = threading.Event()
+        try:
+            svc.register_session("demo", make_session())
+            # park the single worker, then fill the queue
+            _, blocker = svc._submit("predict", "demo", release.wait)
+            while True:
+                try:
+                    svc._submit("predict", "demo", lambda: None)
+                except CapacityExceeded:
+                    break
+            with pytest.raises(CapacityExceeded):
+                svc.predict("demo")
+        finally:
+            release.set()
+            blocker.result(timeout=5)
+            svc.close()
+
+    def test_timeout_raises_request_timeout(self):
+        svc = AmalurService(n_workers=1, max_queue=8)
+        release = threading.Event()
+        try:
+            svc.register_session("demo", make_session())
+            session = svc.session("demo")
+            session.train(TrainRequest(model=ModelSpec(task="regression")))
+            _, blocker = svc._submit("predict", "demo", release.wait)
+            with pytest.raises(RequestTimeout):
+                svc.predict("demo", PredictRequest(timeout=0.05))
+        finally:
+            release.set()
+            blocker.result(timeout=5)
+            svc.close()
+
+    def test_row_cap_rejects_oversized_requests(self, service):
+        capped = AmalurService(n_workers=1, max_queue=4, max_rows_per_request=10)
+        try:
+            capped.register_session("demo", service.session("demo"))
+            service.train("demo", TrainRequest(model=ModelSpec(task="regression")))
+            small = capped.predict("demo", PredictRequest(row_range=(0, 10)))
+            assert small.predictions.shape == (10,)
+            with pytest.raises(CapacityExceeded):
+                capped.predict("demo", PredictRequest(row_range=(0, 11)))
+            with pytest.raises(CapacityExceeded):
+                capped.predict("demo")  # full-table predict exceeds the cap
+        finally:
+            capped.close()
+
+    def test_errors_propagate_as_service_errors(self, service):
+        with pytest.raises(ServiceError):
+            service.predict("demo", PredictRequest(model="never-trained"))
+        with pytest.raises(ServiceError):
+            service.predict("no-such-session")
+
+    def test_close_is_idempotent_and_final(self):
+        svc = AmalurService(n_workers=2, max_queue=4)
+        svc.register_session("demo", make_session())
+        svc.close()
+        svc.close()
+        with pytest.raises(ServiceError):
+            svc.predict("demo")
+
+
+class TestServingTelemetry:
+    def test_requests_merge_into_one_trace(self):
+        with telemetry.collect(sample_memory=False) as session_t:
+            svc = AmalurService(n_workers=2, max_queue=16)
+            try:
+                svc.register_session("demo", make_session())
+                svc.train("demo", TrainRequest(model=ModelSpec(task="regression")))
+                for _ in range(5):
+                    svc.predict("demo")
+            finally:
+                svc.close()
+        report = session_t.report()
+        assert report.spans["serving.request"]["count"] == 6  # 1 train + 5 predicts
+        assert report.counters["serving.requests"] == 6
+        assert "serving.queue_depth" in report.gauges
+        assert report.histograms["serving.latency_ms"]["count"] == 6
+        # worker-thread spans land in the same chrome trace with their attrs
+        events = [
+            e for e in session_t.chrome_trace()["traceEvents"]
+            if e.get("name") == "serving.request"
+        ]
+        assert len(events) == 6
+        assert {e["args"]["kind"] for e in events} == {"train", "predict"}
