@@ -36,6 +36,7 @@ from scipy import sparse
 if __name__ == "__main__":  # allow `python benchmarks/bench_redundancy.py`
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import parallel
 from repro.datagen.synthetic import OneHotSpec, generate_one_hot_pair
 from repro.factorized.normalized_matrix import AmalurMatrix
 from repro.matrices.redundancy_matrix import RedundancyMatrix, TrivialRedundancy
@@ -255,6 +256,9 @@ def test_trivial_mask_is_o1_memory():
 
 
 if __name__ == "__main__":
+    # tracemalloc budgets assume the serial engine: parallel operators add
+    # per-block partial buffers that are not what this guard measures.
+    parallel.set_num_workers(1)
     benchmark_results = run_benchmark()
     path = save_results(benchmark_results)
     print("\n".join(report_lines(benchmark_results)))

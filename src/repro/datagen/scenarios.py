@@ -204,8 +204,12 @@ class HashedScenarioStream(TableChunkStream):
 
     ``ids`` gives each row's entity id; entity-scoped columns (label,
     shared features) hash the id, table-local feature columns hash the
-    absolute row index under a table-specific salt.
+    absolute row index under a table-specific salt. Every chunk is a pure
+    function of ``(index, seed)``, so the stream is randomly accessible
+    and the parallel builder can hash chunks on every core at once.
     """
+
+    supports_random_access = True
 
     def __init__(self, name: str, schema: Schema, ids: np.ndarray, seed: int,
                  chunk_rows: int = DEFAULT_CHUNK_ROWS):
@@ -223,6 +227,10 @@ class HashedScenarioStream(TableChunkStream):
     def n_rows(self) -> int:
         return int(self._ids.size)
 
+    @property
+    def chunk_rows(self) -> int:
+        return self._chunk_rows
+
     def _column_block(self, column, ids: np.ndarray, start: int) -> np.ndarray:
         if column.name == "id":
             return ids
@@ -236,16 +244,22 @@ class HashedScenarioStream(TableChunkStream):
         uniform = _hash_uniform(rows, _column_salt(self._seed, self.name, column.name))
         return np.round(uniform * 2.0 - 1.0, 4)
 
+    def chunk_at(self, index: int) -> TableChunk:
+        start = index * self._chunk_rows
+        if index < 0 or start >= max(self.n_rows, 1):
+            raise IndexError(f"chunk index {index} out of range for {self.chunk_count} chunks")
+        stop = min(start + self._chunk_rows, self.n_rows)
+        ids = self._ids[start:stop]
+        data = {}
+        valid = {}
+        for column in self._schema:
+            data[column.name] = self._column_block(column, ids, start)
+            valid[column.name] = np.ones(ids.size, dtype=bool)
+        return TableChunk(self._schema, data, valid, offset=start)
+
     def chunks(self) -> Iterator[TableChunk]:
-        for start in range(0, self.n_rows, self._chunk_rows):
-            stop = min(start + self._chunk_rows, self.n_rows)
-            ids = self._ids[start:stop]
-            data = {}
-            valid = {}
-            for column in self._schema:
-                data[column.name] = self._column_block(column, ids, start)
-                valid[column.name] = np.ones(ids.size, dtype=bool)
-            yield TableChunk(self._schema, data, valid, offset=start)
+        for index in range(self.chunk_count):
+            yield self.chunk_at(index)
 
 
 def generate_scenario_streams(

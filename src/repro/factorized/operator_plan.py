@@ -42,6 +42,7 @@ arrays cannot leak across views.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -62,35 +63,42 @@ class GramCache:
     and evictions are counted locally and — when telemetry is enabled —
     mirrored into the session counters ``gram_cache.hit`` / ``.miss`` /
     ``.evict``.
+
+    All mutations happen under one lock, so concurrent serving requests
+    (or parallel-engine workers) racing on a cold cache compute the Gram
+    once and count exactly one miss.
     """
 
-    __slots__ = ("value", "hits", "misses", "evictions")
+    __slots__ = ("value", "hits", "misses", "evictions", "_lock")
 
     def __init__(self):
         self.value: Optional[np.ndarray] = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.Lock()
 
     def get_or_compute(self, compute) -> np.ndarray:
-        if self.value is not None:
-            self.hits += 1
+        with self._lock:
+            if self.value is not None:
+                self.hits += 1
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("gram_cache.hit")
+                return self.value
+            self.misses += 1
             if _telemetry.ENABLED:
-                _telemetry.counter_add("gram_cache.hit")
+                _telemetry.counter_add("gram_cache.miss")
+            self.value = compute()
             return self.value
-        self.misses += 1
-        if _telemetry.ENABLED:
-            _telemetry.counter_add("gram_cache.miss")
-        self.value = compute()
-        return self.value
 
     def invalidate(self) -> None:
         """Drop the cached Gram (the next ``get_or_compute`` recomputes)."""
-        if self.value is not None:
-            self.evictions += 1
-            if _telemetry.ENABLED:
-                _telemetry.counter_add("gram_cache.evict")
-        self.value = None
+        with self._lock:
+            if self.value is not None:
+                self.evictions += 1
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("gram_cache.evict")
+            self.value = None
 
     def seed(self, value: np.ndarray) -> None:
         """Install an externally maintained Gram (read-only) without
@@ -99,7 +107,8 @@ class GramCache:
         is a hit instead of a full recompute."""
         value = np.array(value, dtype=np.float64)  # own copy: caller keeps mutating theirs
         value.setflags(write=False)
-        self.value = value
+        with self._lock:
+            self.value = value
         if _telemetry.ENABLED:
             _telemetry.counter_add("gram_cache.seed")
 

@@ -11,15 +11,27 @@ full-batch training to floating-point reassociation (≤ 1e-8 in the parity
 suite) — while the working set stays one row block per factor. Combined
 with factors spilled to a :class:`~repro.streaming.SpillStore`, models
 train on datasets whose materialized form exceeds RAM.
+
+With more than one worker (``num_workers``, or the global
+``repro.parallel`` configuration above its row threshold) each iteration
+maps the row blocks over the shared pool through an ordered
+bounded-window pipeline: workers pull spilled blocks off the memmap and
+compute their loss/gradient partials — overlapping spill I/O with the
+current matmuls — while the calling thread reduces the partials in block
+order and releases pages as blocks retire. The partition is the same
+``block_rows`` grid at every worker count, so parallel weights are
+identical for any worker count >= 2 and within reassociation (<= 1e-8)
+of the serial path; one worker runs the exact legacy loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import parallel as _parallel
 from repro import telemetry as _telemetry
 from repro.exceptions import FactorizationError
 from repro.factorized.operator_plan import BlockedMatrixView
@@ -51,6 +63,11 @@ class StreamingGD:
     ``release_pages`` is invoked after every processed block (when given):
     with spilled factors, pass ``SpillStore.release`` so memory-mapped
     pages leave the process RSS as soon as a block is consumed.
+
+    ``num_workers`` overrides the global ``repro.parallel`` worker count
+    for this model: ``None`` inherits it (gated by the global row
+    threshold so small fits stay serial), ``1`` forces the exact legacy
+    loop, and any larger value fans blocks over the shared pool.
     """
 
     task: str = "linear"
@@ -61,6 +78,7 @@ class StreamingGD:
     fit_intercept: bool = True
     tolerance: float = 0.0
     release_pages: Optional[Callable[[], None]] = None
+    num_workers: Optional[int] = None
     coef_: Optional[np.ndarray] = field(default=None, init=False)
     intercept_: float = field(default=0.0, init=False)
     loss_history_: List[float] = field(default_factory=list, init=False)
@@ -76,6 +94,13 @@ class StreamingGD:
         if self.release_pages is not None:
             self.release_pages()
 
+    def _effective_workers(self, n_rows: int) -> int:
+        if self.num_workers is not None:
+            return max(1, int(self.num_workers))
+        if _parallel.should_parallelize(n_rows):
+            return _parallel.get_num_workers()
+        return 1
+
     # -- label extraction -----------------------------------------------------------
     def _extract_labels(self, matrix) -> np.ndarray:
         label_column = matrix.dataset.label_column
@@ -86,9 +111,21 @@ class StreamingGD:
         view = matrix.blocked(columns=[label_column])
         selector = np.ones((1, 1))
         labels = np.empty(view.n_rows, dtype=np.float64)
-        for start, stop in view.row_blocks(self.block_rows):
-            labels[start:stop] = view.lmm_block(selector, start, stop)[:, 0]
-            self._released()
+        workers = self._effective_workers(view.n_rows)
+        if workers > 1:
+
+            def _fill(bounds: Tuple[int, int]) -> None:
+                start, stop = bounds
+                labels[start:stop] = view.lmm_block(selector, start, stop)[:, 0]
+
+            for _ in _parallel.imap_ordered(
+                _fill, view.row_blocks(self.block_rows), workers=workers
+            ):
+                self._released()
+        else:
+            for start, stop in view.row_blocks(self.block_rows):
+                labels[start:stop] = view.lmm_block(selector, start, stop)[:, 0]
+                self._released()
         return labels
 
     # -- fitting ---------------------------------------------------------------------
@@ -136,15 +173,36 @@ class StreamingGD:
         n_iterations = int(self._hyper("n_iterations"))
         weights = np.zeros((n_columns, 1))
         self.loss_history_ = []
+        workers = self._effective_workers(n_rows)
+
+        def _block_piece(
+            block_weights: np.ndarray, bounds: Tuple[int, int]
+        ) -> Tuple[float, np.ndarray]:
+            start, stop = bounds
+            predictions = view.lmm_block(block_weights, start, stop)
+            residuals = predictions - centered_column[start:stop]
+            partial = np.zeros((n_columns, 1))
+            view.transpose_lmm_add(residuals, start, stop, partial)
+            return float(np.sum(residuals * residuals)), partial
+
         for _ in range(n_iterations):
             loss_sum = 0.0
             gradient = np.zeros((n_columns, 1))
-            for start, stop in blocks:
-                predictions = view.lmm_block(weights, start, stop)
-                residuals = predictions - centered_column[start:stop]
-                loss_sum += float(np.sum(residuals * residuals))
-                view.transpose_lmm_add(residuals, start, stop, gradient)
-                self._released()
+            if workers > 1:
+                current = weights
+                for loss_piece, partial in _parallel.imap_ordered(
+                    lambda bounds: _block_piece(current, bounds), blocks, workers=workers
+                ):
+                    loss_sum += loss_piece
+                    gradient += partial
+                    self._released()
+            else:
+                for start, stop in blocks:
+                    predictions = view.lmm_block(weights, start, stop)
+                    residuals = predictions - centered_column[start:stop]
+                    loss_sum += float(np.sum(residuals * residuals))
+                    view.transpose_lmm_add(residuals, start, stop, gradient)
+                    self._released()
             self.loss_history_.append(loss_sum / n_rows)
             if _telemetry.ENABLED:
                 _telemetry.counter_add("gd.iterations")
@@ -170,22 +228,52 @@ class StreamingGD:
         weights = np.zeros((n_columns, 1))
         intercept = 0.0
         self.loss_history_ = []
+        workers = self._effective_workers(n_rows)
+
+        def _block_piece(
+            block_weights: np.ndarray, block_intercept: float, bounds: Tuple[int, int]
+        ) -> Tuple[float, float, np.ndarray]:
+            start, stop = bounds
+            logits = view.lmm_block(block_weights, start, stop)[:, 0] + block_intercept
+            probabilities = _sigmoid(logits)
+            clipped = np.clip(probabilities, _LOG_EPS, 1 - _LOG_EPS)
+            y = targets[start:stop]
+            loss_piece = float(
+                -np.sum(y * np.log(clipped) + (1 - y) * np.log(1 - clipped))
+            )
+            errors = probabilities - y
+            partial = np.zeros((n_columns, 1))
+            view.transpose_lmm_add(errors[:, None], start, stop, partial)
+            return loss_piece, float(errors.sum()), partial
+
         for _ in range(n_iterations):
             loss_sum = 0.0
             error_sum = 0.0
             gradient = np.zeros((n_columns, 1))
-            for start, stop in blocks:
-                logits = view.lmm_block(weights, start, stop)[:, 0] + intercept
-                probabilities = _sigmoid(logits)
-                clipped = np.clip(probabilities, _LOG_EPS, 1 - _LOG_EPS)
-                y = targets[start:stop]
-                loss_sum += float(
-                    -np.sum(y * np.log(clipped) + (1 - y) * np.log(1 - clipped))
-                )
-                errors = probabilities - y
-                error_sum += float(errors.sum())
-                view.transpose_lmm_add(errors[:, None], start, stop, gradient)
-                self._released()
+            if workers > 1:
+                current, current_intercept = weights, intercept
+                for loss_piece, error_piece, partial in _parallel.imap_ordered(
+                    lambda bounds: _block_piece(current, current_intercept, bounds),
+                    blocks,
+                    workers=workers,
+                ):
+                    loss_sum += loss_piece
+                    error_sum += error_piece
+                    gradient += partial
+                    self._released()
+            else:
+                for start, stop in blocks:
+                    logits = view.lmm_block(weights, start, stop)[:, 0] + intercept
+                    probabilities = _sigmoid(logits)
+                    clipped = np.clip(probabilities, _LOG_EPS, 1 - _LOG_EPS)
+                    y = targets[start:stop]
+                    loss_sum += float(
+                        -np.sum(y * np.log(clipped) + (1 - y) * np.log(1 - clipped))
+                    )
+                    errors = probabilities - y
+                    error_sum += float(errors.sum())
+                    view.transpose_lmm_add(errors[:, None], start, stop, gradient)
+                    self._released()
             self.loss_history_.append(loss_sum / n_rows)
             if _telemetry.ENABLED:
                 _telemetry.counter_add("gd.iterations")
@@ -217,9 +305,21 @@ class StreamingGD:
         view = matrix.blocked(columns=columns)
         out = np.empty(view.n_rows, dtype=np.float64)
         weights = self.coef_[:, None]
-        for start, stop in view.row_blocks(self.block_rows):
-            out[start:stop] = view.lmm_block(weights, start, stop)[:, 0]
-            self._released()
+        workers = self._effective_workers(view.n_rows)
+        if workers > 1:
+
+            def _fill(bounds: Tuple[int, int]) -> None:
+                start, stop = bounds
+                out[start:stop] = view.lmm_block(weights, start, stop)[:, 0]
+
+            for _ in _parallel.imap_ordered(
+                _fill, view.row_blocks(self.block_rows), workers=workers
+            ):
+                self._released()
+        else:
+            for start, stop in view.row_blocks(self.block_rows):
+                out[start:stop] = view.lmm_block(weights, start, stop)[:, 0]
+                self._released()
         return out + self.intercept_
 
     def predict(self, matrix, columns: Optional[List[str]] = None) -> np.ndarray:

@@ -1,0 +1,188 @@
+"""Shared worker pools and ordered block-parallel maps.
+
+Three primitives cover every parallel call site in the engine:
+
+``parallel_map(fn, items)``
+    Eager ordered map over a finite task list — the shape of every
+    row-block operator (LMM / transpose-LMM / Gram partial sums). Results
+    come back in submission order, so reductions on the caller's thread
+    reassociate identically regardless of which worker finished first.
+
+``imap_ordered(fn, iterable)``
+    Lazy ordered map with a bounded in-flight window, for pipelines that
+    must not materialize every task at once (chunked CSV parse, spillable
+    ``D_k`` assembly). At most ``window`` results are buffered, so peak
+    memory stays at ``window x chunk`` instead of the whole stream.
+
+``prefetch(iterable)``
+    A background feeder that keeps ``depth`` items ready ahead of the
+    consumer — the double-buffer that overlaps :class:`SpillStore` block
+    I/O with the current matmul in ``StreamingGD``.
+
+Pools are plain ``ThreadPoolExecutor``s, cached per size. Threads are the
+right vehicle here: the hot kernels are BLAS matmuls and numpy slice
+copies, all of which release the GIL. Tasks submitted from *inside* a
+worker run inline on that worker (no nested fan-out), which makes
+composition — a parallel builder consuming a parallel ingest — safe by
+construction instead of deadlock-prone.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+from repro import telemetry as _telemetry
+from repro.parallel import config
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_pool_lock = threading.Lock()
+_executors: Dict[int, ThreadPoolExecutor] = {}
+_task_local = threading.local()
+
+
+def _get_executor(workers: int) -> ThreadPoolExecutor:
+    executor = _executors.get(workers)
+    if executor is None:
+        with _pool_lock:
+            executor = _executors.get(workers)
+            if executor is None:
+                executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix=f"repro-par-{workers}"
+                )
+                _executors[workers] = executor
+    return executor
+
+
+def _in_worker() -> bool:
+    return getattr(_task_local, "in_worker", False)
+
+
+def _run_task(fn: Callable[[T], R], item: T) -> R:
+    _task_local.in_worker = True
+    try:
+        return fn(item)
+    finally:
+        _task_local.in_worker = False
+
+
+def shutdown() -> None:
+    """Tear down every cached pool (tests; atexit not required)."""
+    with _pool_lock:
+        executors = list(_executors.values())
+        _executors.clear()
+    for executor in executors:
+        executor.shutdown(wait=True)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    label: Optional[str] = None,
+) -> List[R]:
+    """Apply ``fn`` to every item, returning results in item order.
+
+    Falls back to a plain serial loop when one worker is effective or when
+    called from inside another parallel task (reentrancy guard). The
+    output is order-identical to ``[fn(x) for x in items]`` either way.
+    """
+    items = list(items)
+    effective = config.effective_workers(len(items), workers)
+    if effective <= 1 or _in_worker():
+        return [fn(item) for item in items]
+    executor = _get_executor(effective)
+    if _telemetry.ENABLED:
+        with _telemetry.span(
+            "parallel.map", label=label or "", tasks=len(items), workers=effective
+        ):
+            _telemetry.counter_add("parallel.maps")
+            _telemetry.counter_add("parallel.tasks", len(items))
+            return list(executor.map(_run_task, [fn] * len(items), items))
+    return list(executor.map(_run_task, [fn] * len(items), items))
+
+
+def imap_ordered(
+    fn: Callable[[T], R],
+    iterable: Iterable[T],
+    workers: Optional[int] = None,
+    window: Optional[int] = None,
+) -> Iterator[R]:
+    """Lazily map ``fn`` over ``iterable``, yielding results in input order.
+
+    At most ``window`` tasks (default ``2 x workers``) are in flight or
+    buffered at once, which bounds memory for chunk pipelines. Serial
+    fallback mirrors ``map(fn, iterable)`` exactly.
+    """
+    effective = config.get_num_workers() if workers is None else max(1, int(workers))
+    if effective <= 1 or _in_worker():
+        for item in iterable:
+            yield fn(item)
+        return
+    executor = _get_executor(effective)
+    depth = max(2, 2 * effective) if window is None else max(1, int(window))
+    pending: Deque = deque()
+    iterator = iter(iterable)
+    if _telemetry.ENABLED:
+        _telemetry.counter_add("parallel.maps")
+    try:
+        while True:
+            while len(pending) < depth:
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    break
+                pending.append(executor.submit(_run_task, fn, item))
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("parallel.tasks")
+            if not pending:
+                return
+            yield pending.popleft().result()
+    finally:
+        for future in pending:
+            future.cancel()
+
+
+class _PrefetchDone:
+    pass
+
+
+_DONE = _PrefetchDone()
+
+
+def prefetch(iterable: Iterable[T], depth: int = 2) -> Iterator[T]:
+    """Pull from ``iterable`` on a background thread, ``depth`` items ahead.
+
+    The producer blocks once the buffer is full, so an unconsumed stream
+    never runs ahead of the consumer by more than ``depth`` items. Falls
+    back to plain iteration at one configured worker (exact legacy path)
+    or when already inside a worker task.
+    """
+    if config.get_num_workers() <= 1 or _in_worker():
+        yield from iterable
+        return
+    buffer: "queue.Queue" = queue.Queue(maxsize=max(1, depth))
+
+    def _feed() -> None:
+        try:
+            for item in iterable:
+                buffer.put(item)
+        except BaseException as exc:  # propagate to the consumer
+            buffer.put(exc)
+        else:
+            buffer.put(_DONE)
+
+    feeder = threading.Thread(target=_feed, name="repro-prefetch", daemon=True)
+    feeder.start()
+    while True:
+        item = buffer.get()
+        if isinstance(item, _PrefetchDone):
+            return
+        if isinstance(item, BaseException):
+            raise item
+        yield item

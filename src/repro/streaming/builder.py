@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro import parallel as _parallel
 from repro import telemetry as _telemetry
 from repro.backends import BackendSpec, resolve_backend
 from repro.exceptions import MappingError
@@ -74,6 +75,15 @@ def _ingest_stream(
     — and ``validity`` maps each requested source column to its full
     boolean validity bitmap (needed only for overlap columns, so this
     stays O(rows × shared columns)).
+
+    Randomly accessible streams (resident tables, synthetic generators)
+    assemble block-parallel: each worker materializes one chunk and writes
+    its disjoint ``[offset, offset + n)`` row slice of ``D_k`` — pure data
+    movement, so the built factors are bit-identical at every worker
+    count. Sequential streams (CSV) keep the ordered fill but pull chunks
+    through a background prefetcher so parsing overlaps the memmap copy.
+    Completed chunks release their spill pages as they retire either way,
+    keeping the resident set at a bounded window of chunks.
     """
     schema = stream.schema
     source_columns = _numeric_mapped_columns(schema, correspondences, target_columns)
@@ -89,24 +99,53 @@ def _ingest_stream(
         else:
             data = np.zeros((n_rows, len(source_columns)), dtype=np.float64)
         validity = {c: np.zeros(n_rows, dtype=bool) for c in validity_columns}
-        filled = 0
-        for chunk in stream.chunks():
-            stop = filled + chunk.n_rows
-            if stop > n_rows:
-                raise MappingError(
-                    f"stream {stream.name!r} produced more rows than its declared {n_rows}"
-                )
-            data[filled:stop] = chunk.to_matrix(source_columns)
-            for column in validity_columns:
-                validity[column][filled:stop] = chunk.column_valid(column)
-            if _telemetry.ENABLED and store is not None:
-                _telemetry.counter_add(
-                    "spill.bytes_written",
-                    float((stop - filled) * len(source_columns) * 8),
-                )
-            filled = stop
-            if store is not None:
-                store.release()
+        parallel_build = (
+            stream.supports_random_access
+            and _parallel.get_num_workers() > 1
+            and stream.chunk_count > 1
+        )
+        if parallel_build:
+
+            def _fill_chunk(index: int) -> int:
+                chunk = stream.chunk_at(index)
+                stop = chunk.offset + chunk.n_rows
+                if stop > n_rows:
+                    raise MappingError(
+                        f"stream {stream.name!r} produced more rows than its declared {n_rows}"
+                    )
+                data[chunk.offset:stop] = chunk.to_matrix(source_columns)
+                for column in validity_columns:
+                    validity[column][chunk.offset:stop] = chunk.column_valid(column)
+                return chunk.n_rows
+
+            filled = 0
+            for produced in _parallel.imap_ordered(_fill_chunk, range(stream.chunk_count)):
+                filled += produced
+                if _telemetry.ENABLED and store is not None:
+                    _telemetry.counter_add(
+                        "spill.bytes_written", float(produced * len(source_columns) * 8)
+                    )
+                if store is not None:
+                    store.release()
+        else:
+            filled = 0
+            for chunk in _parallel.prefetch(stream.chunks(), depth=2):
+                stop = filled + chunk.n_rows
+                if stop > n_rows:
+                    raise MappingError(
+                        f"stream {stream.name!r} produced more rows than its declared {n_rows}"
+                    )
+                data[filled:stop] = chunk.to_matrix(source_columns)
+                for column in validity_columns:
+                    validity[column][filled:stop] = chunk.column_valid(column)
+                if _telemetry.ENABLED and store is not None:
+                    _telemetry.counter_add(
+                        "spill.bytes_written",
+                        float((stop - filled) * len(source_columns) * 8),
+                    )
+                filled = stop
+                if store is not None:
+                    store.release()
         if filled != n_rows:
             raise MappingError(
                 f"stream {stream.name!r} produced {filled} rows, declared {n_rows}"

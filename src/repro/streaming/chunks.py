@@ -79,6 +79,13 @@ class TableChunkStream:
 
     name: str
 
+    #: Streams whose chunks can be produced independently and in any order
+    #: (resident tables, stateless synthetic generators) set this and
+    #: implement :meth:`chunk_at`, which lets the parallel builder assemble
+    #: ``D_k`` with a worker per chunk. Inherently sequential sources (a
+    #: CSV file) leave it False and are consumed through a prefetcher.
+    supports_random_access: bool = False
+
     @property
     def schema(self) -> Schema:
         raise NotImplementedError
@@ -86,6 +93,21 @@ class TableChunkStream:
     @property
     def n_rows(self) -> int:
         raise NotImplementedError
+
+    @property
+    def chunk_rows(self) -> int:
+        """Nominal rows per chunk (random-access streams only)."""
+        raise NotImplementedError
+
+    @property
+    def chunk_count(self) -> int:
+        """Number of chunks :meth:`chunk_at` accepts (random-access only)."""
+        return -(-self.n_rows // self.chunk_rows) if self.n_rows else 0
+
+    def chunk_at(self, index: int) -> TableChunk:
+        """Chunk ``index`` (0-based), identical to the ``index``-th item of
+        :meth:`chunks`. Only random-access streams implement this."""
+        raise NotImplementedError(f"{type(self).__name__} is not randomly accessible")
 
     def chunks(self) -> Iterator[TableChunk]:
         raise NotImplementedError
@@ -115,6 +137,8 @@ class TableChunkStream:
 class InMemoryTableStream(TableChunkStream):
     """A resident :class:`Table` exposed as a chunk stream (zero-copy views)."""
 
+    supports_random_access = True
+
     def __init__(self, table: Table, chunk_rows: int = DEFAULT_CHUNK_ROWS):
         if chunk_rows <= 0:
             raise TableError(f"chunk_rows must be positive, got {chunk_rows}")
@@ -130,14 +154,24 @@ class InMemoryTableStream(TableChunkStream):
     def n_rows(self) -> int:
         return self._table.n_rows
 
-    def chunks(self) -> Iterator[TableChunk]:
+    @property
+    def chunk_rows(self) -> int:
+        return self._chunk_rows
+
+    def chunk_at(self, index: int) -> TableChunk:
         table = self._table
+        start = index * self._chunk_rows
+        if index < 0 or start >= max(table.n_rows, 1):
+            raise IndexError(f"chunk index {index} out of range for {self.chunk_count} chunks")
+        stop = min(start + self._chunk_rows, table.n_rows)
         names = table.schema.names
-        for start in range(0, table.n_rows, self._chunk_rows):
-            stop = min(start + self._chunk_rows, table.n_rows)
-            data = {name: table.column_values(name)[start:stop] for name in names}
-            valid = {name: table.column_valid(name)[start:stop] for name in names}
-            yield TableChunk(table.schema, data, valid, offset=start)
+        data = {name: table.column_values(name)[start:stop] for name in names}
+        valid = {name: table.column_valid(name)[start:stop] for name in names}
+        return TableChunk(table.schema, data, valid, offset=start)
+
+    def chunks(self) -> Iterator[TableChunk]:
+        for index in range(self.chunk_count):
+            yield self.chunk_at(index)
 
     def read_table(self) -> Table:
         return self._table

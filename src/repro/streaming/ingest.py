@@ -19,6 +19,13 @@ Two consumption modes share one code path:
 * ``chunks()`` — bounded memory: a first scan pass accumulates only the
   per-column type flags and the row count, then a second pass yields typed
   :class:`TableChunk` blocks that are never retained.
+
+Both modes parse in parallel when ``repro.parallel`` is configured with
+more than one worker: the file is still *read* sequentially (one handle,
+one pass), but each raw row block is classified and typed on a worker via
+an ordered bounded-window map, so chunk boundaries, per-chunk results and
+yield order — and therefore every downstream byte — are identical to the
+serial path at any worker count.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import parallel as _parallel
 from repro import telemetry as _telemetry
 from repro.exceptions import TableError
 from repro.relational.schema import Column, Schema
@@ -351,6 +359,16 @@ class ChunkedCsvReader(TableChunkStream):
                     rows = []
             yield header, rows
 
+    def _numbered_raw_chunks(self) -> Iterator[Tuple[int, List[str], List[List[str]]]]:
+        """Non-empty raw blocks with their absolute row offset, computed at
+        read time so parse workers never need upstream state."""
+        offset = 0
+        for header, rows in self._raw_chunks():
+            if not rows:
+                continue
+            yield offset, header, rows
+            offset += len(rows)
+
     def _parse_chunk(self, header: List[str], rows: List[List[str]]):
         if not rows:
             return [ParsedColumnBlock(0) for _ in header]
@@ -372,23 +390,38 @@ class ChunkedCsvReader(TableChunkStream):
 
     # -- streaming interface ----------------------------------------------------------
     def scan(self) -> Schema:
-        """First pass: infer the schema and row count in bounded memory."""
+        """First pass: infer the schema and row count in bounded memory.
+
+        Raw blocks are read sequentially; their type classification runs on
+        the worker pool. Flag merging is a commutative boolean OR, but the
+        ordered map keeps it deterministic anyway.
+        """
         if self._schema is None:
             with _telemetry.span("ingest.scan", file=str(self._path)) as span:
-                header: List[str] = []
+                state: Dict[str, object] = {"header": [], "n_rows": 0}
+
+                def _tasks() -> Iterator[Tuple[List[str], List[List[str]]]]:
+                    for header, rows in self._raw_chunks():
+                        state["header"] = header
+                        state["n_rows"] = int(state["n_rows"]) + len(rows)
+                        yield header, rows
+
+                def _chunk_flags(task: Tuple[List[str], List[List[str]]]):
+                    header, rows = task
+                    return [block.flags for block in self._parse_chunk(header, rows)]
+
                 flags: List[ColumnTypeFlags] = []
-                n_rows = 0
-                for header, rows in self._raw_chunks():
+                for chunk_flags in _parallel.imap_ordered(_chunk_flags, _tasks()):
                     if not flags:
-                        flags = [ColumnTypeFlags() for _ in header]
-                    n_rows += len(rows)
-                    for accumulated, block in zip(flags, self._parse_chunk(header, rows)):
-                        accumulated.merge(block.flags)
+                        flags = [ColumnTypeFlags() for _ in chunk_flags]
+                    for accumulated, block_flags in zip(flags, chunk_flags):
+                        accumulated.merge(block_flags)
+                header = list(state["header"])  # type: ignore[arg-type]
                 if not flags:
                     flags = [ColumnTypeFlags() for _ in header]
                 self._schema = self._schema_from_flags(header, flags)
-                self._n_rows = n_rows
-                span.set(rows=n_rows, columns=len(header))
+                self._n_rows = int(state["n_rows"])
+                span.set(rows=self._n_rows, columns=len(header))
         return self._schema
 
     @property
@@ -402,10 +435,9 @@ class ChunkedCsvReader(TableChunkStream):
 
     def chunks(self) -> Iterator[TableChunk]:
         schema = self.scan()
-        offset = 0
-        for header, rows in self._raw_chunks():
-            if not rows:
-                continue
+
+        def _typed_chunk(task: Tuple[int, List[str], List[List[str]]]) -> TableChunk:
+            offset, header, rows = task
             with _telemetry.span(
                 "ingest.chunk", file=str(self._path), offset=offset, rows=len(rows)
             ):
@@ -413,30 +445,41 @@ class ChunkedCsvReader(TableChunkStream):
                 valid: Dict[str, np.ndarray] = {}
                 for column, block in zip(schema, self._parse_chunk(header, rows)):
                     data[column.name], valid[column.name] = block.finalize(column.dtype)
-                chunk = TableChunk(schema, data, valid, offset=offset)
+                return TableChunk(schema, data, valid, offset=offset)
+
+        for chunk in _parallel.imap_ordered(_typed_chunk, self._numbered_raw_chunks()):
             if _telemetry.ENABLED:
                 _telemetry.counter_add("ingest.chunks")
-                _telemetry.counter_add("ingest.rows", float(len(rows)))
+                _telemetry.counter_add("ingest.rows", float(chunk.n_rows))
             yield chunk
-            offset += len(rows)
 
     # -- one-pass materialization ------------------------------------------------------
     def read(self) -> Table:
         """Parse once and assemble a resident :class:`Table` (the
         single-chunk fast path ``read_csv`` routes through)."""
-        header: List[str] = []
+        state: Dict[str, object] = {"header": []}
+
+        def _tasks() -> Iterator[Tuple[List[str], List[List[str]]]]:
+            for header, rows in self._raw_chunks():
+                state["header"] = header
+                yield header, rows
+
+        def _parsed(task: Tuple[List[str], List[List[str]]]):
+            header, rows = task
+            return len(rows), self._parse_chunk(header, rows)
+
         flags: List[ColumnTypeFlags] = []
         parsed: List[List[ParsedColumnBlock]] = []
         n_rows = 0
-        for header, rows in self._raw_chunks():
-            blocks = self._parse_chunk(header, rows)
+        for rows_in_chunk, blocks in _parallel.imap_ordered(_parsed, _tasks()):
             if not flags:
-                flags = [ColumnTypeFlags() for _ in header]
+                flags = [ColumnTypeFlags() for _ in blocks]
             for accumulated, block in zip(flags, blocks):
                 accumulated.merge(block.flags)
-            if rows:
+            if rows_in_chunk:
                 parsed.append(blocks)
-                n_rows += len(rows)
+                n_rows += rows_in_chunk
+        header = list(state["header"])  # type: ignore[arg-type]
         if not flags:
             flags = [ColumnTypeFlags() for _ in header]
         schema = self._schema_from_flags(header, flags)

@@ -43,6 +43,7 @@ from repro.telemetry.memory import (
     RssSampler,
     current_rss_bytes,
     peak_rss_bytes,
+    rss_breakdown,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.tracer import NOOP_SPAN, NoopSpan, Span, SpanRecord, Tracer
@@ -71,6 +72,7 @@ __all__ = [
     "observe",
     "peak_rss_bytes",
     "record_op",
+    "rss_breakdown",
     "run_report",
     "span",
 ]
@@ -111,6 +113,8 @@ class TelemetrySession:
             "peak_rss_bytes": peak_rss_bytes(),
             "sampled_peak_rss_bytes": 0,
             "n_samples": 0,
+            "sampled_peak_anonymous_bytes": 0,
+            "sampled_peak_file_backed_bytes": 0,
         }
 
     def report(self):

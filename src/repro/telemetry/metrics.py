@@ -2,10 +2,17 @@
 
 A :class:`MetricsRegistry` is the session-scoped home of every named
 instrument. Instruments are created on first touch (``registry.counter(
-"flops.lmm.local")``), accumulate as plain Python floats under one lock,
-and snapshot into the run report. The FLOP counters mirror the legacy
+"flops.lmm.local")``), accumulate as plain Python floats, and snapshot
+into the run report. The FLOP counters mirror the legacy
 :class:`repro.factorized.ops_counter.FlopCounter` labels exactly — the
 parity tests assert value-for-value equality.
+
+Thread safety: the registry lock guards instrument *creation*; each
+instrument carries its own lock guarding *updates*, so parallel-engine
+workers (and serving threads) incrementing the same counter never lose an
+update. The disabled path is contention-free by construction — call
+sites guard on ``telemetry.ENABLED`` before ever reaching an instrument,
+so no lock is touched (or even allocated) when telemetry is off.
 """
 
 from __future__ import annotations
@@ -17,16 +24,18 @@ from repro.telemetry.tracer import json_safe
 
 
 class Counter:
-    """A monotonically increasing sum."""
+    """A monotonically increasing sum; updates are atomic under a lock."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def add(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
@@ -37,17 +46,20 @@ class Gauge:
     the final value is back to zero.
     """
 
-    __slots__ = ("name", "value", "max")
+    __slots__ = ("name", "value", "max", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
         self.max = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-        if self.value > self.max:
-            self.max = self.value
+        value = float(value)
+        with self._lock:
+            self.value = value
+            if value > self.max:
+                self.max = value
 
 
 class Histogram:
@@ -58,21 +70,24 @@ class Histogram:
     (loss-curve plots, convergence diffs) need.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.values: List[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        with self._lock:
+            self.values.append(float(value))
 
     @property
     def count(self) -> int:
         return len(self.values)
 
     def summary(self) -> Dict[str, object]:
-        values = self.values
+        with self._lock:
+            values = list(self.values)
         if not values:
             return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
                     "last": 0.0, "values": []}

@@ -61,3 +61,30 @@ class TestAmalurMatrixGramCache:
         assert recomputed is not gram
         assert np.allclose(recomputed, gram)
         assert matrix.gram_cache.stats["evictions"] == 1
+
+
+class TestGramCacheConcurrency:
+    def test_racing_threads_compute_once(self):
+        import threading
+
+        cache = GramCache()
+        computes = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def compute():
+            computes.append(1)
+            return np.eye(3)
+
+        def work():
+            barrier.wait()
+            results.append(cache.get_or_compute(compute))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(computes) == 1, "cold cache must compute the Gram exactly once"
+        assert cache.stats == {"hits": 7, "misses": 1, "evictions": 0}
+        assert all(r is results[0] for r in results)

@@ -2,7 +2,14 @@
 
 import time
 
-from repro.telemetry.memory import RssSampler, current_rss_bytes, peak_rss_bytes
+import numpy as np
+
+from repro.telemetry.memory import (
+    RssSampler,
+    current_rss_bytes,
+    peak_rss_bytes,
+    rss_breakdown,
+)
 
 
 class TestProbes:
@@ -44,3 +51,45 @@ class TestRssSampler:
         sampler.start()
         sampler.stop()
         sampler.stop()
+
+
+class TestRssBreakdown:
+    def test_breakdown_fields_consistent(self):
+        breakdown = rss_breakdown()
+        if not breakdown["available"]:  # pragma: no cover - non-Linux
+            assert breakdown["rss_bytes"] == 0
+            return
+        assert breakdown["rss_bytes"] > 0
+        assert breakdown["anonymous_bytes"] > 0  # the interpreter heap
+        assert breakdown["file_backed_bytes"] >= 0
+        assert (
+            breakdown["anonymous_bytes"] + breakdown["file_backed_bytes"]
+            >= breakdown["rss_bytes"] * 0.95
+        )
+
+    def test_memmap_growth_lands_in_file_backed(self, tmp_path):
+        before = rss_breakdown()
+        if not before["available"]:  # pragma: no cover - non-Linux
+            return
+        size = 16 * 1024 * 1024
+        mapped = np.memmap(tmp_path / "spill.bin", dtype=np.uint8, mode="w+", shape=size)
+        mapped[::4096] = 1  # touch every page
+        after = rss_breakdown()
+        grown = after["file_backed_bytes"] - before["file_backed_bytes"]
+        assert grown >= size * 0.5, f"memmap pages not attributed: {before} -> {after}"
+        del mapped
+
+    def test_sampler_snapshot_has_breakdown_peaks(self):
+        sampler = RssSampler(interval=0.005)
+        sampler.start()
+        time.sleep(0.05)
+        sampler.stop()
+        snapshot = sampler.snapshot()
+        assert "sampled_peak_anonymous_bytes" in snapshot
+        assert "sampled_peak_file_backed_bytes" in snapshot
+        if rss_breakdown()["available"]:
+            assert snapshot["sampled_peak_anonymous_bytes"] > 0
+            assert (
+                snapshot["sampled_peak_anonymous_bytes"]
+                <= snapshot["sampled_peak_rss_bytes"]
+            )

@@ -68,3 +68,55 @@ class TestConcurrency:
         for t in threads:
             t.join()
         assert len(registry.counter_values()) == 5
+
+    def test_concurrent_counter_adds_are_exact(self):
+        """8 threads x 500 increments lose no update under the instrument lock."""
+        registry = MetricsRegistry()
+        counter = registry.counter("parallel.hits")
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            for _ in range(500):
+                counter.add(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter_values() == {"parallel.hits": 8 * 500}
+
+    def test_concurrent_gauge_max_never_below_any_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        barrier = threading.Barrier(4)
+
+        def work(offset):
+            barrier.wait()
+            for value in range(offset, offset + 200):
+                gauge.set(float(value))
+
+        threads = [threading.Thread(target=work, args=(i * 200,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gauge.max == 4 * 200 - 1
+
+    def test_concurrent_histogram_observations_all_kept(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        barrier = threading.Barrier(4)
+
+        def work():
+            barrier.wait()
+            for _ in range(250):
+                histogram.observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert histogram.count == 1000
