@@ -1,0 +1,243 @@
+"""Chaos matrix: fault-injected full-pipeline runs must match fault-free.
+
+Run standalone to emit ``benchmarks/results/CHAOS_RUN_REPORT.json`` (exits
+non-zero when a guard fails — the CI ``fault-guard`` job)::
+
+    PYTHONPATH=src python benchmarks/chaos_guard.py
+
+One fault-free reference run of the wide streaming scenario (the same
+450k x 287 left join ``bench_streaming.py`` budgets) is followed by a
+matrix of chaos runs, each under a pinned-seed fault plan that injects
+transient read/ingest/task failures and torn spill writes into an
+otherwise unmodified build + ``StreamingGD`` training pass. Guards, per
+chaos run:
+
+* at least one fault actually triggered (a plan that never fires guards
+  nothing);
+* trained weights, intercept and loss history match the reference within
+  **1e-8** — and, because retries redo idempotent block work and repairs
+  rewrite exact bytes, bit-for-bit equality is recorded too;
+* every torn write was caught by a CRC32 mismatch and repaired.
+
+Each run's telemetry (fault/retry/repair counters, spans) lands in the
+report JSON, which CI uploads as the ``fault-guard`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow `python benchmarks/chaos_guard.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import parallel, telemetry
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_streams
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.learning import StreamingGD
+from repro.metadata.mappings import ScenarioType
+from repro.reliability import faults
+from repro.streaming import SpillStore, integrate_streams
+
+RESULTS_PATH = Path(__file__).parent / "results" / "CHAOS_RUN_REPORT.json"
+
+PARITY_TOLERANCE = 1e-8
+WORKERS = 2  # chaos must cross the parallel build/train paths
+
+SPEC = ScenarioSpec(
+    ScenarioType.LEFT_JOIN,
+    base_rows=450_000,
+    other_rows=220_000,
+    base_features=150,
+    other_features=140,
+    overlap_rows=60_000,
+    overlap_columns=4,
+    seed=17,
+)
+CHUNK_ROWS = 8_192
+TRAIN_ITERATIONS = 4
+
+# Pinned-seed chaos matrix. Every trigger budget stays below the wired
+# retry limit (8 attempts), so completion is guaranteed by construction
+# and the guard tests *recovery*, not crash behavior.
+CHAOS_MATRIX = [
+    {
+        "name": "storage",
+        "plan": "spill.read:p=0.05,n=6,seed=101;"
+                "spill.write:kind=corrupt,p=0.03,n=3,seed=102",
+    },
+    {
+        "name": "compute",
+        "plan": "ingest.chunk:p=0.1,n=5,seed=201;"
+                "parallel.task:p=0.05,n=6,seed=202",
+    },
+    {
+        "name": "everything",
+        "plan": "spill.read:p=0.04,n=4,seed=301;"
+                "spill.write:kind=corrupt,p=0.03,n=2,seed=302;"
+                "ingest.chunk:p=0.08,n=4,seed=303;"
+                "parallel.task:p=0.04,n=4,seed=304",
+    },
+]
+
+
+def _run_pipeline(tmp_dir: Path, tag: str) -> dict:
+    base, other, matches, row_matches, targets = generate_scenario_streams(
+        SPEC, chunk_rows=CHUNK_ROWS
+    )
+    start = time.perf_counter()
+    # Checksums on for every run (reference included, so the timings are
+    # comparable): torn writes must be caught and repaired, not trained on.
+    with SpillStore(tmp_dir / f"spill-{tag}", checksums=True) as store:
+        dataset = integrate_streams(
+            base, other, matches, row_matches, targets, SPEC.scenario,
+            label_column="label", store=store,
+        )
+        model = StreamingGD(
+            task="linear",
+            block_rows=CHUNK_ROWS,
+            n_iterations=TRAIN_ITERATIONS,
+            release_pages=store.release,
+        ).fit(AmalurMatrix(dataset))
+    return {
+        "seconds": time.perf_counter() - start,
+        "coef": model.coef_,
+        "intercept": model.intercept_,
+        "loss_history": np.asarray(model.loss_history_, dtype=np.float64),
+    }
+
+
+def _chaos_run(tmp_dir: Path, entry: dict, reference: dict) -> dict:
+    session = telemetry.enable(sample_memory=False)
+    try:
+        with faults.active_plan(entry["plan"]) as injector:
+            run = _run_pipeline(tmp_dir, entry["name"])
+            triggered = {
+                site: {"hits": hits, "triggers": triggers}
+                for site, (hits, triggers) in sorted(injector.snapshot().items())
+            }
+    finally:
+        telemetry.disable()
+    report = session.report()
+    total_triggers = sum(site["triggers"] for site in triggered.values())
+    corrupt_triggers = triggered.get("spill.write", {}).get("triggers", 0)
+    counters = report.to_dict().get("counters", {})
+
+    coef_diff = float(np.max(np.abs(run["coef"] - reference["coef"])))
+    loss_diff = float(
+        np.max(np.abs(run["loss_history"] - reference["loss_history"]))
+    )
+    return {
+        "plan": entry["plan"],
+        "seconds": run["seconds"],
+        "sites": triggered,
+        "total_triggers": total_triggers,
+        "faults_injected_counter": counters.get("faults.injected", 0),
+        "retry_attempts": counters.get("retry.attempts", 0),
+        "crc_mismatches": counters.get("spill.crc_mismatch", 0),
+        "blocks_repaired": counters.get("spill.blocks_repaired", 0),
+        "corrupt_writes": corrupt_triggers,
+        "max_coef_diff": coef_diff,
+        "max_loss_diff": loss_diff,
+        "intercept_diff": float(
+            abs(run["intercept"] - reference["intercept"])
+        ),
+        "bit_identical": bool(
+            np.array_equal(run["coef"], reference["coef"])
+            and run["intercept"] == reference["intercept"]
+            and np.array_equal(run["loss_history"], reference["loss_history"])
+        ),
+        "telemetry": report.to_dict(),
+    }
+
+
+def run_benchmark() -> dict:
+    import tempfile
+
+    parallel.set_num_workers(WORKERS)
+    parallel.set_min_parallel_rows(0)
+    faults.clear()
+    results = {"workers": WORKERS, "train_iterations": TRAIN_ITERATIONS}
+    with tempfile.TemporaryDirectory(prefix="chaos-guard-") as tmp:
+        tmp_dir = Path(tmp)
+        reference = _run_pipeline(tmp_dir, "reference")
+        results["reference_seconds"] = reference["seconds"]
+        results["scenario"] = {
+            "rows": SPEC.base_rows,
+            "chunk_rows": CHUNK_ROWS,
+        }
+        results["runs"] = {
+            entry["name"]: _chaos_run(tmp_dir, entry, reference)
+            for entry in CHAOS_MATRIX
+        }
+    return results
+
+
+def check_guards(results: dict) -> list:
+    failures = []
+    for name, run in results["runs"].items():
+        if run["total_triggers"] == 0:
+            failures.append(f"chaos run '{name}' never triggered a fault")
+        if run["faults_injected_counter"] != run["total_triggers"]:
+            failures.append(
+                f"chaos run '{name}': telemetry counted "
+                f"{run['faults_injected_counter']} injected faults, the "
+                f"injector recorded {run['total_triggers']}"
+            )
+        if run["max_coef_diff"] > PARITY_TOLERANCE:
+            failures.append(
+                f"chaos run '{name}': weights diverged from fault-free by "
+                f"{run['max_coef_diff']:.2e} (> {PARITY_TOLERANCE:.0e})"
+            )
+        if run["max_loss_diff"] > PARITY_TOLERANCE:
+            failures.append(
+                f"chaos run '{name}': loss history diverged by "
+                f"{run['max_loss_diff']:.2e} (> {PARITY_TOLERANCE:.0e})"
+            )
+        if run["corrupt_writes"] and not run["blocks_repaired"]:
+            failures.append(
+                f"chaos run '{name}': {run['corrupt_writes']} torn writes "
+                f"but no blocks were repaired"
+            )
+    return failures
+
+
+def save_results(results: dict) -> Path:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return RESULTS_PATH
+
+
+def report_lines(results: dict) -> list:
+    lines = [
+        "fault-free reference: %.1fs (%d workers, %d GD iterations)"
+        % (results["reference_seconds"], results["workers"],
+           results["train_iterations"])
+    ]
+    for name, run in results["runs"].items():
+        lines.append(
+            "chaos '%s': %d triggers (%d torn writes, %d repaired), "
+            "max coef diff %.1e, bit identical=%s, %.1fs"
+            % (
+                name, run["total_triggers"], run["corrupt_writes"],
+                run["blocks_repaired"], run["max_coef_diff"],
+                run["bit_identical"], run["seconds"],
+            )
+        )
+    return lines
+
+
+if __name__ == "__main__":
+    benchmark_results = run_benchmark()
+    path = save_results(benchmark_results)
+    print("\n".join(report_lines(benchmark_results)))
+    print(f"\nresults written to {path}")
+    guard_failures = check_guards(benchmark_results)
+    if guard_failures:
+        print("FAULT GUARD FAILED:", "; ".join(guard_failures), file=sys.stderr)
+        raise SystemExit(1)
+    print("fault guards passed")

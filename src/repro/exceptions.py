@@ -59,6 +59,33 @@ class CatalogError(AmalurError):
     """Raised for metadata-catalog lookup/registration failures."""
 
 
+class TransientError(AmalurError):
+    """A failure that is expected to succeed on retry (flaky I/O, an
+    injected fault, a lost page): the retryable class of
+    :class:`repro.reliability.retry.RetryPolicy`."""
+
+
+class IntegrityError(AmalurError):
+    """Data failed a checksum or structural validation (torn spill write,
+    corrupt checkpoint segment). Never blindly retryable — the corrupted
+    artifact must be rebuilt from its source."""
+
+
+class PoisonTaskError(AmalurError):
+    """A parallel task kept failing after every retry attempt; carries the
+    originating site and block index so the failing unit of work is
+    identifiable from the message alone."""
+
+    def __init__(self, message: str, site: str = "", index: int = -1):
+        super().__init__(message)
+        self.site = site
+        self.index = index
+
+
+class CheckpointError(AmalurError):
+    """Raised for invalid checkpoint layout, lookup or restore requests."""
+
+
 class ServiceError(AmalurError):
     """Base class for online-serving failures (:mod:`repro.serving`)."""
 
@@ -74,4 +101,12 @@ class CapacityExceeded(ServiceError):
 class StaleDatasetError(ServiceError):
     """Raised when a resident dataset is too stale to serve the request
     (accumulated deltas passed the staleness threshold and automatic
-    rebuild is disabled, or the request pinned an outdated version)."""
+    rebuild is disabled, the request pinned an outdated version, or a
+    rebuild failed and the session degraded to serving its last good
+    snapshot)."""
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when a session's circuit breaker is open: repeated handler
+    failures tripped it, and requests are rejected immediately until the
+    cool-down elapses and a half-open probe succeeds."""

@@ -52,6 +52,8 @@ from repro import telemetry as _telemetry
 from repro.backends import Backend
 from repro.backends.base import Storage
 from repro.matrices.builder import SourceFactor
+from repro.reliability import faults as _faults
+from repro.reliability.retry import SPILL_RETRY
 
 
 class GramCache:
@@ -360,7 +362,19 @@ class BlockedFactorView:
         )
 
     def _storage_block(self, lo: int, hi: int):
-        """The (rows × selected columns) slice of ``D_k`` a block touches."""
+        """The (rows × selected columns) slice of ``D_k`` a block touches.
+
+        This is the spill *refault* site: with a fault plan active, a
+        triggered ``spill.read`` fault is retried with backoff — the
+        gather is a pure read of disjoint source rows, so a retried
+        refault returns bit-identical data.
+        """
+        if _faults.ACTIVE:
+            return SPILL_RETRY.call(self._storage_block_once, lo, hi, site="spill.read")
+        return self._storage_block_once(lo, hi)
+
+    def _storage_block_once(self, lo: int, hi: int):
+        _faults.fault_point("spill.read", lo=lo, hi=hi)
         block = self.backend.take_rows(self.storage, self.plan.source_rows[lo:hi])
         if not self.all_source_cols:
             block = self.backend.take_columns(block, self.sel_source_cols)

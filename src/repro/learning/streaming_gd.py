@@ -33,8 +33,9 @@ import numpy as np
 
 from repro import parallel as _parallel
 from repro import telemetry as _telemetry
-from repro.exceptions import FactorizationError
+from repro.exceptions import CheckpointError, FactorizationError
 from repro.factorized.operator_plan import BlockedMatrixView
+from repro.reliability.checkpoint import CheckpointManager
 
 _LINEAR_DEFAULTS = {"learning_rate": 0.01, "n_iterations": 200}
 _LOGISTIC_DEFAULTS = {"learning_rate": 0.1, "n_iterations": 300}
@@ -68,6 +69,15 @@ class StreamingGD:
     for this model: ``None`` inherits it (gated by the global row
     threshold so small fits stay serial), ``1`` forces the exact legacy
     loop, and any larger value fans blocks over the shared pool.
+
+    With a ``checkpoint`` manager, training state — weights, intercept,
+    loss history, completed-iteration counter, block cursor — is saved
+    atomically every ``checkpoint_every`` completed epochs, and ``fit``
+    resumes from the newest valid checkpoint. Each epoch is a pure
+    function of the restored state (full-batch gradient over a fixed
+    block grid), so an interrupted run resumed from its last checkpoint
+    produces **bit-identical** weights to an uninterrupted run.
+    Checkpointing defaults off and costs nothing when off.
     """
 
     task: str = "linear"
@@ -79,9 +89,12 @@ class StreamingGD:
     tolerance: float = 0.0
     release_pages: Optional[Callable[[], None]] = None
     num_workers: Optional[int] = None
+    checkpoint: Optional[CheckpointManager] = None
+    checkpoint_every: int = 1
     coef_: Optional[np.ndarray] = field(default=None, init=False)
     intercept_: float = field(default=0.0, init=False)
     loss_history_: List[float] = field(default_factory=list, init=False)
+    resumed_from_: Optional[int] = field(default=None, init=False)
 
     def _hyper(self, name: str) -> float:
         explicit = getattr(self, name)
@@ -100,6 +113,58 @@ class StreamingGD:
         if _parallel.should_parallelize(n_rows):
             return _parallel.get_num_workers()
         return 1
+
+    # -- checkpointing ----------------------------------------------------------------
+    def _restore_state(self, n_columns: int):
+        """``(weights, intercept, loss_history, start_iteration)`` from the
+        newest valid checkpoint, or ``None`` for a fresh start."""
+        if self.checkpoint is None:
+            return None
+        restored = self.checkpoint.latest()
+        if restored is None:
+            return None
+        if restored.metadata.get("task") != self.task:
+            raise CheckpointError(
+                f"checkpoint at {restored.path} was written by a "
+                f"{restored.metadata.get('task')!r} model, not {self.task!r}"
+            )
+        weights = restored.arrays["weights"]
+        if weights.shape != (n_columns, 1):
+            raise CheckpointError(
+                f"checkpoint at {restored.path} holds weights of shape "
+                f"{weights.shape}, expected {(n_columns, 1)}"
+            )
+        self.resumed_from_ = restored.step
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("checkpoint.resumes")
+        return (
+            weights.copy(),
+            float(restored.metadata.get("intercept", 0.0)),
+            restored.arrays["loss_history"].tolist(),
+            restored.step,
+        )
+
+    def _save_state(self, iteration: int, weights: np.ndarray, intercept: float) -> None:
+        """Persist epoch-boundary state: ``iteration`` epochs are complete,
+        so the block cursor is always 0 — the next epoch starts clean."""
+        if self.checkpoint is None:
+            return
+        every = max(1, int(self.checkpoint_every))
+        if iteration % every != 0:
+            return
+        self.checkpoint.save(
+            iteration,
+            {
+                "weights": weights,
+                "loss_history": np.asarray(self.loss_history_, dtype=np.float64),
+            },
+            {
+                "task": self.task,
+                "intercept": float(intercept),
+                "iteration": int(iteration),
+                "block_cursor": 0,
+            },
+        )
 
     # -- label extraction -----------------------------------------------------------
     def _extract_labels(self, matrix) -> np.ndarray:
@@ -173,6 +238,12 @@ class StreamingGD:
         n_iterations = int(self._hyper("n_iterations"))
         weights = np.zeros((n_columns, 1))
         self.loss_history_ = []
+        start_iteration = 0
+        restored = self._restore_state(n_columns)
+        if restored is not None:
+            # target_offset is recomputed above — a pure function of the
+            # targets — so only weights/history/counter need restoring.
+            weights, _, self.loss_history_, start_iteration = restored
         workers = self._effective_workers(n_rows)
 
         def _block_piece(
@@ -185,7 +256,7 @@ class StreamingGD:
             view.transpose_lmm_add(residuals, start, stop, partial)
             return float(np.sum(residuals * residuals)), partial
 
-        for _ in range(n_iterations):
+        for iteration in range(start_iteration, n_iterations):
             loss_sum = 0.0
             gradient = np.zeros((n_columns, 1))
             if workers > 1:
@@ -211,10 +282,14 @@ class StreamingGD:
             if self.l2_penalty:
                 gradient = gradient + self.l2_penalty * weights / n_rows
             new_weights = weights - learning_rate * gradient
-            if self.tolerance and np.linalg.norm(new_weights - weights) < self.tolerance:
-                weights = new_weights
-                break
+            converged = bool(
+                self.tolerance
+                and np.linalg.norm(new_weights - weights) < self.tolerance
+            )
             weights = new_weights
+            self._save_state(iteration + 1, weights, target_offset)
+            if converged:
+                break
         self.coef_ = weights[:, 0]
         self.intercept_ = target_offset
 
@@ -228,6 +303,10 @@ class StreamingGD:
         weights = np.zeros((n_columns, 1))
         intercept = 0.0
         self.loss_history_ = []
+        start_iteration = 0
+        restored = self._restore_state(n_columns)
+        if restored is not None:
+            weights, intercept, self.loss_history_, start_iteration = restored
         workers = self._effective_workers(n_rows)
 
         def _block_piece(
@@ -246,7 +325,7 @@ class StreamingGD:
             view.transpose_lmm_add(errors[:, None], start, stop, partial)
             return loss_piece, float(errors.sum()), partial
 
-        for _ in range(n_iterations):
+        for iteration in range(start_iteration, n_iterations):
             loss_sum = 0.0
             error_sum = 0.0
             gradient = np.zeros((n_columns, 1))
@@ -285,10 +364,13 @@ class StreamingGD:
             new_weights = weights - step
             if self.fit_intercept:
                 intercept -= learning_rate * (error_sum / n_rows)
-            if self.tolerance and np.linalg.norm(step) < self.tolerance:
-                weights = new_weights
-                break
+            converged = bool(
+                self.tolerance and np.linalg.norm(step) < self.tolerance
+            )
             weights = new_weights
+            self._save_state(iteration + 1, weights, intercept)
+            if converged:
+                break
         self.coef_ = weights[:, 0]
         self.intercept_ = intercept
 

@@ -36,7 +36,10 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
 from repro import telemetry as _telemetry
+from repro.exceptions import PoisonTaskError, TransientError
 from repro.parallel import config
+from repro.reliability import faults as _faults
+from repro.reliability.retry import TASK_RETRY
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -63,12 +66,54 @@ def _in_worker() -> bool:
     return getattr(_task_local, "in_worker", False)
 
 
-def _run_task(fn: Callable[[T], R], item: T) -> R:
+def _annotate(exc: BaseException, label: str, index: int) -> None:
+    """Stamp a worker exception with its originating site and block index.
+
+    Mutating ``args`` (rather than wrapping) keeps the exception type and
+    ``except`` clauses intact while making ``str(exc)`` — and therefore
+    any logged traceback — say which unit of work failed.
+    """
+    note = f"[parallel site={label or 'parallel.task'}, block={index}]"
+    if exc.args and isinstance(exc.args[0], str):
+        exc.args = (f"{exc.args[0]} {note}",) + exc.args[1:]
+    else:
+        exc.args = exc.args + (note,)
+
+
+def _run_task(fn: Callable[[T], R], item: T, label: str = "", index: int = -1) -> R:
+    previous = getattr(_task_local, "in_worker", False)
     _task_local.in_worker = True
     try:
-        return fn(item)
+        if not _faults.ACTIVE:
+            try:
+                return fn(item)
+            except Exception as exc:
+                _annotate(exc, label, index)
+                raise
+        # Chaos path: the fault site fires before the task body, and
+        # transient faults are retried. Tasks are idempotent (each writes
+        # a disjoint slice or returns a pure value), so a retried task
+        # redoes identical work and block-parity is preserved.
+
+        def _attempt() -> R:
+            _faults.fault_point("parallel.task", label=label, index=index)
+            return fn(item)
+
+        try:
+            return TASK_RETRY.call(_attempt, site="parallel.task")
+        except TransientError as exc:
+            raise PoisonTaskError(
+                f"parallel task kept failing after {TASK_RETRY.max_attempts} "
+                f"attempts [parallel site={label or 'parallel.task'}, "
+                f"block={index}]",
+                site=label or "parallel.task",
+                index=index,
+            ) from exc
+        except Exception as exc:
+            _annotate(exc, label, index)
+            raise
     finally:
-        _task_local.in_worker = False
+        _task_local.in_worker = previous
 
 
 def shutdown() -> None:
@@ -95,16 +140,24 @@ def parallel_map(
     items = list(items)
     effective = config.effective_workers(len(items), workers)
     if effective <= 1 or _in_worker():
+        if _faults.ACTIVE:
+            # Chaos runs exercise the fault/retry path even on the serial
+            # fallback, so a one-core machine still injects worker faults.
+            return [
+                _run_task(fn, item, label or "", i) for i, item in enumerate(items)
+            ]
         return [fn(item) for item in items]
     executor = _get_executor(effective)
+    labels = [label or ""] * len(items)
+    indices = range(len(items))
     if _telemetry.ENABLED:
         with _telemetry.span(
             "parallel.map", label=label or "", tasks=len(items), workers=effective
         ):
             _telemetry.counter_add("parallel.maps")
             _telemetry.counter_add("parallel.tasks", len(items))
-            return list(executor.map(_run_task, [fn] * len(items), items))
-    return list(executor.map(_run_task, [fn] * len(items), items))
+            return list(executor.map(_run_task, [fn] * len(items), items, labels, indices))
+    return list(executor.map(_run_task, [fn] * len(items), items, labels, indices))
 
 
 def imap_ordered(
@@ -112,15 +165,22 @@ def imap_ordered(
     iterable: Iterable[T],
     workers: Optional[int] = None,
     window: Optional[int] = None,
+    label: str = "",
 ) -> Iterator[R]:
     """Lazily map ``fn`` over ``iterable``, yielding results in input order.
 
     At most ``window`` tasks (default ``2 x workers``) are in flight or
     buffered at once, which bounds memory for chunk pipelines. Serial
-    fallback mirrors ``map(fn, iterable)`` exactly.
+    fallback mirrors ``map(fn, iterable)`` exactly. A task that raises
+    surfaces its exception annotated with ``label`` and the task's input
+    index, so a failing chunk is identifiable from the message alone.
     """
     effective = config.get_num_workers() if workers is None else max(1, int(workers))
     if effective <= 1 or _in_worker():
+        if _faults.ACTIVE:
+            for index, item in enumerate(iterable):
+                yield _run_task(fn, item, label, index)
+            return
         for item in iterable:
             yield fn(item)
         return
@@ -128,6 +188,7 @@ def imap_ordered(
     depth = max(2, 2 * effective) if window is None else max(1, int(window))
     pending: Deque = deque()
     iterator = iter(iterable)
+    submitted = 0
     if _telemetry.ENABLED:
         _telemetry.counter_add("parallel.maps")
     try:
@@ -137,7 +198,8 @@ def imap_ordered(
                     item = next(iterator)
                 except StopIteration:
                     break
-                pending.append(executor.submit(_run_task, fn, item))
+                pending.append(executor.submit(_run_task, fn, item, label, submitted))
+                submitted += 1
                 if _telemetry.ENABLED:
                     _telemetry.counter_add("parallel.tasks")
             if not pending:
@@ -155,13 +217,15 @@ class _PrefetchDone:
 _DONE = _PrefetchDone()
 
 
-def prefetch(iterable: Iterable[T], depth: int = 2) -> Iterator[T]:
+def prefetch(iterable: Iterable[T], depth: int = 2, label: str = "") -> Iterator[T]:
     """Pull from ``iterable`` on a background thread, ``depth`` items ahead.
 
     The producer blocks once the buffer is full, so an unconsumed stream
     never runs ahead of the consumer by more than ``depth`` items. Falls
     back to plain iteration at one configured worker (exact legacy path)
-    or when already inside a worker task.
+    or when already inside a worker task. A producer exception crosses to
+    the consumer annotated with ``label`` and the index of the item whose
+    production failed.
     """
     if config.get_num_workers() <= 1 or _in_worker():
         yield from iterable
@@ -169,10 +233,13 @@ def prefetch(iterable: Iterable[T], depth: int = 2) -> Iterator[T]:
     buffer: "queue.Queue" = queue.Queue(maxsize=max(1, depth))
 
     def _feed() -> None:
+        produced = 0
         try:
             for item in iterable:
                 buffer.put(item)
+                produced += 1
         except BaseException as exc:  # propagate to the consumer
+            _annotate(exc, label or "prefetch", produced)
             buffer.put(exc)
         else:
             buffer.put(_DONE)

@@ -1,0 +1,58 @@
+"""Fault tolerance for the long-running layers (PR 9).
+
+Four cooperating pieces, each near-free when idle:
+
+* :mod:`repro.reliability.faults` — deterministic, seeded fault
+  injection at named sites (``spill.read``, ``spill.write``,
+  ``ingest.chunk``, ``parallel.task``, ``serving.request``), activated
+  by the ``REPRO_FAULT_PLAN`` environment variable or
+  :func:`~repro.reliability.faults.active_plan`;
+* :mod:`repro.reliability.retry` — :class:`RetryPolicy` with
+  deterministic exponential backoff, applied to spill refaults, ingest
+  chunk reads and parallel task execution;
+* :mod:`repro.reliability.checkpoint` — :class:`CheckpointManager`
+  with atomic write-then-rename and CRC32-checksummed segments, used by
+  ``StreamingGD`` for bit-identical epoch resume;
+* :mod:`repro.reliability.breaker` — :class:`CircuitBreaker` backing
+  the serving layer's graceful degradation.
+
+Import cost is three small pure-python modules; nothing here touches
+numpy arrays until a checkpoint is actually saved.
+"""
+
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.checkpoint import Checkpoint, CheckpointManager
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear,
+    fault_point,
+    injector,
+    install,
+)
+from repro.reliability.retry import (
+    INGEST_RETRY,
+    SPILL_RETRY,
+    TASK_RETRY,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "Checkpoint",
+    "CheckpointManager",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "SPILL_RETRY",
+    "INGEST_RETRY",
+    "TASK_RETRY",
+    "active_plan",
+    "clear",
+    "fault_point",
+    "injector",
+    "install",
+]

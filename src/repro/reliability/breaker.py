@@ -1,0 +1,160 @@
+"""Circuit breaker: stop hammering a handler that keeps failing.
+
+Classic three-state machine, used per session by the serving layer:
+
+* **closed** — requests flow; consecutive failures are counted, and at
+  ``failure_threshold`` the breaker *opens*;
+* **open** — requests are rejected immediately with
+  :class:`~repro.exceptions.CircuitOpenError` (no queue slot, no worker
+  time) until ``reset_timeout`` seconds have passed;
+* **half-open** — after the cool-down, exactly one probe request is let
+  through: success closes the breaker, failure re-opens it and restarts
+  the cool-down.
+
+The clock is injectable (``clock=time.monotonic``) so tests and chaos
+runs never sleep. State transitions emit a per-name gauge
+(``breaker.state.<name>``: 0 closed, 1 half-open, 2 open) and counters
+(``breaker.opened``, ``breaker.rejected``, ``breaker.recovered``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro import telemetry as _telemetry
+from repro.exceptions import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Thread-safe per-resource circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (with no success in between) that open the
+        breaker.
+    reset_timeout:
+        Seconds the breaker stays open before allowing a half-open probe.
+    name:
+        Telemetry label (gauge ``breaker.state.<name>``).
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        name: str = "default",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise ValueError(f"reset_timeout must be >= 0, got {reset_timeout}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+
+    # -- state ------------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._set_state(HALF_OPEN)
+            self._probe_out = False
+
+    def _set_state(self, state: str) -> None:
+        # Caller holds the lock.
+        self._state = state
+        if _telemetry.ENABLED:
+            _telemetry.gauge_set(f"breaker.state.{self.name}", _STATE_GAUGE[state])
+
+    # -- protocol ---------------------------------------------------------------------
+    def before_request(self) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` when open.
+
+        In half-open state only a single in-flight probe is admitted;
+        concurrent requests are rejected until the probe settles.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return
+            if self._state == HALF_OPEN and not self._probe_out:
+                self._probe_out = True
+                return
+            remaining = max(
+                0.0, self.reset_timeout - (self._clock() - self._opened_at)
+            )
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("breaker.rejected")
+            _telemetry.counter_add(f"breaker.rejected.{self.name}")
+        raise CircuitOpenError(
+            f"circuit {self.name!r} is open after {self.failure_threshold} "
+            f"consecutive failures; retry in {remaining:.3f}s"
+        )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_out = False
+            if self._state != CLOSED:
+                self._set_state(CLOSED)
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("breaker.recovered")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, fresh cool-down.
+                self._probe_out = False
+                self._opened_at = self._clock()
+                self._set_state(OPEN)
+                opened = True
+            else:
+                self._failures += 1
+                opened = self._state == CLOSED and (
+                    self._failures >= self.failure_threshold
+                )
+                if opened:
+                    self._opened_at = self._clock()
+                    self._set_state(OPEN)
+        if opened and _telemetry.ENABLED:
+            _telemetry.counter_add("breaker.opened")
+            _telemetry.counter_add(f"breaker.opened.{self.name}")
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state!r}, "
+            f"failures={self.consecutive_failures})"
+        )

@@ -1,0 +1,210 @@
+"""Atomic, checksummed checkpoints for long-running training loops.
+
+A checkpoint is one self-describing file: a JSON header naming every
+array segment (dtype, shape, byte length, CRC32) plus free-form metadata,
+followed by the raw segment bytes. Two properties make it crash-safe:
+
+* **atomic publication** — the file is fully written and fsynced under a
+  temporary name in the same directory, then ``os.replace``\\ d into
+  place, so a reader never observes a half-written checkpoint: it either
+  sees the previous complete file or the new complete file;
+* **checksummed segments** — every array's CRC32 is validated on load; a
+  torn or bit-flipped segment raises
+  :class:`~repro.exceptions.IntegrityError` instead of silently feeding
+  corrupt weights back into training. :meth:`CheckpointManager.latest`
+  skips corrupt files and falls back to the newest valid one, counting
+  ``checkpoint.corrupt_skipped``.
+
+:class:`~repro.learning.streaming_gd.StreamingGD` uses this to persist
+``(weights, intercept, loss history, iteration counter, block cursor)``
+at epoch boundaries and resume **bit-identically**: an interrupted run
+restarted from its last checkpoint produces exactly the weights of an
+uninterrupted run, because each epoch is a pure function of the restored
+state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro import telemetry as _telemetry
+from repro.exceptions import CheckpointError, IntegrityError
+
+PathLike = Union[str, Path]
+
+_MAGIC = b"RPRCKPT1\n"
+
+
+class Checkpoint:
+    """One loaded checkpoint: step, named arrays and metadata."""
+
+    __slots__ = ("step", "arrays", "metadata", "path")
+
+    def __init__(
+        self,
+        step: int,
+        arrays: Dict[str, np.ndarray],
+        metadata: Dict[str, object],
+        path: Optional[Path] = None,
+    ):
+        self.step = int(step)
+        self.arrays = arrays
+        self.metadata = metadata
+        self.path = path
+
+    def __repr__(self) -> str:
+        return (
+            f"Checkpoint(step={self.step}, arrays={sorted(self.arrays)}, "
+            f"path={str(self.path)!r})"
+        )
+
+
+class CheckpointManager:
+    """A directory of atomically written, CRC32-validated checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Created if missing. One manager owns one training run's
+        checkpoints; files are ``<prefix>-<step>.ckpt``.
+    keep:
+        Retention: after a successful save, only the newest ``keep``
+        checkpoints survive (older ones are deleted). At least one is
+        always kept.
+    """
+
+    def __init__(self, directory: PathLike, keep: int = 2, prefix: str = "ckpt"):
+        if keep < 1:
+            raise CheckpointError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+        self.prefix = prefix
+
+    # -- paths ------------------------------------------------------------------------
+    def _path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-{int(step):010d}.ckpt"
+
+    def steps(self) -> List[int]:
+        """Recorded steps, ascending (corrupt files included — they are
+        only detected on load)."""
+        out = []
+        for path in self.directory.glob(f"{self.prefix}-*.ckpt"):
+            stem = path.stem.rsplit("-", 1)[-1]
+            if stem.isdigit():
+                out.append(int(stem))
+        return sorted(out)
+
+    # -- save -------------------------------------------------------------------------
+    def save(
+        self,
+        step: int,
+        arrays: Dict[str, np.ndarray],
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> Path:
+        """Atomically write one checkpoint; returns its final path."""
+        segments = []
+        payloads = []
+        for name, array in arrays.items():
+            data = np.ascontiguousarray(array)
+            raw = data.tobytes()
+            segments.append(
+                {
+                    "name": name,
+                    "dtype": str(data.dtype),
+                    "shape": list(data.shape),
+                    "nbytes": len(raw),
+                    "crc32": zlib.crc32(raw),
+                }
+            )
+            payloads.append(raw)
+        header = json.dumps(
+            {"step": int(step), "segments": segments, "metadata": metadata or {}},
+            sort_keys=True,
+        ).encode()
+        path = self._path_for(step)
+        tmp = path.with_suffix(".ckpt.tmp")
+        with _telemetry.span("reliability.checkpoint.save", step=int(step)):
+            with tmp.open("wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(len(header).to_bytes(8, "little"))
+                handle.write(header)
+                for raw in payloads:
+                    handle.write(raw)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("checkpoint.saves")
+            _telemetry.counter_add(
+                "checkpoint.bytes_written",
+                float(len(_MAGIC) + 8 + len(header) + sum(len(r) for r in payloads)),
+            )
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        steps = self.steps()
+        for step in steps[: -self.keep]:
+            try:
+                self._path_for(step).unlink()
+            except OSError:  # pragma: no cover - concurrent prune
+                pass
+
+    # -- load -------------------------------------------------------------------------
+    def load(self, step: int) -> Checkpoint:
+        """Load and validate one checkpoint; :class:`IntegrityError` on a
+        bad magic, short read, or CRC mismatch."""
+        path = self._path_for(step)
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint for step {step} in {self.directory}")
+        with _telemetry.span("reliability.checkpoint.load", step=int(step)):
+            with path.open("rb") as handle:
+                magic = handle.read(len(_MAGIC))
+                if magic != _MAGIC:
+                    raise IntegrityError(f"{path} is not a checkpoint (bad magic)")
+                header_len = int.from_bytes(handle.read(8), "little")
+                try:
+                    header = json.loads(handle.read(header_len))
+                except ValueError as exc:
+                    raise IntegrityError(f"{path} has a corrupt header") from exc
+                arrays: Dict[str, np.ndarray] = {}
+                for segment in header["segments"]:
+                    raw = handle.read(segment["nbytes"])
+                    if len(raw) != segment["nbytes"]:
+                        raise IntegrityError(
+                            f"{path} segment {segment['name']!r} is truncated "
+                            f"({len(raw)} of {segment['nbytes']} bytes)"
+                        )
+                    if zlib.crc32(raw) != segment["crc32"]:
+                        raise IntegrityError(
+                            f"{path} segment {segment['name']!r} failed its CRC32 check"
+                        )
+                    arrays[segment["name"]] = np.frombuffer(
+                        raw, dtype=np.dtype(segment["dtype"])
+                    ).reshape(segment["shape"]).copy()
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("checkpoint.loads")
+        return Checkpoint(header["step"], arrays, header["metadata"], path)
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The newest *valid* checkpoint; corrupt ones are skipped (and
+        counted) so a torn final write degrades to the previous epoch
+        instead of killing the resume."""
+        for step in reversed(self.steps()):
+            try:
+                return self.load(step)
+            except IntegrityError:
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("checkpoint.corrupt_skipped")
+                continue
+        return None
+
+    def __repr__(self) -> str:
+        return f"CheckpointManager({str(self.directory)!r}, steps={self.steps()})"

@@ -1,0 +1,306 @@
+"""Deterministic, seeded fault injection for chaos testing the pipeline.
+
+A :class:`FaultPlan` names *sites* — stable strings compiled into the
+long-running layers (``spill.read``, ``spill.write``, ``ingest.chunk``,
+``parallel.task``, ``serving.request``) — and per site a probability, an
+optional trigger budget and a seed. Each time execution crosses a site it
+calls :func:`fault_point` (or :func:`hit` for sites that corrupt data
+instead of raising); with a plan installed the site's own
+``random.Random`` stream decides whether this hit triggers, so a given
+``(plan, hit sequence)`` reproduces the exact same faults on every run —
+chaos runs are debuggable, and the CI chaos matrix is pinned by seeds.
+
+The registry is **off by default and near-free while off**: every
+instrumented call site tests the module-level :data:`ACTIVE` boolean (one
+attribute load + branch) before doing anything, mirroring the telemetry
+facade. Activation paths:
+
+* ``REPRO_FAULT_PLAN`` in the environment — parsed on first import, which
+  is how the CI ``fault-guard`` job injects faults into an unmodified
+  pipeline run;
+* :func:`install` / the :func:`active_plan` context manager — tests.
+
+Plan syntax (semicolon-separated sites, comma-separated ``key=value``
+fields)::
+
+    REPRO_FAULT_PLAN="spill.read:p=0.3,n=4,seed=7;ingest.chunk:p=1,n=2"
+
+Fields: ``p`` (trigger probability per hit, default 1), ``n`` (total
+trigger budget, default unbounded), ``seed`` (per-site RNG seed, default
+0), ``after`` (skip the first ``after`` hits), ``kind`` — ``transient``
+(raise :class:`~repro.exceptions.TransientError`; the default),
+``integrity`` (raise :class:`~repro.exceptions.IntegrityError`) or
+``corrupt`` (do not raise; the site itself damages data so checksum
+validation can be exercised).
+
+A plan whose trigger budget ``n`` is smaller than the retry policy's
+``max_attempts`` is guaranteed to complete: a single unit of work can
+never see more consecutive failures than the site has triggers left.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import zlib
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro import telemetry as _telemetry
+from repro.exceptions import AmalurError, IntegrityError, TransientError
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+KINDS = ("transient", "integrity", "corrupt")
+
+#: Every site compiled into the engine, for plan authors and the
+#: reliability benchmark's site census. Plans may name other sites (a
+#: test can invent its own), but these are the ones production code
+#: crosses.
+KNOWN_SITES = (
+    "ingest.chunk",
+    "parallel.task",
+    "serving.request",
+    "spill.read",
+    "spill.write",
+)
+
+#: The one branch every fault site tests. Mutated only by :func:`install`
+#: and :func:`clear`; read directly (``faults.ACTIVE``) so the disabled
+#: cost of a site is a single attribute load.
+ACTIVE = False
+
+_state_lock = threading.Lock()
+_injector: Optional["FaultInjector"] = None
+
+
+class FaultSpec:
+    """One site's fault configuration inside a plan."""
+
+    __slots__ = ("site", "kind", "probability", "max_triggers", "seed", "after")
+
+    def __init__(
+        self,
+        site: str,
+        kind: str = "transient",
+        probability: float = 1.0,
+        max_triggers: Optional[int] = None,
+        seed: int = 0,
+        after: int = 0,
+    ):
+        if kind not in KINDS:
+            raise AmalurError(f"unknown fault kind {kind!r}; expected one of {KINDS}")
+        if not (0.0 <= probability <= 1.0):
+            raise AmalurError(f"fault probability must be in [0, 1], got {probability}")
+        if max_triggers is not None and max_triggers < 0:
+            raise AmalurError(f"fault trigger budget must be >= 0, got {max_triggers}")
+        self.site = site
+        self.kind = kind
+        self.probability = float(probability)
+        self.max_triggers = max_triggers
+        self.seed = int(seed)
+        self.after = int(after)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSpec({self.site!r}, kind={self.kind!r}, p={self.probability}, "
+            f"n={self.max_triggers}, seed={self.seed}, after={self.after})"
+        )
+
+
+class FaultPlan:
+    """A named set of :class:`FaultSpec`\\ s, parseable from the env string."""
+
+    def __init__(self, specs: Iterator[FaultSpec] = ()):
+        self.specs: Dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.site in self.specs:
+                raise AmalurError(f"fault plan names site {spec.site!r} twice")
+            self.specs[spec.site] = spec
+
+    _FIELD_ALIASES = {
+        "p": "probability", "probability": "probability",
+        "n": "max_triggers", "count": "max_triggers", "max_triggers": "max_triggers",
+        "seed": "seed", "after": "after", "kind": "kind",
+    }
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``site:k=v,k=v;site2:...`` (the ``REPRO_FAULT_PLAN`` syntax)."""
+        specs: List[FaultSpec] = []
+        for entry in text.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            site, _, field_text = entry.partition(":")
+            site = site.strip()
+            if not site:
+                raise AmalurError(f"fault plan entry {entry!r} has no site name")
+            fields: Dict[str, object] = {}
+            for pair in field_text.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                key, eq, value = pair.partition("=")
+                key = key.strip().lower()
+                if not eq:
+                    raise AmalurError(f"fault field {pair!r} is not key=value")
+                canonical = cls._FIELD_ALIASES.get(key)
+                if canonical is None:
+                    raise AmalurError(
+                        f"unknown fault field {key!r} in {entry!r}; "
+                        f"expected one of {sorted(set(cls._FIELD_ALIASES))}"
+                    )
+                value = value.strip()
+                if canonical == "kind":
+                    fields[canonical] = value
+                elif canonical == "probability":
+                    fields[canonical] = float(value)
+                else:
+                    fields[canonical] = int(value)
+            specs.append(FaultSpec(site, **fields))  # type: ignore[arg-type]
+        return cls(iter(specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({sorted(self.specs)})"
+
+
+class _SiteState:
+    __slots__ = ("spec", "rng", "hits", "triggers")
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        # Stable per-site stream: the site name hashed with crc32 (never
+        # the salted builtin hash) mixed into the plan seed.
+        self.rng = random.Random(spec.seed ^ zlib.crc32(spec.site.encode()))
+        self.hits = 0
+        self.triggers = 0
+
+
+class FaultInjector:
+    """Live trigger state for one installed :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._sites = {site: _SiteState(spec) for site, spec in plan.specs.items()}
+
+    def hit(self, site: str) -> Optional[FaultSpec]:
+        """Record one crossing of ``site``; the spec when it triggers.
+
+        The decision consumes exactly one draw of the site's seeded RNG
+        per hit, so trigger indices are a pure function of the plan.
+        """
+        state = self._sites.get(site)
+        if state is None:
+            return None
+        with self._lock:
+            state.hits += 1
+            spec = state.spec
+            if state.hits <= spec.after:
+                return None
+            if spec.max_triggers is not None and state.triggers >= spec.max_triggers:
+                return None
+            if spec.probability < 1.0 and state.rng.random() >= spec.probability:
+                return None
+            state.triggers += 1
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("faults.injected")
+            _telemetry.counter_add(f"faults.injected.{site}")
+        return spec
+
+    def snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """Per-site ``(hits, triggers)`` counts (tests, chaos reports)."""
+        with self._lock:
+            return {s: (st.hits, st.triggers) for s, st in self._sites.items()}
+
+
+def install(plan) -> FaultInjector:
+    """Activate a plan (a :class:`FaultPlan` or its string syntax)."""
+    global ACTIVE, _injector
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    with _state_lock:
+        _injector = FaultInjector(plan)
+        ACTIVE = len(plan) > 0
+        return _injector
+
+
+def clear() -> None:
+    """Deactivate fault injection (idempotent)."""
+    global ACTIVE, _injector
+    with _state_lock:
+        ACTIVE = False
+        _injector = None
+
+
+def injector() -> Optional[FaultInjector]:
+    return _injector
+
+
+def _restore(previous: Optional[FaultInjector]) -> None:
+    global ACTIVE, _injector
+    with _state_lock:
+        _injector = previous
+        ACTIVE = previous is not None
+
+
+@contextmanager
+def active_plan(plan):
+    """Install a plan for a block, restoring the previous state on exit."""
+    previous = _injector
+    installed = install(plan)
+    try:
+        yield installed
+    finally:
+        _restore(previous)
+
+
+def fault_point(site: str, **context) -> None:
+    """Raise the planned fault when ``site`` triggers; no-op otherwise.
+
+    Raising sites support ``transient`` and ``integrity`` kinds; a
+    ``corrupt`` spec never raises here (sites that can damage data ask
+    through :func:`hit` instead).
+    """
+    if not ACTIVE:
+        return
+    inj = _injector
+    if inj is None:  # pragma: no cover - clear() raced us
+        return
+    spec = inj.hit(site)
+    if spec is None or spec.kind == "corrupt":
+        return
+    detail = ", ".join(f"{k}={v}" for k, v in sorted(context.items()))
+    suffix = f" ({detail})" if detail else ""
+    if spec.kind == "integrity":
+        raise IntegrityError(f"injected integrity fault at {site}{suffix}")
+    raise TransientError(f"injected transient fault at {site}{suffix}")
+
+
+def hit(site: str) -> Optional[FaultSpec]:
+    """The triggered spec for one crossing of ``site`` (``None`` otherwise).
+
+    For sites that implement their own fault behavior — e.g. the spill
+    writer corrupting a just-written block when a ``corrupt`` spec
+    triggers, so checksum validation has something real to catch.
+    """
+    if not ACTIVE:
+        return None
+    inj = _injector
+    if inj is None:  # pragma: no cover - clear() raced us
+        return None
+    return inj.hit(site)
+
+
+def _activate_from_env() -> None:
+    text = os.environ.get(ENV_VAR, "").strip()
+    if text:
+        install(FaultPlan.parse(text))
+
+
+_activate_from_env()

@@ -1,0 +1,134 @@
+"""Retry with exponential backoff for transient pipeline failures.
+
+:class:`RetryPolicy` is the one retry shape every layer shares: spill
+refaults during blocked training, chunk reads during ingest and build,
+and task dispatch inside the parallel pool. Only exceptions in the
+policy's ``retryable`` classes — by default
+:class:`~repro.exceptions.TransientError` — are retried; anything else
+(including :class:`~repro.exceptions.IntegrityError`, whose artifact must
+be rebuilt, not re-read) propagates immediately.
+
+Backoff is exponential and **deterministic** (no random jitter): delay
+``i`` is ``base_delay * multiplier**i`` capped at ``max_delay``.
+Determinism matters here because the chaos matrix asserts bit parity
+between faulty and fault-free runs — a retried unit of work must redo
+exactly the same computation, and nothing about scheduling may depend on
+an unseeded RNG.
+
+Every retry emits telemetry (``retry.attempts``, ``retry.exhausted`` and
+per-site ``retry.attempts.<site>`` counters) so a chaos run's report
+shows precisely where recovery work happened.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple, Type, TypeVar
+
+from repro import telemetry as _telemetry
+from repro.exceptions import TransientError
+
+R = TypeVar("R")
+
+
+class RetryPolicy:
+    """How many times to retry, how long to wait, and what is retryable.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (``1`` disables retrying).
+    base_delay / multiplier / max_delay:
+        Deterministic exponential backoff: attempt ``i`` (0-based retry
+        index) sleeps ``min(base_delay * multiplier**i, max_delay)``
+        seconds before re-running.
+    retryable:
+        Exception classes worth retrying; everything else propagates on
+        the first failure.
+    sleep:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    __slots__ = (
+        "max_attempts", "base_delay", "multiplier", "max_delay", "retryable", "sleep",
+    )
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.005,
+        multiplier: float = 2.0,
+        max_delay: float = 0.25,
+        retryable: Tuple[Type[BaseException], ...] = (TransientError,),
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0 or multiplier < 1.0:
+            raise ValueError(
+                "backoff needs base_delay >= 0, max_delay >= 0, multiplier >= 1"
+            )
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.retryable = tuple(retryable)
+        self.sleep = sleep
+
+    def delay(self, retry_index: int) -> float:
+        """The deterministic backoff before the ``retry_index``-th retry."""
+        return min(self.base_delay * self.multiplier**retry_index, self.max_delay)
+
+    def call(self, fn: Callable[..., R], *args, site: str = "", **kwargs) -> R:
+        """Run ``fn(*args, **kwargs)``, retrying retryable failures.
+
+        After ``max_attempts`` failures the last exception is re-raised
+        unchanged — callers that need escalation (the parallel pool's
+        poison-task path) wrap it themselves, keeping this primitive
+        exception-transparent.
+        """
+        retries = self.max_attempts - 1
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except self.retryable:
+                if attempt >= retries:
+                    if _telemetry.ENABLED:
+                        _telemetry.counter_add("retry.exhausted")
+                        if site:
+                            _telemetry.counter_add(f"retry.exhausted.{site}")
+                    raise
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("retry.attempts")
+                    if site:
+                        _telemetry.counter_add(f"retry.attempts.{site}")
+                delay = self.delay(attempt)
+                if delay > 0:
+                    self.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def wraps(self, fn: Callable[..., R], site: str = "") -> Callable[..., R]:
+        """A callable applying this policy to every invocation of ``fn``."""
+
+        def wrapped(*args, **kwargs) -> R:
+            return self.call(fn, *args, site=site, **kwargs)
+
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        return wrapped
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier}, "
+            f"max_delay={self.max_delay})"
+        )
+
+
+#: Shared defaults for the wired-in layers. Spill refaults and chunk
+#: reads back off briefly (page-cache / filesystem hiccups clear fast);
+#: the pool keeps the same shape. ``max_attempts`` deliberately exceeds
+#: the trigger budgets used by the CI chaos plans, so count-bounded plans
+#: always complete.
+SPILL_RETRY = RetryPolicy(max_attempts=8, base_delay=0.001, max_delay=0.05)
+INGEST_RETRY = RetryPolicy(max_attempts=8, base_delay=0.001, max_delay=0.05)
+TASK_RETRY = RetryPolicy(max_attempts=8, base_delay=0.001, max_delay=0.05)

@@ -36,6 +36,8 @@ import numpy as np
 
 from repro import telemetry as _telemetry
 from repro.exceptions import CapacityExceeded, RequestTimeout, ServiceError
+from repro.reliability import faults as _faults
+from repro.reliability.breaker import CircuitBreaker
 from repro.serving.session import DatasetSession, SessionModel
 from repro.system.requests import (
     DeltaBatch,
@@ -63,6 +65,18 @@ class AmalurService:
     max_rows_per_request:
         Upper bound on target rows one predict may span; larger requests
         are rejected at submit time with :class:`CapacityExceeded`.
+    breaker_threshold / breaker_reset:
+        Per-session circuit breaker: after ``breaker_threshold``
+        consecutive handler failures the session's requests are rejected
+        with :class:`~repro.exceptions.CircuitOpenError` for
+        ``breaker_reset`` seconds, then a single probe is admitted.
+    shed_threshold:
+        Load shedding for predict requests, as a fraction of
+        ``max_queue``: a predict submitted while the queue holds at
+        least ``shed_threshold x max_queue`` entries is rejected with
+        :class:`CapacityExceeded`, preserving headroom for mutations.
+        The default ``1.0`` sheds only at a full queue — exactly the
+        legacy back-pressure behavior.
     """
 
     def __init__(
@@ -71,11 +85,23 @@ class AmalurService:
         max_queue: int = 64,
         default_timeout: Optional[float] = None,
         max_rows_per_request: Optional[int] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 30.0,
+        shed_threshold: float = 1.0,
     ):
         if n_workers < 1:
             raise ServiceError("a service needs at least one worker")
+        if not (0.0 < shed_threshold <= 1.0):
+            raise ServiceError(
+                f"shed_threshold must be in (0, 1], got {shed_threshold}"
+            )
         self.default_timeout = default_timeout
         self.max_rows_per_request = max_rows_per_request
+        self.shed_threshold = float(shed_threshold)
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_reset = float(breaker_reset)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
         self._sessions: Dict[str, DatasetSession] = {}
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
         self._request_ids = itertools.count(1)
@@ -157,6 +183,21 @@ class AmalurService:
         self.close()
 
     # -- internals -------------------------------------------------------------------------
+    def breaker(self, session_name: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one session."""
+        breaker = self._breakers.get(session_name)
+        if breaker is None:
+            with self._breaker_lock:
+                breaker = self._breakers.get(session_name)
+                if breaker is None:
+                    breaker = CircuitBreaker(
+                        failure_threshold=self._breaker_threshold,
+                        reset_timeout=self._breaker_reset,
+                        name=session_name,
+                    )
+                    self._breakers[session_name] = breaker
+        return breaker
+
     def _check_row_cap(self, session: DatasetSession, request: PredictRequest) -> None:
         if self.max_rows_per_request is None:
             return
@@ -174,9 +215,26 @@ class AmalurService:
     def _submit(
         self, kind: str, session_name: str, fn: Callable[[], object]
     ) -> Tuple[int, Future]:
-        """Enqueue a request; never blocks — a full queue rejects."""
+        """Enqueue a request; never blocks — a full queue rejects.
+
+        Degradation gates run first: an open circuit rejects the request
+        without consuming a queue slot, and predicts are load-shed once
+        the queue passes ``shed_threshold`` of its bound (mutations keep
+        the remaining headroom so a stressed service can still converge).
+        """
         if self._closed:
             raise ServiceError("service is closed")
+        self.breaker(session_name).before_request()
+        if kind == "predict" and self._queue.maxsize > 0:
+            depth = self._queue.qsize()
+            if depth >= self.shed_threshold * self._queue.maxsize:
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("serving.rejected")
+                    _telemetry.counter_add("serving.shed")
+                raise CapacityExceeded(
+                    f"load shed: queue depth {depth} at or past "
+                    f"{self.shed_threshold:.0%} of {self._queue.maxsize}"
+                )
         request_id = next(self._request_ids)
         future: Future = Future()
         try:
@@ -223,14 +281,19 @@ class AmalurService:
                     "serving.request", request_id=request_id, kind=kind,
                     session=session_name,
                 ):
+                    _faults.fault_point(
+                        "serving.request", kind=kind, session=session_name
+                    )
                     value = fn()
                 latency = time.perf_counter() - started
                 if _telemetry.ENABLED:
                     _telemetry.observe("serving.latency_ms", latency * 1e3)
+                self.breaker(session_name).record_success()
                 future.set_result(self._wrap(request_id, kind, session_name, value, latency))
             except BaseException as error:  # noqa: BLE001 - delivered to the caller
                 if _telemetry.ENABLED:
                     _telemetry.counter_add("serving.errors")
+                self.breaker(session_name).record_failure()
                 future.set_exception(error)
             finally:
                 self._queue.task_done()

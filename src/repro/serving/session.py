@@ -174,6 +174,14 @@ class DatasetSession:
     auto_rebuild:
         When ``False``, deltas that need a rebuild (unsupported forms or
         staleness overflow) raise :class:`StaleDatasetError` instead.
+    serve_stale_on_failure:
+        Graceful degradation: when a delta-driven rebuild *fails*, the
+        session rolls its tables back, keeps serving the last good
+        published snapshot (predict is lock-free on that state), marks
+        itself ``degraded``, and rejects the delta with
+        :class:`StaleDatasetError` chained from the rebuild error. With
+        ``False`` the rebuild error propagates as-is (tables still
+        rolled back).
     """
 
     def __init__(
@@ -185,6 +193,7 @@ class DatasetSession:
         matcher=None,
         staleness_threshold: float = 0.25,
         auto_rebuild: bool = True,
+        serve_stale_on_failure: bool = True,
     ):
         if base.name != config.base or other.name != config.other:
             raise ServiceError(
@@ -199,6 +208,8 @@ class DatasetSession:
         )
         self.staleness_threshold = float(staleness_threshold)
         self.auto_rebuild = bool(auto_rebuild)
+        self.serve_stale_on_failure = bool(serve_stale_on_failure)
+        self._degraded = False
         self._base_name = base.name
         self._other_name = other.name
         self._tables: Dict[str, Table] = {base.name: base, other.name: other}
@@ -241,6 +252,12 @@ class DatasetSession:
         n = self._state.dataset.n_target_rows
         return self._changed_rows / n if n else 0.0
 
+    @property
+    def degraded(self) -> bool:
+        """True while the session serves a stale snapshot because its last
+        rebuild failed; cleared by the next successful rebuild."""
+        return self._degraded
+
     def table(self, name: str) -> Table:
         if name not in self._tables:
             raise ServiceError(f"session holds no table named {name!r}")
@@ -260,6 +277,7 @@ class DatasetSession:
             "incremental_applied": self.incremental_applied,
             "rebuilds": self.rebuilds,
             "staleness": self.staleness,
+            "degraded": self._degraded,
         }
 
     def rebuild(self) -> None:
@@ -363,6 +381,7 @@ class DatasetSession:
             self._adopt(dataset)
         self.rebuilds += 1
         self._changed_rows = 0
+        self._degraded = False
         if _telemetry.ENABLED:
             _telemetry.counter_add("serving.rebuilds")
 
@@ -567,8 +586,25 @@ class DatasetSession:
             raise StaleDatasetError(
                 f"delta requires a full rebuild ({reason}) and auto_rebuild is off"
             )
+        previous_tables = dict(self._tables)
         self._tables.update(new_tables)
-        self._rebuild()
+        try:
+            self._rebuild()
+        except Exception as error:
+            # Roll the tables back so they stay consistent with the still-
+            # published snapshot; predict keeps serving the last good state.
+            self._tables = previous_tables
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("serving.rebuild_failures")
+            if not self.serve_stale_on_failure:
+                raise
+            self._degraded = True
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("serving.degraded")
+            raise StaleDatasetError(
+                f"rebuild failed ({reason}): {error}; the delta was rejected "
+                f"and the session is serving version {self._state.version} stale"
+            ) from error
         return {
             "mode": "rebuild",
             "reason": reason,

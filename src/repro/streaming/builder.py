@@ -17,6 +17,7 @@ parity suite — while touching each source one chunk at a time:
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,7 +26,9 @@ from scipy import sparse
 from repro import parallel as _parallel
 from repro import telemetry as _telemetry
 from repro.backends import BackendSpec, resolve_backend
-from repro.exceptions import MappingError
+from repro.exceptions import IntegrityError, MappingError
+from repro.reliability import faults as _faults
+from repro.reliability.retry import INGEST_RETRY
 from repro.matrices.builder import (
     IntegratedDataset,
     RowMatchesLike,
@@ -99,6 +102,30 @@ def _ingest_stream(
         else:
             data = np.zeros((n_rows, len(source_columns)), dtype=np.float64)
         validity = {c: np.zeros(n_rows, dtype=bool) for c in validity_columns}
+        checksums = store is not None and store.checksums
+        chunk_index_by_offset: Dict[int, int] = {}
+
+        def _write_block(row_start: int, row_stop: int, block: np.ndarray) -> None:
+            """Write one chunk's matrix into ``data``, CRC'd before the write.
+
+            The checksum is computed from the in-memory block *before* it
+            touches the memmap, so a torn write — simulated here by the
+            ``spill.write`` corrupt fault damaging the written slice — is
+            caught by the post-fill validation instead of laundered into
+            the recorded CRC.
+            """
+            if checksums:
+                store.record_crc(
+                    store_key, row_start, row_stop,
+                    zlib.crc32(np.ascontiguousarray(block).tobytes()),
+                )
+            data[row_start:row_stop] = block
+            if _faults.ACTIVE:
+                spec = _faults.hit("spill.write")
+                if spec is not None and spec.kind == "corrupt":
+                    torn = data[row_start:row_stop]
+                    torn[torn.shape[0] // 2:] = 0.0
+
         parallel_build = (
             stream.supports_random_access
             and _parallel.get_num_workers() > 1
@@ -106,20 +133,30 @@ def _ingest_stream(
         )
         if parallel_build:
 
+            def _read_chunk(index: int):
+                _faults.fault_point("ingest.chunk", source=stream.name, chunk=index)
+                return stream.chunk_at(index)
+
             def _fill_chunk(index: int) -> int:
-                chunk = stream.chunk_at(index)
+                if _faults.ACTIVE:
+                    chunk = INGEST_RETRY.call(_read_chunk, index, site="ingest.chunk")
+                else:
+                    chunk = stream.chunk_at(index)
                 stop = chunk.offset + chunk.n_rows
                 if stop > n_rows:
                     raise MappingError(
                         f"stream {stream.name!r} produced more rows than its declared {n_rows}"
                     )
-                data[chunk.offset:stop] = chunk.to_matrix(source_columns)
+                chunk_index_by_offset[chunk.offset] = index
+                _write_block(chunk.offset, stop, chunk.to_matrix(source_columns))
                 for column in validity_columns:
                     validity[column][chunk.offset:stop] = chunk.column_valid(column)
                 return chunk.n_rows
 
             filled = 0
-            for produced in _parallel.imap_ordered(_fill_chunk, range(stream.chunk_count)):
+            for produced in _parallel.imap_ordered(
+                _fill_chunk, range(stream.chunk_count), label="build.fill"
+            ):
                 filled += produced
                 if _telemetry.ENABLED and store is not None:
                     _telemetry.counter_add(
@@ -129,13 +166,13 @@ def _ingest_stream(
                     store.release()
         else:
             filled = 0
-            for chunk in _parallel.prefetch(stream.chunks(), depth=2):
+            for chunk in _parallel.prefetch(stream.chunks(), depth=2, label="build.fill"):
                 stop = filled + chunk.n_rows
                 if stop > n_rows:
                     raise MappingError(
                         f"stream {stream.name!r} produced more rows than its declared {n_rows}"
                     )
-                data[filled:stop] = chunk.to_matrix(source_columns)
+                _write_block(filled, stop, chunk.to_matrix(source_columns))
                 for column in validity_columns:
                     validity[column][filled:stop] = chunk.column_valid(column)
                 if _telemetry.ENABLED and store is not None:
@@ -150,7 +187,50 @@ def _ingest_stream(
             raise MappingError(
                 f"stream {stream.name!r} produced {filled} rows, declared {n_rows}"
             )
+        if checksums:
+            _validate_spilled(
+                store, store_key, stream, source_columns, chunk_index_by_offset
+            )
     return source_columns, data, validity
+
+
+def _validate_spilled(
+    store: SpillStore,
+    store_key: str,
+    stream: TableChunkStream,
+    source_columns: List[str],
+    chunk_index_by_offset: Dict[int, int],
+) -> None:
+    """Seal a just-built spilled matrix: re-read it and repair torn blocks.
+
+    A block whose on-disk bytes no longer match the CRC recorded from the
+    in-memory chunk is refilled from source — random-access streams fetch
+    the owning chunk directly, sequential streams re-iterate to it — then
+    re-validated; a block that still mismatches raises
+    :class:`~repro.exceptions.IntegrityError`.
+    """
+
+    def _repair(row_start: int, row_stop: int, destination: np.ndarray) -> None:
+        if stream.supports_random_access and row_start in chunk_index_by_offset:
+            chunk = stream.chunk_at(chunk_index_by_offset[row_start])
+            destination[...] = chunk.to_matrix(source_columns)
+            return
+        position = 0
+        for chunk in stream.chunks():
+            stop = position + chunk.n_rows
+            if position == row_start:
+                destination[...] = chunk.to_matrix(source_columns)
+                return
+            position = stop
+        raise IntegrityError(
+            f"cannot rebuild rows [{row_start}, {row_stop}) of spilled matrix "
+            f"{store_key!r}: source stream {stream.name!r} no longer covers them"
+        )
+
+    with _telemetry.span("reliability.spill_validate", matrix=store_key):
+        repaired = store.verify(store_key, repair=_repair)
+    if repaired and _telemetry.ENABLED:
+        _telemetry.counter_add("reliability.spill_rebuilt_blocks", float(repaired))
 
 
 def _overlap_complement(
@@ -275,47 +355,58 @@ def _integrate_streams(
     base_validity_columns = sorted({base_map[t] for t in shared_targets})
     other_validity_columns = sorted({other_map[t] for t in shared_targets})
 
-    base_source_columns, base_data, base_validity = _ingest_stream(
-        base, base_correspondences, target_columns, base_validity_columns,
-        store, f"0_{base.name}",
-    )
-    other_source_columns, other_data, other_validity = _ingest_stream(
-        other, other_correspondences, target_columns, other_validity_columns,
-        store, f"1_{other.name}",
-    )
-
-    base_redundancy = RedundancyMatrix.all_ones(base.name, *target_shape)
-    other_redundancy = RedundancyMatrix.from_complement(
-        other.name,
-        target_shape,
-        _overlap_complement(
-            target_shape, target_columns, base_rows, other_rows,
-            base_map, other_map, base_validity, other_validity,
-        ),
-    )
-
-    factors = []
-    for stream, source_columns, data, correspondences, row_map, redundancy in (
-        (base, base_source_columns, base_data, base_correspondences, base_rows,
-         base_redundancy),
-        (other, other_source_columns, other_data, other_correspondences, other_rows,
-         other_redundancy),
-    ):
-        mapping = MappingMatrix(
-            stream.name,
-            target_columns,
-            source_columns,
-            {c: correspondences[c] for c in source_columns},
+    base_key = f"0_{base.name}"
+    other_key = f"1_{other.name}"
+    try:
+        base_source_columns, base_data, base_validity = _ingest_stream(
+            base, base_correspondences, target_columns, base_validity_columns,
+            store, base_key,
         )
-        indicator = IndicatorMatrix(
-            stream.name, n_target_rows, stream.n_rows, row_map
+        other_source_columns, other_data, other_validity = _ingest_stream(
+            other, other_correspondences, target_columns, other_validity_columns,
+            store, other_key,
         )
-        factors.append(
-            SourceFactor(
-                stream.name, data, source_columns, mapping, indicator, redundancy,
-                backend=resolved_backend,
+
+        base_redundancy = RedundancyMatrix.all_ones(base.name, *target_shape)
+        other_redundancy = RedundancyMatrix.from_complement(
+            other.name,
+            target_shape,
+            _overlap_complement(
+                target_shape, target_columns, base_rows, other_rows,
+                base_map, other_map, base_validity, other_validity,
+            ),
+        )
+
+        factors = []
+        for stream, source_columns, data, correspondences, row_map, redundancy in (
+            (base, base_source_columns, base_data, base_correspondences, base_rows,
+             base_redundancy),
+            (other, other_source_columns, other_data, other_correspondences, other_rows,
+             other_redundancy),
+        ):
+            mapping = MappingMatrix(
+                stream.name,
+                target_columns,
+                source_columns,
+                {c: correspondences[c] for c in source_columns},
             )
-        )
+            indicator = IndicatorMatrix(
+                stream.name, n_target_rows, stream.n_rows, row_map
+            )
+            factors.append(
+                SourceFactor(
+                    stream.name, data, source_columns, mapping, indicator, redundancy,
+                    backend=resolved_backend,
+                )
+            )
+    except BaseException:
+        # A failed build can never hand its memmaps to anyone: drop them
+        # from the store and delete the backing files, so an aborted
+        # integrate_streams leaves no orphaned spill files behind.
+        if store is not None:
+            store.discard(base_key)
+            store.discard(other_key)
+        raise
     if store is not None:
         store.release()
     return IntegratedDataset(

@@ -39,6 +39,8 @@ import numpy as np
 from repro import parallel as _parallel
 from repro import telemetry as _telemetry
 from repro.exceptions import TableError
+from repro.reliability import faults as _faults
+from repro.reliability.retry import INGEST_RETRY
 from repro.relational.schema import Column, Schema
 from repro.relational.table import Table
 from repro.relational.types import (
@@ -337,21 +339,53 @@ class ChunkedCsvReader(TableChunkStream):
 
     # -- raw row blocks -------------------------------------------------------------
     def _raw_chunks(self) -> Iterator[Tuple[List[str], List[List[str]]]]:
-        """Yield ``(header, rows)`` blocks; validates widths like the seed."""
+        """Yield ``(header, rows)`` blocks; validates widths like the seed.
+
+        Every malformed-input failure — width mismatch, undecodable
+        bytes, csv-level framing errors — surfaces as a typed
+        :class:`TableError` carrying the offending row number, never a
+        bare ``ValueError`` from the stdlib.
+        """
         with self._path.open(newline="") as handle:
             reader = csv.reader(handle, delimiter=self._delimiter)
             try:
                 header = next(reader)
             except StopIteration as exc:
                 raise TableError(f"CSV file {self._path} is empty") from exc
+            except UnicodeDecodeError as exc:
+                raise TableError(
+                    f"CSV file {self._path} is not valid UTF-8 "
+                    f"(header, row 1): {exc}"
+                ) from exc
+            except csv.Error as exc:
+                raise TableError(
+                    f"CSV file {self._path} is malformed (header, row 1): {exc}"
+                ) from exc
             width = len(header)
             rows: List[List[str]] = []
-            for row in reader:
+            row_number = 1  # 1-based physical row; the header is row 1
+            while True:
+                try:
+                    row = next(reader)
+                except StopIteration:
+                    break
+                except UnicodeDecodeError as exc:
+                    raise TableError(
+                        f"CSV file {self._path} is not valid UTF-8 "
+                        f"near row {row_number + 1}: {exc}"
+                    ) from exc
+                except csv.Error as exc:
+                    raise TableError(
+                        f"CSV file {self._path} is malformed "
+                        f"at row {row_number + 1}: {exc}"
+                    ) from exc
+                row_number += 1
                 if not row:
                     continue  # blank lines, as in the seed reader
                 if len(row) != width:
                     raise TableError(
-                        f"CSV row width {len(row)} does not match header width {width}"
+                        f"CSV row width {len(row)} does not match header width "
+                        f"{width} (row {row_number} of {self._path})"
                     )
                 rows.append(row)
                 if len(rows) >= self._chunk_rows:
@@ -411,7 +445,7 @@ class ChunkedCsvReader(TableChunkStream):
                     return [block.flags for block in self._parse_chunk(header, rows)]
 
                 flags: List[ColumnTypeFlags] = []
-                for chunk_flags in _parallel.imap_ordered(_chunk_flags, _tasks()):
+                for chunk_flags in _parallel.imap_ordered(_chunk_flags, _tasks(), label="ingest.scan"):
                     if not flags:
                         flags = [ColumnTypeFlags() for _ in chunk_flags]
                     for accumulated, block_flags in zip(flags, chunk_flags):
@@ -436,8 +470,9 @@ class ChunkedCsvReader(TableChunkStream):
     def chunks(self) -> Iterator[TableChunk]:
         schema = self.scan()
 
-        def _typed_chunk(task: Tuple[int, List[str], List[List[str]]]) -> TableChunk:
+        def _typed_chunk_once(task: Tuple[int, List[str], List[List[str]]]) -> TableChunk:
             offset, header, rows = task
+            _faults.fault_point("ingest.chunk", file=str(self._path), offset=offset)
             with _telemetry.span(
                 "ingest.chunk", file=str(self._path), offset=offset, rows=len(rows)
             ):
@@ -447,7 +482,16 @@ class ChunkedCsvReader(TableChunkStream):
                     data[column.name], valid[column.name] = block.finalize(column.dtype)
                 return TableChunk(schema, data, valid, offset=offset)
 
-        for chunk in _parallel.imap_ordered(_typed_chunk, self._numbered_raw_chunks()):
+        def _typed_chunk(task: Tuple[int, List[str], List[List[str]]]) -> TableChunk:
+            # Typing a chunk is a pure function of the raw rows, so a
+            # transient fault is safely retried without re-reading the file.
+            if _faults.ACTIVE:
+                return INGEST_RETRY.call(_typed_chunk_once, task, site="ingest.chunk")
+            return _typed_chunk_once(task)
+
+        for chunk in _parallel.imap_ordered(
+            _typed_chunk, self._numbered_raw_chunks(), label="ingest.chunk"
+        ):
             if _telemetry.ENABLED:
                 _telemetry.counter_add("ingest.chunks")
                 _telemetry.counter_add("ingest.rows", float(chunk.n_rows))
@@ -464,14 +508,22 @@ class ChunkedCsvReader(TableChunkStream):
                 state["header"] = header
                 yield header, rows
 
-        def _parsed(task: Tuple[List[str], List[List[str]]]):
+        def _parsed_once(task: Tuple[List[str], List[List[str]]]):
             header, rows = task
+            _faults.fault_point("ingest.chunk", file=str(self._path))
             return len(rows), self._parse_chunk(header, rows)
+
+        def _parsed(task: Tuple[List[str], List[List[str]]]):
+            if _faults.ACTIVE:
+                return INGEST_RETRY.call(_parsed_once, task, site="ingest.chunk")
+            return _parsed_once(task)
 
         flags: List[ColumnTypeFlags] = []
         parsed: List[List[ParsedColumnBlock]] = []
         n_rows = 0
-        for rows_in_chunk, blocks in _parallel.imap_ordered(_parsed, _tasks()):
+        for rows_in_chunk, blocks in _parallel.imap_ordered(
+            _parsed, _tasks(), label="ingest.read"
+        ):
             if not flags:
                 flags = [ColumnTypeFlags() for _ in blocks]
             for accumulated, block in zip(flags, blocks):

@@ -1,0 +1,19 @@
+"""Shared fixtures: fault, telemetry and parallel state never leaks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parallel, telemetry
+from repro.reliability import faults
+
+
+@pytest.fixture(autouse=True)
+def _reliability_state_isolated():
+    workers = parallel.get_num_workers()
+    min_rows = parallel.get_min_parallel_rows()
+    yield
+    faults.clear()
+    telemetry.disable()
+    parallel.set_num_workers(workers)
+    parallel.set_min_parallel_rows(min_rows)

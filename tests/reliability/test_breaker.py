@@ -1,0 +1,124 @@
+"""Circuit breaker state machine under an injected clock."""
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import CircuitOpenError
+from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _breaker(clock, threshold=3, reset=10.0, name="test"):
+    return CircuitBreaker(
+        failure_threshold=threshold, reset_timeout=reset, name=name, clock=clock
+    )
+
+
+class TestOpening:
+    def test_closed_until_threshold_consecutive_failures(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == CLOSED
+            breaker.before_request()  # still admitting
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_open_rejects_without_waiting(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        with pytest.raises(CircuitOpenError, match="circuit 'test' is open"):
+            breaker.before_request()
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker = _breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestHalfOpen:
+    def _open(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        return breaker
+
+    def test_cooldown_admits_a_single_probe(self, clock):
+        breaker = self._open(clock)
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.before_request()  # the probe
+        with pytest.raises(CircuitOpenError):
+            breaker.before_request()  # concurrent request while probe is out
+
+    def test_probe_success_closes(self, clock):
+        breaker = self._open(clock)
+        clock.advance(10.0)
+        breaker.before_request()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.before_request()  # flows freely again
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self, clock):
+        breaker = self._open(clock)
+        clock.advance(10.0)
+        breaker.before_request()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.0)  # not enough: the cool-down restarted
+        with pytest.raises(CircuitOpenError):
+            breaker.before_request()
+        clock.advance(1.0)
+        breaker.before_request()  # fresh probe admitted
+
+    def test_still_open_before_cooldown_elapses(self, clock):
+        breaker = self._open(clock)
+        clock.advance(9.999)
+        assert breaker.state == OPEN
+
+
+class TestValidationAndTelemetry:
+    def test_invalid_parameters_raise(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1.0, clock=clock)
+
+    def test_lifecycle_counters_and_gauge(self, clock):
+        telemetry.enable(sample_memory=False)
+        breaker = _breaker(clock, threshold=2, name="s1")
+        breaker.record_failure()
+        breaker.record_failure()  # opens
+        with pytest.raises(CircuitOpenError):
+            breaker.before_request()
+        clock.advance(10.0)
+        breaker.before_request()  # probe
+        breaker.record_success()  # recovers
+        report = telemetry.run_report()
+        telemetry.disable()
+        assert report.counters["breaker.opened"] == 1
+        assert report.counters["breaker.opened.s1"] == 1
+        assert report.counters["breaker.rejected"] == 1
+        assert report.counters["breaker.recovered"] == 1
+        assert report.gauges["breaker.state.s1"] == 0.0  # closed again

@@ -1,0 +1,126 @@
+"""Small chaos matrix: injected faults must not change a single bit.
+
+A fault plan covering every wired site runs the full spilled build +
+streaming training pipeline; retries and checksum repair must reproduce
+the fault-free run exactly. Trigger budgets stay below the wired retry
+policies' ``max_attempts`` (8), so completion is guaranteed by
+construction.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import parallel, telemetry
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_tables
+from repro.exceptions import IntegrityError
+from repro.factorized.normalized_matrix import AmalurMatrix
+from repro.learning import StreamingGD
+from repro.metadata.mappings import ScenarioType
+from repro.reliability import faults
+from repro.streaming import InMemoryTableStream, SpillStore, integrate_streams
+
+CHAOS_PLAN = (
+    "spill.read:p=0.4,n=5,seed=3;"
+    "ingest.chunk:p=0.5,n=4,seed=5;"
+    "parallel.task:p=0.2,n=6,seed=7;"
+    "spill.write:kind=corrupt,p=0.5,n=3,seed=11"
+)
+
+
+def _scenario_inputs():
+    spec = ScenarioSpec(
+        ScenarioType.LEFT_JOIN, base_rows=160, other_rows=110, base_features=4,
+        other_features=5, overlap_rows=50, overlap_columns=2, seed=29,
+    )
+    return generate_scenario_tables(spec)
+
+
+def _build_and_train(store, checksums_note=None):
+    base, other, matches, row_matches, targets = _scenario_inputs()
+    dataset = integrate_streams(
+        InMemoryTableStream(base, 23), InMemoryTableStream(other, 23),
+        matches, row_matches, targets, ScenarioType.LEFT_JOIN,
+        label_column="label", store=store,
+    )
+    materialized = np.array(dataset.materialize())
+    model = StreamingGD(task="linear", block_rows=31, n_iterations=8)
+    model.fit(AmalurMatrix(dataset))
+    return materialized, np.array(model.coef_), float(model.intercept_)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_chaos_run_matches_fault_free_bit_for_bit(workers):
+    parallel.set_num_workers(workers)
+    parallel.set_min_parallel_rows(0)
+    with SpillStore() as store:
+        reference_matrix, reference_coef, reference_intercept = _build_and_train(store)
+
+    telemetry.enable(sample_memory=False)
+    with faults.active_plan(CHAOS_PLAN) as injector:
+        with SpillStore(checksums=True) as store:
+            chaos_matrix, chaos_coef, chaos_intercept = _build_and_train(store)
+        snapshot = injector.snapshot()
+    report = telemetry.run_report()
+    telemetry.disable()
+
+    # The chaos plan actually fired: at least one site triggered, and the
+    # recovery machinery left its telemetry trail.
+    total_triggers = sum(triggers for _, triggers in snapshot.values())
+    assert total_triggers > 0, snapshot
+    assert report.counters.get("faults.injected", 0) == total_triggers
+    if snapshot["spill.write"][1]:
+        assert report.counters.get("spill.crc_mismatch", 0) >= 1
+        assert report.counters.get("spill.blocks_repaired", 0) >= 1
+
+    # Recovery is invisible in the results: bit-identical build and weights.
+    assert np.array_equal(chaos_matrix, reference_matrix)
+    assert np.array_equal(chaos_coef, reference_coef)
+    assert chaos_intercept == reference_intercept
+    assert np.allclose(chaos_coef, reference_coef, atol=1e-8)  # the CI bound
+
+
+def test_corrupt_write_without_checksums_goes_undetected_by_design():
+    """Checksums are the detection mechanism: with them off, a torn write
+    silently lands in the factor — which is why the chaos matrix always
+    pairs corrupt faults with ``SpillStore(checksums=True)``."""
+    parallel.set_num_workers(1)
+    base, other, matches, row_matches, targets = _scenario_inputs()
+    with SpillStore() as store:
+        reference = integrate_streams(
+            InMemoryTableStream(base, 23), InMemoryTableStream(other, 23),
+            matches, row_matches, targets, ScenarioType.LEFT_JOIN,
+            label_column="label", store=store,
+        ).materialize()
+    with faults.active_plan("spill.write:kind=corrupt,n=1"):
+        with SpillStore() as store:
+            damaged = integrate_streams(
+                InMemoryTableStream(base, 23), InMemoryTableStream(other, 23),
+                matches, row_matches, targets, ScenarioType.LEFT_JOIN,
+                label_column="label", store=store,
+            ).materialize()
+    assert not np.array_equal(damaged, reference)
+
+
+def test_unrepairable_corruption_raises_integrity_error(tmp_path):
+    """A repair whose source refill is itself corrupted must raise, not
+    silently keep the bad block."""
+    with SpillStore(tmp_path, checksums=True) as store:
+        matrix = store.allocate("m", 4, 2)
+        block = np.arange(8, dtype=np.float64).reshape(4, 2)
+        store.record_crc("m", 0, 4, zlib.crc32(block.tobytes()))
+        matrix[:] = block
+        matrix[2:] = -1.0  # torn write
+
+        def bad_repair(row_start, row_stop, destination):
+            destination[...] = -2.0  # still wrong
+
+        with pytest.raises(IntegrityError, match="still"):
+            store.verify("m", repair=bad_repair)
+
+        def good_repair(row_start, row_stop, destination):
+            destination[...] = block[row_start:row_stop]
+
+        assert store.verify("m", repair=good_repair) == 1
+        assert np.array_equal(np.asarray(matrix), block)

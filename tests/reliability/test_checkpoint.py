@@ -1,0 +1,122 @@
+"""Checkpoint files: atomic roundtrip, CRC validation, retention."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.exceptions import CheckpointError, IntegrityError
+from repro.reliability.checkpoint import CheckpointManager
+
+
+def _arrays(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "weights": rng.standard_normal((7, 1)),
+        "loss_history": rng.standard_normal(5),
+        "counts": rng.integers(0, 100, size=(3, 2)),
+    }
+
+
+class TestRoundtrip:
+    def test_save_load_is_bit_exact(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        arrays = _arrays()
+        metadata = {"task": "linear", "intercept": 1.5, "iteration": 3}
+        path = manager.save(3, arrays, metadata)
+        assert path.exists()
+        restored = manager.load(3)
+        assert restored.step == 3
+        assert restored.metadata == metadata
+        assert sorted(restored.arrays) == sorted(arrays)
+        for name, array in arrays.items():
+            assert restored.arrays[name].dtype == array.dtype
+            assert np.array_equal(restored.arrays[name], array)
+
+    def test_loaded_arrays_are_writable_copies(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, _arrays())
+        restored = manager.load(1)
+        restored.arrays["weights"][0] = 123.0  # must not raise
+
+    def test_no_tmp_files_survive_a_save(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, _arrays())
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_missing_step_raises_checkpoint_error(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(CheckpointError, match="no checkpoint for step 9"):
+            manager.load(9)
+
+    def test_empty_directory_has_no_latest(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest() is None
+
+
+class TestRetention:
+    def test_keep_prunes_older_checkpoints(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for step in (1, 2, 3, 4):
+            manager.save(step, _arrays(step))
+        assert manager.steps() == [3, 4]
+        assert len(list(tmp_path.glob("*.ckpt"))) == 2
+
+    def test_latest_returns_newest_step(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=3)
+        for step in (2, 5, 9):
+            manager.save(step, _arrays(step))
+        assert manager.latest().step == 9
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, keep=0)
+
+
+def _corrupt_payload(path):
+    """Flip one byte inside the last segment of a checkpoint file."""
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+class TestCorruption:
+    def test_flipped_payload_byte_fails_crc(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(1, _arrays())
+        _corrupt_payload(path)
+        with pytest.raises(IntegrityError, match="failed its CRC32 check"):
+            manager.load(1)
+
+    def test_bad_magic_is_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(1, _arrays())
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IntegrityError, match="bad magic"):
+            manager.load(1)
+
+    def test_truncated_segment_is_detected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(1, _arrays())
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 16])
+        with pytest.raises(IntegrityError, match="truncated"):
+            manager.load(1)
+
+    def test_latest_falls_back_past_a_corrupt_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=3)
+        manager.save(1, _arrays(1))
+        newest = manager.save(2, _arrays(2))
+        _corrupt_payload(newest)
+        telemetry.enable(sample_memory=False)
+        restored = manager.latest()
+        report = telemetry.run_report()
+        telemetry.disable()
+        assert restored.step == 1
+        assert np.array_equal(restored.arrays["weights"], _arrays(1)["weights"])
+        assert report.counters["checkpoint.corrupt_skipped"] == 1
+
+    def test_latest_is_none_when_everything_is_corrupt(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        _corrupt_payload(manager.save(1, _arrays()))
+        assert manager.latest() is None

@@ -1,0 +1,166 @@
+"""Deterministic fault injection: plan parsing, trigger state, activation."""
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import AmalurError, IntegrityError, TransientError
+from repro.reliability import faults
+from repro.reliability.faults import FaultInjector, FaultPlan, FaultSpec
+
+
+class TestPlanParsing:
+    def test_full_syntax(self):
+        plan = FaultPlan.parse(
+            "spill.read:p=0.3,n=4,seed=7;ingest.chunk:p=1,n=2;"
+            "serving.request:kind=integrity,after=3"
+        )
+        assert sorted(plan.specs) == ["ingest.chunk", "serving.request", "spill.read"]
+        spec = plan.specs["spill.read"]
+        assert spec.probability == 0.3
+        assert spec.max_triggers == 4
+        assert spec.seed == 7
+        assert spec.kind == "transient"
+        assert plan.specs["serving.request"].kind == "integrity"
+        assert plan.specs["serving.request"].after == 3
+
+    def test_defaults_and_aliases(self):
+        plan = FaultPlan.parse("parallel.task: probability=0.5 , count=3 ")
+        spec = plan.specs["parallel.task"]
+        assert spec.probability == 0.5
+        assert spec.max_triggers == 3
+        assert spec.seed == 0
+        assert spec.after == 0
+
+    def test_bare_site_triggers_every_hit(self):
+        plan = FaultPlan.parse("spill.read")
+        spec = plan.specs["spill.read"]
+        assert spec.probability == 1.0
+        assert spec.max_triggers is None
+
+    def test_empty_entries_skipped(self):
+        assert len(FaultPlan.parse(";;spill.read:p=1;;")) == 1
+        assert len(FaultPlan.parse("")) == 0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "spill.read:bogus=1",        # unknown field
+            "spill.read:p",              # not key=value
+            ":p=1",                      # no site name
+            "spill.read:kind=explode",   # unknown kind
+            "spill.read:p=1.5",          # probability out of range
+            "spill.read:n=-1",           # negative budget
+            "spill.read:p=1;spill.read:p=0",  # duplicate site
+        ],
+    )
+    def test_malformed_plans_raise(self, text):
+        with pytest.raises(AmalurError):
+            FaultPlan.parse(text)
+
+
+class TestInjector:
+    def test_trigger_pattern_is_deterministic(self):
+        plan = FaultPlan.parse("s:p=0.4,seed=13")
+
+        def pattern():
+            injector = FaultInjector(plan)
+            return [injector.hit("s") is not None for _ in range(50)]
+
+        first, second = pattern(), pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_different_seeds_differ(self):
+        patterns = set()
+        for seed in range(6):
+            injector = FaultInjector(FaultPlan.parse(f"s:p=0.5,seed={seed}"))
+            patterns.add(tuple(injector.hit("s") is not None for _ in range(64)))
+        assert len(patterns) > 1
+
+    def test_budget_caps_triggers(self):
+        injector = FaultInjector(FaultPlan.parse("s:p=1,n=3"))
+        fired = [injector.hit("s") is not None for _ in range(10)]
+        assert fired == [True] * 3 + [False] * 7
+        assert injector.snapshot()["s"] == (10, 3)
+
+    def test_after_skips_warmup_hits(self):
+        injector = FaultInjector(FaultPlan.parse("s:p=1,after=4"))
+        fired = [injector.hit("s") is not None for _ in range(7)]
+        assert fired == [False] * 4 + [True] * 3
+
+    def test_unplanned_site_never_triggers(self):
+        injector = FaultInjector(FaultPlan.parse("s:p=1"))
+        assert injector.hit("other.site") is None
+        assert "other.site" not in injector.snapshot()
+
+    def test_telemetry_counts_injections(self):
+        telemetry.enable(sample_memory=False)
+        injector = FaultInjector(FaultPlan.parse("s:p=1,n=2"))
+        for _ in range(5):
+            injector.hit("s")
+        report = telemetry.run_report()
+        telemetry.disable()
+        assert report.counters["faults.injected"] == 2
+        assert report.counters["faults.injected.s"] == 2
+
+
+class TestModuleState:
+    def test_install_and_clear_toggle_active(self):
+        assert not faults.ACTIVE
+        faults.install("s:p=1")
+        assert faults.ACTIVE
+        assert faults.injector() is not None
+        faults.clear()
+        assert not faults.ACTIVE
+        assert faults.injector() is None
+
+    def test_empty_plan_stays_inactive(self):
+        faults.install(FaultPlan())
+        assert not faults.ACTIVE
+
+    def test_active_plan_restores_previous(self):
+        outer = faults.install("outer.site:p=1")
+        with faults.active_plan("inner.site:p=1") as inner:
+            assert faults.injector() is inner
+            assert inner.hit("inner.site") is not None
+        assert faults.injector() is outer
+        assert faults.ACTIVE
+        faults.clear()
+        with faults.active_plan("s:p=1"):
+            assert faults.ACTIVE
+        assert not faults.ACTIVE
+
+    def test_fault_point_raises_by_kind(self):
+        with faults.active_plan("t:kind=transient;i:kind=integrity;c:kind=corrupt"):
+            with pytest.raises(TransientError, match="injected transient fault at t"):
+                faults.fault_point("t", block=3)
+            with pytest.raises(IntegrityError, match="injected integrity fault at i"):
+                faults.fault_point("i")
+            # Corrupt sites never raise through fault_point; the site itself
+            # asks through hit() and damages data.
+            faults.fault_point("c")
+            spec = faults.hit("c")
+            assert spec is not None and spec.kind == "corrupt"
+
+    def test_fault_point_context_lands_in_message(self):
+        with faults.active_plan("s:p=1"):
+            with pytest.raises(TransientError, match=r"\(hi=2, lo=1\)"):
+                faults.fault_point("s", lo=1, hi=2)
+
+    def test_inactive_fault_point_is_a_noop(self):
+        faults.fault_point("s")  # no plan installed: must not raise
+        assert faults.hit("s") is None
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "env.site:p=1,n=1")
+        faults._activate_from_env()
+        try:
+            assert faults.ACTIVE
+            assert "env.site" in faults.injector().plan.specs
+        finally:
+            faults.clear()
+
+    def test_blank_env_stays_inactive(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "   ")
+        faults._activate_from_env()
+        assert not faults.ACTIVE

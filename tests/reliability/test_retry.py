@@ -1,0 +1,133 @@
+"""RetryPolicy: backoff schedule, classification, exhaustion."""
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import IntegrityError, TransientError
+from repro.reliability.retry import INGEST_RETRY, SPILL_RETRY, TASK_RETRY, RetryPolicy
+
+
+def _flaky(failures, exception=TransientError):
+    """A callable failing ``failures`` times before returning 42."""
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise exception(f"boom {calls['n']}")
+        return 42
+
+    return fn, calls
+
+
+class TestBackoff:
+    def test_delay_schedule_is_deterministic_exponential(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0, max_delay=0.05)
+        assert [policy.delay(i) for i in range(5)] == [
+            0.01, 0.02, 0.04, 0.05, 0.05
+        ]
+
+    def test_sleeps_follow_the_schedule(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.01, multiplier=2.0, max_delay=1.0,
+            sleep=sleeps.append,
+        )
+        fn, calls = _flaky(3)
+        assert policy.call(fn) == 42
+        assert calls["n"] == 4
+        assert sleeps == [0.01, 0.02, 0.04]
+
+    def test_zero_base_delay_never_sleeps(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, sleep=sleeps.append)
+        fn, _ = _flaky(2)
+        assert policy.call(fn) == 42
+        assert sleeps == []
+
+
+class TestClassification:
+    def test_success_needs_no_retry(self):
+        policy = RetryPolicy(sleep=lambda _: None)
+        fn, calls = _flaky(0)
+        assert policy.call(fn) == 42
+        assert calls["n"] == 1
+
+    def test_exhaustion_reraises_the_last_exception(self):
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _: None)
+        fn, calls = _flaky(99)
+        with pytest.raises(TransientError, match="boom 3"):
+            policy.call(fn)
+        assert calls["n"] == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _: None)
+        fn, calls = _flaky(99, exception=IntegrityError)
+        with pytest.raises(IntegrityError, match="boom 1"):
+            policy.call(fn)
+        assert calls["n"] == 1
+
+    def test_single_attempt_disables_retrying(self):
+        policy = RetryPolicy(max_attempts=1, sleep=lambda _: None)
+        fn, calls = _flaky(1)
+        with pytest.raises(TransientError):
+            policy.call(fn)
+        assert calls["n"] == 1
+
+    def test_custom_retryable_classes(self):
+        policy = RetryPolicy(
+            max_attempts=3, retryable=(KeyError,), sleep=lambda _: None
+        )
+        fn, calls = _flaky(1, exception=KeyError)
+        assert policy.call(fn) == 42
+        assert calls["n"] == 2
+
+    def test_wraps_applies_the_policy_per_invocation(self):
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _: None)
+        fn, calls = _flaky(2)
+        wrapped = policy.wraps(fn, site="s")
+        assert wrapped() == 42
+        assert calls["n"] == 3
+
+    def test_arguments_pass_through(self):
+        policy = RetryPolicy(sleep=lambda _: None)
+        assert policy.call(lambda a, b=0: a + b, 1, b=2) == 3
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"max_delay": -0.1},
+            {"multiplier": 0.5},
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestTelemetryAndDefaults:
+    def test_counters_record_attempts_and_exhaustion(self):
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _: None)
+        telemetry.enable(sample_memory=False)
+        fn, _ = _flaky(1)
+        policy.call(fn, site="demo")
+        fn, _ = _flaky(99)
+        with pytest.raises(TransientError):
+            policy.call(fn, site="demo")
+        report = telemetry.run_report()
+        telemetry.disable()
+        assert report.counters["retry.attempts"] == 3  # 1 + 2 retries
+        assert report.counters["retry.attempts.demo"] == 3
+        assert report.counters["retry.exhausted"] == 1
+        assert report.counters["retry.exhausted.demo"] == 1
+
+    def test_wired_in_defaults_outlast_ci_chaos_budgets(self):
+        # The CI chaos plans use trigger budgets n < 8; max_attempts == 8
+        # guarantees a bounded plan can never exhaust a wired-in policy.
+        for policy in (SPILL_RETRY, INGEST_RETRY, TASK_RETRY):
+            assert policy.max_attempts == 8
+            assert policy.retryable == (TransientError,)

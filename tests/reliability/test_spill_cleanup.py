@@ -1,0 +1,88 @@
+"""Spill hygiene: discard semantics and orphan cleanup on failed builds."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_tables
+from repro.metadata.mappings import ScenarioType
+from repro.streaming import InMemoryTableStream, SpillStore, integrate_streams
+
+
+class FailingStream(InMemoryTableStream):
+    """Yields its first chunk, then dies mid-iteration (on either path)."""
+
+    def chunks(self):
+        iterator = super().chunks()
+        yield next(iterator)
+        raise RuntimeError("source stream went away")
+
+    def chunk_at(self, index):
+        if index >= 1:
+            raise RuntimeError("source stream went away")
+        return super().chunk_at(index)
+
+
+class TestDiscard:
+    def test_discard_removes_file_and_frees_the_name(self, tmp_path):
+        with SpillStore(tmp_path) as store:
+            store.allocate("m", 4, 3)
+            assert (tmp_path / "m.f64").exists()
+            store.discard("m")
+            assert not (tmp_path / "m.f64").exists()
+            # The name is free again (allocate refuses live duplicates).
+            store.allocate("m", 2, 2)
+
+    def test_discard_of_unknown_name_is_a_noop(self, tmp_path):
+        with SpillStore(tmp_path) as store:
+            store.discard("never-allocated")
+
+    def test_discard_drops_recorded_checksums(self, tmp_path):
+        with SpillStore(tmp_path, checksums=True) as store:
+            store.allocate("m", 2, 2)
+            store.record_crc("m", 0, 2, 123)
+            store.discard("m")
+            store.allocate("m", 2, 2)
+            store.verify("m")  # no stale CRC entries from the old matrix
+
+
+def _scenario_tables():
+    spec = ScenarioSpec(
+        ScenarioType.LEFT_JOIN, base_rows=60, other_rows=40,
+        overlap_rows=20, overlap_columns=1, seed=4,
+    )
+    return generate_scenario_tables(spec)
+
+
+class TestOrphanCleanup:
+    def test_failed_build_leaves_no_spill_files(self, tmp_path):
+        base, other, matches, row_matches, targets = _scenario_tables()
+        store = SpillStore(tmp_path)
+        with pytest.raises(RuntimeError, match="source stream went away"):
+            integrate_streams(
+                InMemoryTableStream(base, 13), FailingStream(other, 13),
+                matches, row_matches, targets, ScenarioType.LEFT_JOIN,
+                label_column="label", store=store,
+            )
+        # The base ingest completed and the other died mid-fill; both
+        # memmaps must be gone — no orphaned .f64 files, no held names.
+        assert list(tmp_path.glob("*.f64")) == []
+        assert store.spilled_bytes == 0
+        store.cleanup()
+
+    def test_store_is_reusable_after_a_failed_build(self, tmp_path):
+        base, other, matches, row_matches, targets = _scenario_tables()
+        store = SpillStore(tmp_path)
+        with pytest.raises(RuntimeError):
+            integrate_streams(
+                InMemoryTableStream(base, 13), FailingStream(other, 13),
+                matches, row_matches, targets, ScenarioType.LEFT_JOIN,
+                label_column="label", store=store,
+            )
+        dataset = integrate_streams(
+            InMemoryTableStream(base, 13), InMemoryTableStream(other, 13),
+            matches, row_matches, targets, ScenarioType.LEFT_JOIN,
+            label_column="label", store=store,
+        )
+        assert dataset.n_target_rows == base.n_rows
+        assert np.isfinite(np.asarray(dataset.materialize())).all()
+        store.cleanup()

@@ -1,0 +1,197 @@
+"""Graceful serving degradation: breaker, load shedding, serve-stale."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_tables
+from repro.exceptions import (
+    CapacityExceeded,
+    CircuitOpenError,
+    ServiceError,
+    StaleDatasetError,
+    TransientError,
+)
+from repro.metadata.mappings import ScenarioType
+from repro.reliability import faults
+from repro.serving import AmalurService, DatasetSession
+from repro.system.plan import ModelSpec
+from repro.system.requests import DeltaBatch, IntegrationConfig, TrainRequest
+
+
+def make_session(seed=0, **session_options):
+    spec = ScenarioSpec(
+        scenario=ScenarioType.LEFT_JOIN, base_rows=60, other_rows=35,
+        overlap_rows=20, overlap_columns=2, seed=seed,
+    )
+    base, other, matches, _, target_columns = generate_scenario_tables(spec)
+    config = IntegrationConfig(
+        base="S1", other="S2", target_columns=target_columns,
+        scenario=ScenarioType.LEFT_JOIN, label_column="label",
+    )
+    return DatasetSession(base, other, config, column_matches=matches, **session_options)
+
+
+class TestCircuitBreaker:
+    def test_repeated_failures_open_then_probe_recovers(self):
+        with AmalurService(
+            n_workers=1, max_queue=8, breaker_threshold=2, breaker_reset=0.05
+        ) as service:
+            service.register_session("demo", make_session())
+            service.train("demo", TrainRequest(model=ModelSpec(task="regression")))
+
+            with faults.active_plan("serving.request:p=1,n=2"):
+                for _ in range(2):
+                    with pytest.raises(TransientError):
+                        service.predict("demo")
+                # Threshold reached: rejected up front, no worker involved.
+                with pytest.raises(CircuitOpenError, match="circuit 'demo' is open"):
+                    service.predict("demo")
+
+            # Still open after the faults cleared — until the cool-down.
+            with pytest.raises(CircuitOpenError):
+                service.predict("demo")
+            time.sleep(0.06)
+            # Half-open: the probe goes through, succeeds, and closes.
+            assert service.predict("demo").value.shape[0] > 0
+            assert service.predict("demo").value.shape[0] > 0
+
+    def test_breakers_are_per_session(self):
+        with AmalurService(n_workers=1, breaker_threshold=1) as service:
+            service.register_session("a", make_session(seed=1))
+            service.register_session("b", make_session(seed=2))
+            assert service.breaker("a") is service.breaker("a")
+            assert service.breaker("a") is not service.breaker("b")
+            service.breaker("a").record_failure()  # opens a
+            service.train("b", TrainRequest(model=ModelSpec(task="regression")))
+            with pytest.raises(CircuitOpenError):
+                service.predict("a")
+
+
+class TestLoadShedding:
+    @pytest.mark.parametrize("threshold", [0.0, -0.5, 1.5])
+    def test_threshold_must_be_a_queue_fraction(self, threshold):
+        with pytest.raises(ServiceError, match="shed_threshold"):
+            AmalurService(shed_threshold=threshold)
+
+    def test_predicts_shed_while_mutations_keep_headroom(self):
+        service = AmalurService(
+            n_workers=1, max_queue=4, shed_threshold=0.5, default_timeout=5.0
+        )
+        try:
+            session = make_session()
+            service.register_session("demo", session)
+            service.train("demo", TrainRequest(model=ModelSpec(task="regression")))
+
+            started = threading.Event()
+            release = threading.Event()
+            real_predict = session.predict
+
+            def blocking_predict(request=None):
+                started.set()
+                release.wait(timeout=5.0)
+                return real_predict(request)
+
+            session.predict = blocking_predict
+            telemetry.enable(sample_memory=False)
+            # Occupy the single worker, then stack the queue to the 50%
+            # shed mark with pending predicts.
+            _, busy = service._submit("predict", "demo", lambda: session.predict())
+            assert started.wait(timeout=5.0)
+            pending = [
+                service._submit("predict", "demo", lambda: session.predict())[1]
+                for _ in range(2)
+            ]
+            with pytest.raises(CapacityExceeded, match="load shed"):
+                service.predict("demo")
+            # Mutations are not shed below a full queue: they keep the
+            # headroom the shed threshold reserves.
+            _, trained = service._submit(
+                "train", "demo",
+                lambda: session.train(TrainRequest(model=ModelSpec(task="regression"))),
+            )
+            release.set()
+            for future in [busy, *pending, trained]:
+                future.result(timeout=5.0)
+            report = telemetry.run_report()
+            assert report.counters["serving.shed"] == 1
+            assert report.counters["serving.rejected"] >= 1
+        finally:
+            telemetry.disable()
+            release.set()
+            service.close()
+
+    def test_default_threshold_sheds_only_at_a_full_queue(self):
+        # shed_threshold=1.0 is the legacy behavior: a non-full queue admits.
+        with AmalurService(n_workers=2, max_queue=4) as service:
+            service.register_session("demo", make_session())
+            service.train("demo", TrainRequest(model=ModelSpec(task="regression")))
+            assert service.predict("demo").value is not None
+
+
+class TestServeStale:
+    def _broken_rebuild(self, session):
+        def boom():
+            raise RuntimeError("integration backend went away")
+
+        session._rebuild = boom
+
+    def test_failed_rebuild_serves_stale_and_marks_degraded(self):
+        session = make_session()
+        session.train(TrainRequest(model=ModelSpec(task="regression")))
+        baseline = session.predict()
+        version = session.version
+        rows_before = session.table("S2").n_rows
+
+        self._broken_rebuild(session)
+        telemetry.enable(sample_memory=False)
+        with pytest.raises(StaleDatasetError, match="rebuild failed .row deletion.") as excinfo:
+            session.apply_delta(
+                DeltaBatch(table="S2", kind="delete", row_indices=[0, 1])
+            )
+        report = telemetry.run_report()
+        telemetry.disable()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert f"serving version {version} stale" in str(excinfo.value)
+        assert report.counters["serving.rebuild_failures"] == 1
+        assert report.counters["serving.degraded"] == 1
+
+        # The delta was rejected wholesale: tables rolled back, the
+        # published snapshot untouched, predict bit-identical.
+        assert session.degraded
+        assert session.stats()["degraded"] is True
+        assert session.table("S2").n_rows == rows_before
+        assert session.version == version
+        assert np.array_equal(session.predict(), baseline)
+
+    def test_successful_rebuild_clears_degraded(self):
+        session = make_session()
+        session.train(TrainRequest(model=ModelSpec(task="regression")))
+        self._broken_rebuild(session)
+        with pytest.raises(StaleDatasetError):
+            session.apply_delta(
+                DeltaBatch(table="S2", kind="delete", row_indices=[0])
+            )
+        assert session.degraded
+        del session.__dict__["_rebuild"]  # restore the real method
+        summary = session.apply_delta(
+            DeltaBatch(table="S2", kind="delete", row_indices=[0])
+        )
+        assert summary["mode"] == "rebuild"
+        assert not session.degraded
+        assert session.stats()["degraded"] is False
+
+    def test_opt_out_propagates_the_rebuild_error(self):
+        session = make_session(serve_stale_on_failure=False)
+        rows_before = session.table("S2").n_rows
+        self._broken_rebuild(session)
+        with pytest.raises(RuntimeError, match="integration backend went away"):
+            session.apply_delta(
+                DeltaBatch(table="S2", kind="delete", row_indices=[0])
+            )
+        # Tables still roll back either way; only the surfaced error differs.
+        assert session.table("S2").n_rows == rows_before
+        assert not session.degraded
