@@ -1,0 +1,308 @@
+"""Observability guard: live-metrics overhead, scrape validity, flight dumps.
+
+Run standalone to emit ``benchmarks/results/BENCH_OBSERVABILITY.json``
+(exits non-zero when a guard fails — the CI ``obs-guard`` job)::
+
+    PYTHONPATH=src python benchmarks/obs_guard.py
+
+Three phases:
+
+* **Enabled overhead**: the mixed serving workload (4 client threads of
+  windowed predicts interleaved with append deltas and warm retrains)
+  runs in interleaved pairs — once with the live tier, the OpenMetrics
+  endpoint and a concurrent scraper all on, once with everything off.
+  Guard: best-of-pairs wall-clock ratio on/off stays at or under
+  **1.05** (the ≤5%% always-on budget).
+
+* **Scrape validity**: every ``/metrics`` response collected while the
+  workload ran must pass the structural OpenMetrics validator, and
+  ``/health`` must answer 200 with a well-formed JSON body. Guard: at
+  least a handful of scrapes happened and none were torn or malformed.
+
+* **Flight recorder**: a pinned fault plan fails enough requests to trip
+  a session breaker. Guard: exactly one ``breaker_open`` post-mortem is
+  dumped and it contains the failing ``serving.request`` span, the
+  breaker-state map and the fault plan. Dump files land in
+  ``benchmarks/results/flight/`` (a CI artifact, never committed).
+
+Only machine-invariant numbers (the overhead *ratio*, booleans, counts)
+are guarded or compared across machines; absolute wall seconds are
+recorded for context only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow `python benchmarks/obs_guard.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import telemetry
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_tables
+from repro.exceptions import CircuitOpenError, TransientError
+from repro.metadata.mappings import ScenarioType
+from repro.reliability import faults
+from repro.serving import AmalurService, DatasetSession
+from repro.system.plan import ModelSpec
+from repro.system.requests import DeltaBatch, IntegrationConfig, PredictRequest, TrainRequest
+from repro.telemetry import flight, live
+from repro.telemetry.exporter import validate_openmetrics
+
+RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_OBSERVABILITY.json"
+FLIGHT_DIR = RESULTS.parent / "flight"
+
+OVERHEAD_CEILING = 1.05  # live tier + exporter + scraper vs all off
+N_PAIRS = 7  # interleaved on/off pairs; best-of each side is compared
+SCRAPE_INTERVAL_S = 0.25  # a realistic scrape cadence (prod scrapes are seconds apart)
+
+BASE_ROWS = 20_000
+OTHER_ROWS = 8_000
+OVERLAP_ROWS = 6_000
+N_CLIENTS = 4
+PREDICTS_PER_CLIENT = 800
+WINDOW = 512
+N_BATCHES = 8
+ROWS_PER_BATCH = 200
+
+
+def build_inputs(seed: int = 0):
+    spec = ScenarioSpec(
+        scenario=ScenarioType.LEFT_JOIN,
+        base_rows=BASE_ROWS,
+        other_rows=OTHER_ROWS,
+        overlap_rows=OVERLAP_ROWS,
+        base_features=4,
+        other_features=5,
+        overlap_columns=2,
+        seed=seed,
+    )
+    base, other, matches, _, target_columns = generate_scenario_tables(spec)
+    config = IntegrationConfig(
+        base="S1", other="S2", target_columns=target_columns,
+        scenario=ScenarioType.LEFT_JOIN, label_column="label",
+    )
+    return base, other, matches, config
+
+
+def append_batch(session, rng, next_id):
+    table = session.table("S1")
+    rows = {"id": list(range(next_id, next_id + ROWS_PER_BATCH))}
+    next_id += ROWS_PER_BATCH
+    for column in table.schema:
+        if column.name == "id":
+            continue
+        if column.name == "label":
+            rows["label"] = rng.integers(0, 2, size=ROWS_PER_BATCH).tolist()
+        else:
+            rows[column.name] = np.round(
+                rng.standard_normal(ROWS_PER_BATCH), 4
+            ).tolist()
+    return DeltaBatch(table="S1", kind="append", rows=rows), next_id
+
+
+def run_workload(service, seed):
+    """4 client threads of windowed predicts + deltas and warm retrains.
+
+    Returns the workload wall seconds; raises if any request failed.
+    """
+    rng = np.random.default_rng(seed)
+    next_id = BASE_ROWS + OTHER_ROWS + 500_000
+    errors = []
+
+    def client(client_seed):
+        client_rng = np.random.default_rng(client_seed)
+        try:
+            for _ in range(PREDICTS_PER_CLIENT):
+                n_rows = service.session("bench").n_target_rows
+                start = int(client_rng.integers(0, max(n_rows - WINDOW, 1)))
+                service.predict(
+                    "bench", PredictRequest(row_range=(start, start + WINDOW))
+                )
+        except Exception as error:  # pragma: no cover - failure evidence
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client, args=(100 + i,)) for i in range(N_CLIENTS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    session = service.session("bench")
+    for _ in range(N_BATCHES):
+        batch, next_id = append_batch(session, rng, next_id)
+        service.apply_delta("bench", batch)
+        service.train(
+            "bench", TrainRequest(model=ModelSpec(task="regression"), warm_start=True)
+        )
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return wall
+
+
+def timed_run(observed: bool, seed: int, scrape_log=None):
+    """One workload run; ``observed`` turns the live tier + exporter on."""
+    base, other, matches, config = build_inputs(seed=7)
+    session = DatasetSession(base, other, config, column_matches=matches)
+    if observed:
+        live.enable()
+    else:
+        live.disable()
+    try:
+        with AmalurService(
+            n_workers=4, max_queue=256, max_rows_per_request=WINDOW,
+            metrics_port=0 if observed else None,
+        ) as service:
+            service.register_session("bench", session)
+            service.train("bench", TrainRequest(model=ModelSpec(task="regression")))
+
+            stop = threading.Event()
+            scraper = None
+            raw_scrapes = []
+            if observed:
+                # The scraper only *collects* inside the timed window;
+                # validation and JSON parsing happen after the run so the
+                # measurement charges the system, not the test harness.
+                def scrape_loop():
+                    while not stop.is_set():
+                        body = urllib.request.urlopen(
+                            service.metrics_url("/metrics"), timeout=5
+                        ).read()
+                        health = urllib.request.urlopen(
+                            service.metrics_url("/health"), timeout=5
+                        )
+                        raw_scrapes.append((body, health.status, health.read()))
+                        stop.wait(SCRAPE_INTERVAL_S)
+
+                scraper = threading.Thread(target=scrape_loop)
+                scraper.start()
+            try:
+                wall = run_workload(service, seed)
+            finally:
+                stop.set()
+                if scraper is not None:
+                    scraper.join()
+            for body, health_status, health_body in raw_scrapes:
+                scrape_log.append(
+                    {
+                        "metrics_errors": validate_openmetrics(body.decode()),
+                        "health_status": health_status,
+                        "health_ok": json.loads(health_body).get("status") == "ok",
+                    }
+                )
+    finally:
+        live.enable()
+    return wall
+
+
+def phase_overhead_and_scrapes():
+    scrape_log = []
+    on_walls, off_walls = [], []
+    for pair in range(N_PAIRS):
+        off_walls.append(timed_run(observed=False, seed=200 + pair))
+        on_walls.append(timed_run(observed=True, seed=200 + pair, scrape_log=scrape_log))
+    ratio = min(on_walls) / min(off_walls)
+    n_scrapes = len(scrape_log)
+    bad = [s for s in scrape_log if s["metrics_errors"] or not s["health_ok"]]
+    all_valid = n_scrapes > 0 and not bad
+    print(
+        f"overhead: observed best {min(on_walls):.3f}s vs bare best "
+        f"{min(off_walls):.3f}s -> ratio {ratio:.3f} "
+        f"({n_scrapes} scrapes, {len(bad)} invalid)"
+    )
+    assert ratio <= OVERHEAD_CEILING, (
+        f"always-on observability costs {ratio:.3f}x (ceiling {OVERHEAD_CEILING}x)"
+    )
+    assert n_scrapes >= 5, f"only {n_scrapes} scrapes landed; exporter starved"
+    assert all_valid, f"{len(bad)} malformed scrapes: {bad[:3]}"
+    return (
+        {
+            "ratio": round(ratio, 4),
+            "observed_walls_s": [round(w, 4) for w in on_walls],
+            "bare_walls_s": [round(w, 4) for w in off_walls],
+            "n_pairs": N_PAIRS,
+            "workload_requests": N_CLIENTS * PREDICTS_PER_CLIENT + 2 * N_BATCHES + 1,
+        },
+        {
+            "n_scrapes": n_scrapes,
+            "n_invalid": len(bad),
+            "all_valid": bool(all_valid),
+        },
+    )
+
+
+def phase_flight():
+    FLIGHT_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in FLIGHT_DIR.glob("flight_*.json"):
+        stale.unlink()
+    recorder = flight.install(dump_dir=FLIGHT_DIR)
+    telemetry.enable(sample_memory=False)
+    base, other, matches, config = build_inputs(seed=7)
+    try:
+        with AmalurService(
+            n_workers=1, max_queue=8, breaker_threshold=2, metrics_port=0
+        ) as service:
+            service.register_session(
+                "bench", DatasetSession(base, other, config, column_matches=matches)
+            )
+            service.train("bench", TrainRequest(model=ModelSpec(task="regression")))
+            with faults.active_plan("serving.request:p=1,n=2,kind=transient"):
+                breaker_rejected = False
+                for _ in range(3):
+                    try:
+                        service.predict("bench")
+                    except TransientError:
+                        continue
+                    except CircuitOpenError:
+                        breaker_rejected = True
+        dumps = [d for d in recorder.dumps if d["reason"] == "breaker_open"]
+        breaker_opened = len(dumps) == 1 and breaker_rejected
+        dump = dumps[0] if dumps else {}
+        has_span = any(
+            span["name"] == "serving.request" and span["attrs"].get("error")
+            for span in dump.get("spans", [])
+        )
+        dump_files = sorted(p.name for p in FLIGHT_DIR.glob("flight_*.json"))
+    finally:
+        telemetry.disable()
+        flight.clear()
+        faults.clear()
+    print(
+        f"flight: breaker_opened={breaker_opened} failing_span={has_span} "
+        f"dumps={dump_files}"
+    )
+    assert breaker_opened, "fault plan failed to open the session breaker"
+    assert has_span, "post-mortem is missing the failing serving.request span"
+    assert dump_files, "no flight dump file written"
+    return {
+        "breaker_opened": bool(breaker_opened),
+        "dump_contains_request_span": bool(has_span),
+        "breaker_states": dump.get("breaker_states", {}),
+        "dump_files": dump_files,
+    }
+
+
+def main() -> None:
+    overhead, scrape = phase_overhead_and_scrapes()
+    record = {
+        "version": 1,
+        "overhead": overhead,
+        "scrape": scrape,
+        "flight": phase_flight(),
+    }
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULTS}")
+
+
+if __name__ == "__main__":
+    main()

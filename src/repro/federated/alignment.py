@@ -16,6 +16,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, List, Sequence
 
+from repro import telemetry as _telemetry
 from repro.exceptions import FederatedError
 from repro.federated.party import Party
 
@@ -61,16 +62,24 @@ def build_alignment(parties: Sequence[Party], salt: str = "amalur-psi") -> Dict[
     for party in parties:
         if party.entity_ids is None:
             raise FederatedError(f"party {party.name!r} has no entity ids to align on")
-    shared_ids = private_set_intersection([p.entity_ids for p in parties], salt=salt)
-    alignment: Dict[str, List[int]] = {}
-    for party in parties:
-        index = {}
-        for row, entity_id in enumerate(party.entity_ids):
-            index.setdefault(entity_id, row)
-        try:
-            alignment[party.name] = [index[entity_id] for entity_id in shared_ids]
-        except KeyError as exc:  # pragma: no cover - defensive
-            raise FederatedError(
-                f"party {party.name!r} lost entity {exc.args[0]!r} during alignment"
-            ) from exc
+    with _telemetry.span(
+        "train.federated.align", parties=len(parties)
+    ) as align_span:
+        shared_ids = private_set_intersection(
+            [p.entity_ids for p in parties], salt=salt
+        )
+        alignment: Dict[str, List[int]] = {}
+        for party in parties:
+            index = {}
+            for row, entity_id in enumerate(party.entity_ids):
+                index.setdefault(entity_id, row)
+            try:
+                alignment[party.name] = [index[entity_id] for entity_id in shared_ids]
+            except KeyError as exc:  # pragma: no cover - defensive
+                raise FederatedError(
+                    f"party {party.name!r} lost entity {exc.args[0]!r} during alignment"
+                ) from exc
+        align_span.set(aligned_rows=len(shared_ids))
+    if _telemetry.ENABLED:
+        _telemetry.counter_add("federated.aligned_rows", float(len(shared_ids)))
     return alignment

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.exceptions import FederatedError
 from repro.federated.encryption import gaussian_mechanism
 from repro.federated.party import Party
@@ -80,24 +81,40 @@ class FederatedAveraging:
         total_rows = sum(p.n_rows for p in parties)
         report = HFLTrainingReport(participants=[p.name for p in parties])
 
-        for round_index in range(self.n_rounds):
-            local_weights = []
-            local_sizes = []
-            for party in parties:
-                network.send("server", party.name, "global_weights", weights)
-                updated = self._local_update(party, weights.copy())
-                if self.dp_epsilon:
-                    updated = gaussian_mechanism(
-                        updated,
-                        sensitivity=self.dp_sensitivity,
-                        epsilon=self.dp_epsilon,
-                        seed=round_index * 1000 + party.n_rows,
-                    )
-                network.send(party.name, "server", "local_weights", updated)
-                local_weights.append(updated)
-                local_sizes.append(party.n_rows)
-            weights = np.average(np.stack(local_weights), axis=0, weights=local_sizes)
-            report.loss_history.append(self._global_loss(parties, weights, total_rows))
+        with _telemetry.span(
+            "train.federated.fedavg", parties=len(parties), rounds=self.n_rounds,
+            model=self.model, total_rows=total_rows,
+        ) as fit_span:
+            for round_index in range(self.n_rounds):
+                with _telemetry.span(
+                    "train.federated.fedavg.round", round=round_index
+                ):
+                    local_weights = []
+                    local_sizes = []
+                    for party in parties:
+                        network.send("server", party.name, "global_weights", weights)
+                        updated = self._local_update(party, weights.copy())
+                        if self.dp_epsilon:
+                            updated = gaussian_mechanism(
+                                updated,
+                                sensitivity=self.dp_sensitivity,
+                                epsilon=self.dp_epsilon,
+                                seed=round_index * 1000 + party.n_rows,
+                            )
+                        network.send(party.name, "server", "local_weights", updated)
+                        local_weights.append(updated)
+                        local_sizes.append(party.n_rows)
+                    weights = np.average(np.stack(local_weights), axis=0, weights=local_sizes)
+                    report.loss_history.append(self._global_loss(parties, weights, total_rows))
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("federated.rounds")
+                    _telemetry.counter_add("federated.fedavg.rounds")
+                    _telemetry.observe("federated.fedavg.loss", report.loss_history[-1])
+            fit_span.set(
+                final_loss=report.final_loss,
+                messages=network.n_messages,
+                bytes_transferred=network.total_bytes,
+            )
 
         report.n_rounds = self.n_rounds
         report.bytes_transferred = network.total_bytes

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.exceptions import FederatedError
 from repro.federated.alignment import build_alignment
 from repro.federated.encryption import SimulatedPaillier
@@ -102,45 +103,63 @@ class VerticalFederatedLinearRegression:
         self._party_order = [p.name for p in parties]
 
         report = VFLTrainingReport(n_aligned_rows=n_rows)
-        for _ in range(self.n_iterations):
-            partials = {
-                name: features[name] @ weights[name] for name in self._party_order
-            }
-            # Passive parties ship their partial predictions to the active party.
-            for party in parties:
-                if party.name == active.name:
-                    continue
-                payload = partials[party.name]
-                if self.use_encryption:
-                    payload = paillier.encrypt_vector(payload)
-                network.send(party.name, active.name, "partial_prediction", payload)
+        with _telemetry.span(
+            "train.federated.vertical_lr", parties=len(parties),
+            rounds=self.n_iterations, aligned_rows=n_rows,
+            encrypted=self.use_encryption,
+        ) as fit_span:
+            for round_index in range(self.n_iterations):
+                with _telemetry.span(
+                    "train.federated.vertical_lr.round", round=round_index
+                ):
+                    partials = {
+                        name: features[name] @ weights[name] for name in self._party_order
+                    }
+                    # Passive parties ship their partial predictions to the
+                    # active party.
+                    for party in parties:
+                        if party.name == active.name:
+                            continue
+                        payload = partials[party.name]
+                        if self.use_encryption:
+                            payload = paillier.encrypt_vector(payload)
+                        network.send(party.name, active.name, "partial_prediction", payload)
 
-            residual = sum(partials.values()) - labels
-            loss = float(np.mean(residual**2))
-            report.loss_history.append(loss)
+                    residual = sum(partials.values()) - labels
+                    loss = float(np.mean(residual**2))
+                    report.loss_history.append(loss)
 
-            # The active party broadcasts the (encrypted) residual; each party
-            # computes its own gradient locally and the coordinator decrypts
-            # the masked gradients of passive parties.
-            for party in parties:
-                gradient = features[party.name].T @ residual / n_rows
-                if self.l2_penalty:
-                    gradient = gradient + self.l2_penalty * weights[party.name] / n_rows
-                if party.name != active.name:
-                    residual_payload = (
-                        paillier.encrypt_vector(residual) if self.use_encryption else residual
-                    )
-                    network.send(active.name, party.name, "residual", residual_payload)
-                    if self.use_encryption:
-                        mask = np.random.default_rng(len(report.loss_history)).standard_normal(
-                            gradient.shape
-                        )
-                        masked = paillier.encrypt_vector(gradient + mask)
-                        network.send(party.name, _COORDINATOR, "masked_gradient", masked)
-                        decrypted = paillier.decrypt_vector(masked)
-                        network.send(_COORDINATOR, party.name, "decrypted_gradient", decrypted)
-                        gradient = decrypted - mask
-                weights[party.name] = weights[party.name] - self.learning_rate * gradient
+                    # The active party broadcasts the (encrypted) residual; each
+                    # party computes its own gradient locally and the coordinator
+                    # decrypts the masked gradients of passive parties.
+                    for party in parties:
+                        gradient = features[party.name].T @ residual / n_rows
+                        if self.l2_penalty:
+                            gradient = gradient + self.l2_penalty * weights[party.name] / n_rows
+                        if party.name != active.name:
+                            residual_payload = (
+                                paillier.encrypt_vector(residual) if self.use_encryption else residual
+                            )
+                            network.send(active.name, party.name, "residual", residual_payload)
+                            if self.use_encryption:
+                                mask = np.random.default_rng(len(report.loss_history)).standard_normal(
+                                    gradient.shape
+                                )
+                                masked = paillier.encrypt_vector(gradient + mask)
+                                network.send(party.name, _COORDINATOR, "masked_gradient", masked)
+                                decrypted = paillier.decrypt_vector(masked)
+                                network.send(_COORDINATOR, party.name, "decrypted_gradient", decrypted)
+                                gradient = decrypted - mask
+                        weights[party.name] = weights[party.name] - self.learning_rate * gradient
+                if _telemetry.ENABLED:
+                    _telemetry.counter_add("federated.rounds")
+                    _telemetry.counter_add("federated.vertical.rounds")
+                    _telemetry.observe("federated.vertical.loss", loss)
+            fit_span.set(
+                final_loss=report.final_loss,
+                messages=network.n_messages,
+                bytes_transferred=network.total_bytes,
+            )
 
         report.n_rounds = self.n_iterations
         report.bytes_transferred = network.total_bytes

@@ -14,7 +14,9 @@ Classic three-state machine, used per session by the serving layer:
 The clock is injectable (``clock=time.monotonic``) so tests and chaos
 runs never sleep. State transitions emit a per-name gauge
 (``breaker.state.<name>``: 0 closed, 1 half-open, 2 open) and counters
-(``breaker.opened``, ``breaker.rejected``, ``breaker.recovered``).
+(``breaker.opened``, ``breaker.rejected``, ``breaker.recovered``); while
+a :mod:`~repro.telemetry.flight` recorder is active every transition is
+noted there too, and an *opening* breaker triggers a post-mortem dump.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Callable
 
 from repro import telemetry as _telemetry
 from repro.exceptions import CircuitOpenError
+from repro.telemetry import flight as _flight
 
 CLOSED = "closed"
 OPEN = "open"
@@ -98,6 +101,8 @@ class CircuitBreaker:
         self._state = state
         if _telemetry.ENABLED:
             _telemetry.gauge_set(f"breaker.state.{self.name}", _STATE_GAUGE[state])
+        if _flight.ACTIVE:
+            _flight.note_breaker(self.name, state)
 
     # -- protocol ---------------------------------------------------------------------
     def before_request(self) -> None:
@@ -149,9 +154,18 @@ class CircuitBreaker:
                 if opened:
                     self._opened_at = self._clock()
                     self._set_state(OPEN)
-        if opened and _telemetry.ENABLED:
-            _telemetry.counter_add("breaker.opened")
-            _telemetry.counter_add(f"breaker.opened.{self.name}")
+        if opened:
+            if _telemetry.ENABLED:
+                _telemetry.counter_add("breaker.opened")
+                _telemetry.counter_add(f"breaker.opened.{self.name}")
+            if _flight.ACTIVE:
+                # A breaker opening is exactly the moment a post-mortem is
+                # worth having: freeze the recent spans/events/counters.
+                _flight.trigger(
+                    "breaker_open",
+                    breaker=self.name,
+                    failure_threshold=self.failure_threshold,
+                )
 
     def __repr__(self) -> str:
         return (

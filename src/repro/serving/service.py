@@ -15,7 +15,17 @@ threads behind a bounded queue:
   touch, rejecting oversized requests at submit time;
 * every request runs inside a ``serving.request`` telemetry span with
   queue-depth gauges and latency histograms, so one
-  :func:`repro.telemetry.run_report` covers the whole mixed workload.
+  :func:`repro.telemetry.run_report` covers the whole mixed workload;
+* independent of any offline telemetry session, the *live* tier
+  (:mod:`repro.telemetry.live`) keeps per-session SLO trackers — request
+  rate, windowed latency quantiles and per-failure-mode ratios — updated
+  on every request outcome behind a single ``ENABLED`` branch, and
+  ``metrics_port=`` starts an OpenMetrics ``/metrics`` + ``/health``
+  endpoint (:class:`repro.telemetry.exporter.MetricsServer`) that is safe
+  to scrape concurrently with traffic;
+* while a :mod:`repro.telemetry.flight` recorder is active, failures feed
+  its event ring, and an :class:`~repro.exceptions.IntegrityError`
+  escaping a handler triggers a post-mortem dump.
 
 Sessions serialize mutations internally and publish immutable snapshots,
 so any number of predict requests run concurrently with at most one
@@ -35,9 +45,18 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro import telemetry as _telemetry
-from repro.exceptions import CapacityExceeded, RequestTimeout, ServiceError
+from repro.exceptions import (
+    CapacityExceeded,
+    CircuitOpenError,
+    IntegrityError,
+    RequestTimeout,
+    ServiceError,
+)
 from repro.reliability import faults as _faults
 from repro.reliability.breaker import CircuitBreaker
+from repro.telemetry import exporter as _exporter
+from repro.telemetry import flight as _flight
+from repro.telemetry import live as _live
 from repro.serving.session import DatasetSession, SessionModel
 from repro.system.requests import (
     DeltaBatch,
@@ -77,6 +96,14 @@ class AmalurService:
         :class:`CapacityExceeded`, preserving headroom for mutations.
         The default ``1.0`` sheds only at a full queue — exactly the
         legacy back-pressure behavior.
+    metrics_port:
+        When not ``None``, serve OpenMetrics at
+        ``http://{metrics_host}:{metrics_port}/metrics`` (plus
+        ``/health``) for the service's lifetime. Port ``0`` binds an
+        ephemeral port — read it back from :attr:`metrics_port`.
+    slo_window_s:
+        Rolling-window width of the live SLO trackers (rates and latency
+        quantiles cover roughly the last ``slo_window_s`` seconds).
     """
 
     def __init__(
@@ -88,6 +115,9 @@ class AmalurService:
         breaker_threshold: int = 5,
         breaker_reset: float = 30.0,
         shed_threshold: float = 1.0,
+        metrics_port: Optional[int] = None,
+        metrics_host: str = "127.0.0.1",
+        slo_window_s: float = 60.0,
     ):
         if n_workers < 1:
             raise ServiceError("a service needs at least one worker")
@@ -106,6 +136,9 @@ class AmalurService:
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
         self._request_ids = itertools.count(1)
         self._closed = False
+        self.slo_window_s = float(slo_window_s)
+        self._slos: Dict[str, _live.SloTracker] = {}
+        self._slo_lock = threading.Lock()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"amalur-serve-{i}", daemon=True
@@ -114,6 +147,14 @@ class AmalurService:
         ]
         for worker in self._workers:
             worker.start()
+        self._metrics_server: Optional[_exporter.MetricsServer] = None
+        if metrics_port is not None:
+            self._metrics_server = _exporter.MetricsServer(
+                self.openmetrics,
+                self.health,
+                host=metrics_host,
+                port=metrics_port,
+            )
 
     # -- session registry -----------------------------------------------------------------
     def register_session(self, name: str, session: DatasetSession) -> DatasetSession:
@@ -139,11 +180,11 @@ class AmalurService:
         """Run a predict request on the pool; blocks for the result."""
         request = request or PredictRequest()
         session = self.session(session_name)
-        self._check_row_cap(session, request)
+        self._check_row_cap(session_name, session, request)
         request_id, future = self._submit(
             "predict", session_name, lambda: session.predict(request)
         )
-        return self._await(request_id, future, request.timeout)
+        return self._await(request_id, future, request.timeout, "predict", session_name)
 
     def train(
         self, session_name: str, request: Optional[TrainRequest] = None
@@ -154,7 +195,7 @@ class AmalurService:
         request_id, future = self._submit(
             "train", session_name, lambda: session.train(request)
         )
-        return self._await(request_id, future, request.timeout)
+        return self._await(request_id, future, request.timeout, "train", session_name)
 
     def apply_delta(
         self, session_name: str, batch: DeltaBatch, timeout: Optional[float] = None
@@ -164,7 +205,7 @@ class AmalurService:
         request_id, future = self._submit(
             "delta", session_name, lambda: session.apply_delta(batch)
         )
-        return self._await(request_id, future, timeout)
+        return self._await(request_id, future, timeout, "delta", session_name)
 
     def close(self) -> None:
         """Drain the queue and stop every worker (idempotent)."""
@@ -175,12 +216,115 @@ class AmalurService:
             self._queue.put(_SENTINEL)
         for worker in self._workers:
             worker.join()
+        if self._metrics_server is not None:
+            self._metrics_server.stop()
+            self._metrics_server = None
 
     def __enter__(self) -> "AmalurService":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- live observability surface ----------------------------------------------------------
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound metrics port, or ``None`` when no endpoint runs."""
+        server = self._metrics_server
+        return server.port if server is not None else None
+
+    def metrics_url(self, path: str = "/metrics") -> str:
+        server = self._metrics_server
+        if server is None:
+            raise ServiceError("service was created without metrics_port")
+        return server.url(path)
+
+    def slo_snapshots(self) -> list:
+        """One live SLO snapshot dict per session that has seen traffic."""
+        with self._slo_lock:
+            trackers = list(self._slos.values())
+        return [tracker.snapshot() for tracker in trackers]
+
+    def breaker_states(self) -> Dict[str, str]:
+        with self._breaker_lock:
+            breakers = list(self._breakers.items())
+        return {name: breaker.state for name, breaker in breakers}
+
+    def openmetrics(self) -> str:
+        """One OpenMetrics exposition of the service's current state.
+
+        Covers the live SLO trackers, queue depth, per-session dataset
+        state, breaker states and — when an offline telemetry session is
+        enabled — every counter/gauge/histogram of its registry. Each
+        instrument snapshots under its own lock, so this is safe to call
+        (and the endpoint safe to scrape) concurrently with traffic.
+        """
+        families = _exporter.slo_families(self.slo_snapshots())
+        families.append(
+            _exporter.MetricFamily(
+                "repro_serving_queue_depth", "gauge",
+                "Requests queued but not yet running.",
+            ).add(self._queue.qsize())
+        )
+        state_codes = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+        breakers = _exporter.MetricFamily(
+            "repro_breaker_state", "gauge",
+            "Circuit state per session: 0 closed, 1 half-open, 2 open.",
+        )
+        for name, state in sorted(self.breaker_states().items()):
+            breakers.add(state_codes.get(state, -1.0), session=name)
+        families.append(breakers)
+        version = _exporter.MetricFamily(
+            "repro_session_dataset_version", "gauge",
+            "Published dataset version per session.",
+        )
+        rows = _exporter.MetricFamily("repro_session_target_rows", "gauge")
+        staleness = _exporter.MetricFamily(
+            "repro_session_staleness", "gauge",
+            "Fraction of target rows touched since the last rebuild.",
+        )
+        degraded = _exporter.MetricFamily(
+            "repro_session_degraded", "gauge",
+            "1 while the session serves a stale snapshot after a failed rebuild.",
+        )
+        for name, session in sorted(self._sessions.items()):
+            version.add(session.version, session=name)
+            rows.add(session.n_target_rows, session=name)
+            staleness.add(session.staleness, session=name)
+            degraded.add(1.0 if session.degraded else 0.0, session=name)
+        families.extend([version, rows, staleness, degraded])
+        telemetry_session = _telemetry.active_session()
+        if telemetry_session is not None:
+            families.extend(_exporter.registry_families(telemetry_session.metrics))
+        return _exporter.render(families)
+
+    def health(self) -> Dict[str, object]:
+        """The ``/health`` payload: ``status`` is ``"ok"`` unless the
+        service is closed, a session is degraded or a breaker is open."""
+        breakers = self.breaker_states()
+        sessions = {
+            name: session.stats() for name, session in sorted(self._sessions.items())
+        }
+        degraded = sorted(
+            name for name, stats in sessions.items() if stats["degraded"]
+        )
+        open_breakers = sorted(
+            name for name, state in breakers.items() if state == "open"
+        )
+        if self._closed:
+            status = "closed"
+        elif degraded or open_breakers:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "queue_depth": self._queue.qsize(),
+            "sessions": sessions,
+            "breakers": breakers,
+            "degraded_sessions": degraded,
+            "open_breakers": open_breakers,
+        }
 
     # -- internals -------------------------------------------------------------------------
     def breaker(self, session_name: str) -> CircuitBreaker:
@@ -198,7 +342,28 @@ class AmalurService:
                     self._breakers[session_name] = breaker
         return breaker
 
-    def _check_row_cap(self, session: DatasetSession, request: PredictRequest) -> None:
+    def slo(self, session_name: str) -> "_live.SloTracker":
+        """The (lazily created) live SLO tracker for one session."""
+        tracker = self._slos.get(session_name)
+        if tracker is None:
+            with self._slo_lock:
+                tracker = self._slos.get(session_name)
+                if tracker is None:
+                    tracker = _live.SloTracker(
+                        session_name, window_s=self.slo_window_s
+                    )
+                    self._slos[session_name] = tracker
+        return tracker
+
+    def _record_outcome(
+        self, session_name: str, outcome: str, latency_s: Optional[float] = None
+    ) -> None:
+        if _live.ENABLED:
+            self.slo(session_name).record(outcome, latency_s)
+
+    def _check_row_cap(
+        self, session_name: str, session: DatasetSession, request: PredictRequest
+    ) -> None:
         if self.max_rows_per_request is None:
             return
         if request.row_range is not None:
@@ -208,6 +373,7 @@ class AmalurService:
         if span > self.max_rows_per_request:
             if _telemetry.ENABLED:
                 _telemetry.counter_add("serving.rejected")
+            self._record_outcome(session_name, "rejected")
             raise CapacityExceeded(
                 f"request spans {span} rows, cap is {self.max_rows_per_request}"
             )
@@ -224,13 +390,23 @@ class AmalurService:
         """
         if self._closed:
             raise ServiceError("service is closed")
-        self.breaker(session_name).before_request()
+        try:
+            self.breaker(session_name).before_request()
+        except CircuitOpenError:
+            self._record_outcome(session_name, "breaker_open")
+            if _flight.ACTIVE:
+                _flight.record_event(
+                    "warning", "serving.breaker_rejected",
+                    session=session_name, request_kind=kind,
+                )
+            raise
         if kind == "predict" and self._queue.maxsize > 0:
             depth = self._queue.qsize()
             if depth >= self.shed_threshold * self._queue.maxsize:
                 if _telemetry.ENABLED:
                     _telemetry.counter_add("serving.rejected")
                     _telemetry.counter_add("serving.shed")
+                self._record_outcome(session_name, "shed")
                 raise CapacityExceeded(
                     f"load shed: queue depth {depth} at or past "
                     f"{self.shed_threshold:.0%} of {self._queue.maxsize}"
@@ -242,6 +418,7 @@ class AmalurService:
         except queue.Full:
             if _telemetry.ENABLED:
                 _telemetry.counter_add("serving.rejected")
+            self._record_outcome(session_name, "rejected")
             raise CapacityExceeded(
                 f"request queue is full ({self._queue.maxsize} pending)"
             ) from None
@@ -251,7 +428,12 @@ class AmalurService:
         return request_id, future
 
     def _await(
-        self, request_id: int, future: Future, timeout: Optional[float]
+        self,
+        request_id: int,
+        future: Future,
+        timeout: Optional[float],
+        kind: str,
+        session_name: str,
     ) -> ServiceResult:
         effective = timeout if timeout is not None else self.default_timeout
         try:
@@ -259,6 +441,12 @@ class AmalurService:
         except _FutureTimeout:
             if _telemetry.ENABLED:
                 _telemetry.counter_add("serving.timeouts")
+            self._record_outcome(session_name, "timeout")
+            if _flight.ACTIVE:
+                _flight.record_event(
+                    "warning", "serving.timeout", request_id=request_id,
+                    request_kind=kind, session=session_name, deadline_s=effective,
+                )
             raise RequestTimeout(
                 f"request {request_id} missed its {effective}s deadline"
             ) from None
@@ -288,12 +476,37 @@ class AmalurService:
                 latency = time.perf_counter() - started
                 if _telemetry.ENABLED:
                     _telemetry.observe("serving.latency_ms", latency * 1e3)
+                self._record_outcome(session_name, "ok", latency)
                 self.breaker(session_name).record_success()
                 future.set_result(self._wrap(request_id, kind, session_name, value, latency))
             except BaseException as error:  # noqa: BLE001 - delivered to the caller
-                if _telemetry.ENABLED:
-                    _telemetry.counter_add("serving.errors")
-                self.breaker(session_name).record_failure()
+                try:
+                    # Observability bookkeeping must never kill a worker: a
+                    # dying worker would leave the future unset and hang the
+                    # caller forever.
+                    if _telemetry.ENABLED:
+                        _telemetry.counter_add("serving.errors")
+                    self._record_outcome(
+                        session_name, "error", time.perf_counter() - started
+                    )
+                    if _flight.ACTIVE:
+                        _flight.record_event(
+                            "error", "serving.request_failed",
+                            request_id=request_id, request_kind=kind,
+                            session=session_name,
+                            error=type(error).__name__, message=str(error),
+                        )
+                        if isinstance(error, IntegrityError):
+                            # Corruption is never routine: freeze a post-mortem
+                            # with the failing request's span still in the ring.
+                            _flight.trigger(
+                                "integrity_error", request_id=request_id,
+                                request_kind=kind, session=session_name,
+                                error=str(error),
+                            )
+                    self.breaker(session_name).record_failure()
+                except Exception:  # pragma: no cover - defensive
+                    pass
                 future.set_exception(error)
             finally:
                 self._queue.task_done()

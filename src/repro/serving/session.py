@@ -58,6 +58,7 @@ from scipy import sparse
 
 from repro import telemetry as _telemetry
 from repro.exceptions import ServiceError, StaleDatasetError
+from repro.telemetry import flight as _flight
 from repro.factorized.normalized_matrix import AmalurMatrix
 from repro.learning.linear_regression import LinearRegression
 from repro.learning.logistic_regression import LogisticRegression
@@ -596,6 +597,16 @@ class DatasetSession:
             self._tables = previous_tables
             if _telemetry.ENABLED:
                 _telemetry.counter_add("serving.rebuild_failures")
+            if _flight.ACTIVE:
+                # A failed rebuild flips the session into degraded serving —
+                # capture the post-mortem while the cause is still in the rings.
+                _flight.trigger(
+                    "rebuild_failed",
+                    dataset=self.config.name,
+                    reason=reason,
+                    error=f"{type(error).__name__}: {error}",
+                    serving_version=self._state.version,
+                )
             if not self.serve_stale_on_failure:
                 raise
             self._degraded = True

@@ -14,6 +14,8 @@ from typing import List
 
 import numpy as np
 
+from repro import telemetry as _telemetry
+
 
 @dataclass(frozen=True)
 class TransferRecord:
@@ -40,6 +42,12 @@ class SimulatedNetwork:
         """Record a transfer; returns the record. The payload itself is not copied."""
         record = TransferRecord(sender, receiver, payload_name, self._payload_bytes(payload))
         self.transfers.append(record)
+        if _telemetry.ENABLED:
+            _telemetry.counter_add("network.messages")
+            _telemetry.counter_add("network.bytes", float(record.n_bytes))
+            _telemetry.counter_add(
+                f"network.bytes_sent.{sender}", float(record.n_bytes)
+            )
         return record
 
     @staticmethod

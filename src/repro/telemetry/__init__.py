@@ -30,6 +30,16 @@ Instrumented call sites use the module facade::
 
     if _telemetry.ENABLED:              # hot loops: guard the whole block
         _telemetry.counter_add("spill.bytes_read", block.nbytes)
+
+Beyond this offline, session-scoped tier the package also houses the
+*live* tier for long-running services: :mod:`repro.telemetry.live`
+(always-on sliding-window SLO trackers), :mod:`repro.telemetry.exporter`
+(OpenMetrics rendering and the ``/metrics`` + ``/health`` endpoint),
+:mod:`repro.telemetry.flight` (the post-mortem flight recorder) and
+:mod:`repro.telemetry.regress` (the bench-trajectory regression
+detector, ``python -m repro.telemetry.regress``). Those are imported
+explicitly by their consumers — nothing here changes the near-free
+disabled cost of this facade.
 """
 
 from __future__ import annotations
@@ -108,14 +118,23 @@ class TelemetrySession:
 
     def memory_snapshot(self) -> dict:
         if self.sampler is not None:
-            return self.sampler.snapshot()
-        return {
-            "peak_rss_bytes": peak_rss_bytes(),
-            "sampled_peak_rss_bytes": 0,
-            "n_samples": 0,
-            "sampled_peak_anonymous_bytes": 0,
-            "sampled_peak_file_backed_bytes": 0,
-        }
+            snapshot = self.sampler.snapshot()
+        else:
+            snapshot = {
+                "peak_rss_bytes": peak_rss_bytes(),
+                "sampled_peak_rss_bytes": 0,
+                "n_samples": 0,
+                "sampled_peak_anonymous_bytes": 0,
+                "sampled_peak_file_backed_bytes": 0,
+            }
+        breakdown = rss_breakdown()
+        if breakdown.get("available"):
+            # Where the resident set sits *now*: anonymous (heap/arrays)
+            # vs file-backed (mapped libraries, page cache) pages.
+            snapshot["final_rss_bytes"] = breakdown["rss_bytes"]
+            snapshot["final_anonymous_bytes"] = breakdown["anonymous_bytes"]
+            snapshot["final_file_backed_bytes"] = breakdown["file_backed_bytes"]
+        return snapshot
 
     def report(self):
         """Build the flat :class:`~repro.telemetry.report.RunReport`."""

@@ -1,0 +1,424 @@
+"""OpenMetrics export: Prometheus-text rendering and a scrape endpoint.
+
+Two halves:
+
+* **Rendering** — :class:`MetricFamily` is the one-shot unit of
+  exposition (a name, a type, labeled samples); :func:`render` turns a
+  list of families into OpenMetrics text (``# TYPE`` headers, ``_total``
+  counter samples, ``quantile``-labeled summaries, terminating
+  ``# EOF``); :func:`registry_families` adapts a telemetry session's
+  :class:`~repro.telemetry.metrics.MetricsRegistry` so everything the
+  offline tier counts is scrapeable too. :func:`validate_openmetrics` is
+  the structural checker the CI obs-guard (and the concurrency tests) run
+  against every scrape — every line must parse, every sample's family
+  must be declared, no ``(name, labels)`` pair may repeat, the text must
+  end with ``# EOF``.
+
+* **Serving** — :class:`MetricsServer` is a stdlib
+  ``http.server.ThreadingHTTPServer`` on a daemon thread with two
+  routes: ``GET /metrics`` (the exposition) and ``GET /health`` (JSON
+  status; 200 while healthy, 503 when any session is degraded or a
+  breaker is open). Render callables are invoked per request, and every
+  instrument snapshots under its own lock, so scraping concurrently with
+  traffic never observes a torn value.
+
+The server binds ``127.0.0.1`` by default and port 0 picks an ephemeral
+port (read it back from :attr:`MetricsServer.port`) — the test- and
+CI-friendly default.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricFamily",
+    "MetricsServer",
+    "metric_name",
+    "registry_families",
+    "render",
+    "validate_openmetrics",
+]
+
+#: Exposition types this exporter emits.
+FAMILY_TYPES = ("counter", "gauge", "summary", "info", "unknown")
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>\S+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """A dotted internal name as a valid Prometheus metric name."""
+    flat = _INVALID_CHARS.sub("_", name.strip())
+    if not flat:
+        flat = "unnamed"
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 2**53:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricFamily:
+    """One exposition family: a metric name, type, help and its samples.
+
+    Samples are ``(suffix, labels, value)`` tuples; the suffix is
+    appended to the family name (``_total`` for counter samples,
+    ``_count`` / ``_sum`` for summaries, empty for gauges and quantile
+    samples).
+    """
+
+    __slots__ = ("name", "type", "help", "samples")
+
+    def __init__(self, name: str, family_type: str, help_text: str = ""):
+        if family_type not in FAMILY_TYPES:
+            raise ValueError(
+                f"unknown family type {family_type!r}; expected one of {FAMILY_TYPES}"
+            )
+        if not _NAME_OK.match(name):
+            raise ValueError(f"invalid metric family name {name!r}")
+        self.name = name
+        self.type = family_type
+        self.help = help_text
+        self.samples: List[Tuple[str, Dict[str, Any], float]] = []
+
+    def add(self, value: float, suffix: str = "", **labels) -> "MetricFamily":
+        self.samples.append((suffix, labels, float(value)))
+        return self
+
+    def render_lines(self) -> List[str]:
+        lines = [f"# TYPE {self.name} {self.type}"]
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        for suffix, labels, value in self.samples:
+            label_text = ""
+            if labels:
+                inner = ",".join(
+                    f'{key}="{_escape_label(val)}"' for key, val in sorted(labels.items())
+                )
+                label_text = "{" + inner + "}"
+            lines.append(f"{self.name}{suffix}{label_text} {_format_value(value)}")
+        return lines
+
+
+def render(families: Sequence[MetricFamily]) -> str:
+    """OpenMetrics text for the families, terminated by ``# EOF``."""
+    lines: List[str] = []
+    for family in families:
+        lines.extend(family.render_lines())
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def registry_families(
+    registry, prefix: str = "repro_telemetry"
+) -> List[MetricFamily]:
+    """Families for a :class:`~repro.telemetry.metrics.MetricsRegistry`
+    snapshot: counters as counters, gauges as gauges, histograms as
+    count/sum summaries (the offline tier keeps raw series, not buckets).
+
+    The distinct ``repro_telemetry_`` prefix keeps session-registry names
+    (``serving.requests``, ``serving.queue_depth``, …) from colliding
+    with the live SLO / service families in one exposition.
+    """
+    families: List[MetricFamily] = []
+    for name, value in registry.counter_values().items():
+        families.append(
+            MetricFamily(metric_name(name, prefix), "counter").add(
+                value, suffix="_total"
+            )
+        )
+    for name, value in registry.gauge_values().items():
+        families.append(MetricFamily(metric_name(name, prefix), "gauge").add(value))
+    for name, summary in registry.histogram_summaries().items():
+        family = MetricFamily(metric_name(name, prefix), "summary")
+        family.add(summary.get("count", 0), suffix="_count")
+        family.add(summary.get("total", 0.0), suffix="_sum")
+        families.append(family)
+    return families
+
+
+def slo_families(snapshots: Sequence[Dict[str, Any]]) -> List[MetricFamily]:
+    """Families for :meth:`~repro.telemetry.live.SloTracker.snapshot`
+    dicts: lifetime outcome counters, windowed rates/ratios, and the
+    latency summary with p50/p90/p99 quantile samples."""
+    requests = MetricFamily(
+        "repro_serving_requests", "counter",
+        "Requests by session and outcome (lifetime).",
+    )
+    rate = MetricFamily(
+        "repro_serving_request_rate", "gauge",
+        "Requests per second over the rolling window.",
+    )
+    ratios = MetricFamily(
+        "repro_serving_failure_ratio", "gauge",
+        "Failure fraction of windowed requests, by failure mode.",
+    )
+    latency = MetricFamily(
+        "repro_serving_latency_seconds", "summary",
+        "Completed-request latency over the rolling window.",
+    )
+    for snapshot in snapshots:
+        session = snapshot["session"]
+        for outcome, count in snapshot["lifetime"].items():
+            requests.add(count, suffix="_total", session=session, outcome=outcome)
+        rate.add(snapshot["request_rate"], session=session)
+        for mode in ("error", "shed", "timeout", "breaker_open", "rejected"):
+            ratios.add(snapshot[f"{mode}_rate"], session=session, mode=mode)
+        stats = snapshot["latency"]
+        for q_label, q_key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            latency.add(stats[q_key], session=session, quantile=q_label)
+        latency.add(stats["count"], suffix="_count", session=session)
+        latency.add(stats["sum"], suffix="_sum", session=session)
+    return [requests, rate, ratios, latency]
+
+
+# -- validation --------------------------------------------------------------------------
+_SUFFIXES = ("_total", "_count", "_sum", "_bucket", "_created")
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Structural errors in an exposition (empty list = valid).
+
+    Checks: UTF-8 text ending in ``# EOF``; every line is a well-formed
+    comment or sample; sample values parse as floats; labels parse;
+    every sample belongs to a family declared by an earlier ``# TYPE``
+    line; no family is declared twice; no ``(name, labels)`` sample
+    repeats. This is what the CI obs-guard and the concurrent-scrape
+    tests run on every fetched exposition.
+    """
+    errors: List[str] = []
+    declared: Dict[str, str] = {}
+    seen_samples = set()
+    lines = text.split("\n")
+    if not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+    stripped = [line for line in lines if line]
+    if not stripped or stripped[-1] != "# EOF":
+        errors.append("exposition must terminate with '# EOF'")
+    for index, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 2 or parts[0] != "#":
+                errors.append(f"line {index}: malformed comment {line!r}")
+                continue
+            keyword = parts[1]
+            if keyword == "EOF":
+                continue
+            if keyword not in ("TYPE", "HELP", "UNIT"):
+                errors.append(f"line {index}: unknown directive {keyword!r}")
+                continue
+            if len(parts) < 3 or not _NAME_OK.match(parts[2]):
+                errors.append(f"line {index}: {keyword} names no valid metric")
+                continue
+            if keyword == "TYPE":
+                name, family_type = parts[2], parts[3] if len(parts) > 3 else ""
+                if family_type not in FAMILY_TYPES + ("histogram", "stateset"):
+                    errors.append(f"line {index}: unknown TYPE {family_type!r}")
+                if name in declared:
+                    errors.append(f"line {index}: family {name!r} declared twice")
+                declared[name] = family_type
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            errors.append(f"line {index}: malformed sample {line!r}")
+            continue
+        name = match.group("name")
+        family = name
+        if family not in declared:
+            for suffix in _SUFFIXES:
+                if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                    family = name[: -len(suffix)]
+                    break
+        if family not in declared:
+            errors.append(f"line {index}: sample {name!r} has no TYPE declaration")
+        label_text = match.group("labels")
+        labels = ()
+        if label_text:
+            pairs = _split_labels(label_text)
+            if pairs is None:
+                errors.append(f"line {index}: malformed labels {label_text!r}")
+            else:
+                labels = tuple(sorted(pairs))
+        try:
+            float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {index}: value {match.group('value')!r} is not a number")
+        key = (name, labels)
+        if key in seen_samples:
+            errors.append(f"line {index}: duplicate sample {name!r} {dict(labels)}")
+        seen_samples.add(key)
+    return errors
+
+
+def _split_labels(text: str) -> Optional[List[Tuple[str, str]]]:
+    """``k="v",k2="v2"`` into pairs, honoring escaped quotes; None if bad."""
+    pairs: List[Tuple[str, str]] = []
+    buffer = ""
+    in_quotes = False
+    escaped = False
+    parts: List[str] = []
+    for char in text:
+        if escaped:
+            buffer += char
+            escaped = False
+            continue
+        if char == "\\" and in_quotes:
+            buffer += char
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            buffer += char
+            continue
+        if char == "," and not in_quotes:
+            parts.append(buffer)
+            buffer = ""
+            continue
+        buffer += char
+    if in_quotes:
+        return None
+    if buffer:
+        parts.append(buffer)
+    for part in parts:
+        match = _LABEL_PAIR.match(part.strip())
+        if match is None:
+            return None
+        pairs.append((match.group("key"), match.group("value")))
+    return pairs
+
+
+# -- the endpoint ------------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._respond_metrics()
+        elif path == "/health":
+            self._respond_health()
+        else:
+            self._send(404, "text/plain; charset=utf-8", "not found\n")
+
+    def _respond_metrics(self) -> None:
+        try:
+            body = self.server.render_metrics()  # type: ignore[attr-defined]
+        except Exception as error:  # pragma: no cover - defensive: keep scraping alive
+            self._send(500, "text/plain; charset=utf-8", f"render failed: {error}\n")
+            return
+        self._send(
+            200,
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            body,
+        )
+
+    def _respond_health(self) -> None:
+        try:
+            payload = self.server.render_health()  # type: ignore[attr-defined]
+        except Exception as error:  # pragma: no cover - defensive
+            payload = {"status": "error", "error": str(error)}
+        status = 200 if payload.get("status") == "ok" else 503
+        self._send(
+            status, "application/json; charset=utf-8",
+            json.dumps(payload, sort_keys=True) + "\n",
+        )
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, *args) -> None:  # scrapes never spam stderr
+        pass
+
+
+class MetricsServer:
+    """A ``/metrics`` + ``/health`` endpoint on a daemon thread.
+
+    Parameters
+    ----------
+    render_metrics:
+        Zero-argument callable returning the OpenMetrics text for one
+        scrape (invoked per request — always current).
+    render_health:
+        Zero-argument callable returning the health JSON dict; a
+        ``status`` other than ``"ok"`` is served with HTTP 503.
+    host / port:
+        Bind address. Port 0 (the default) picks an ephemeral port;
+        read the bound one from :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        render_metrics: Callable[[], str],
+        render_health: Callable[[], Dict[str, Any]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.render_metrics = render_metrics  # type: ignore[attr-defined]
+        self._httpd.render_health = render_health  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics-http", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def stop(self) -> None:
+        """Shut the endpoint down (idempotent, joins the server thread)."""
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None

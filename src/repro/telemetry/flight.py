@@ -1,0 +1,269 @@
+"""Failure flight recorder: a post-mortem ring buffer for live services.
+
+A :class:`FlightRecorder` keeps two fixed-size rings — the most recent
+finished spans (fed by the tracer's span sink while telemetry is enabled)
+and leveled structured events (fed directly by the serving / reliability
+layers, telemetry session or not). When something goes wrong — a circuit
+breaker opens, a delta-driven rebuild fails, an
+:class:`~repro.exceptions.IntegrityError` surfaces — the layer that saw
+it calls :func:`trigger`, and the recorder freezes a *dump*: the last N
+spans, recent events, counter deltas since the previous dump, the
+breaker-state map, the active fault plan and a memory breakdown. Dumps
+stay readable in memory and, with a ``dump_dir``, are also written as
+JSON files (events inside the dump are row-per-line dicts — the JSONL
+shape — so a dump greps like a log).
+
+Same facade contract as the rest of the telemetry package: the module
+singleton is off by default, every producer call site tests the
+module-level :data:`ACTIVE` boolean first, and :func:`install` /
+:func:`clear` flip it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.telemetry import tracer as _tracer
+from repro.telemetry.tracer import SpanRecord, json_safe
+
+__all__ = [
+    "ACTIVE",
+    "FlightRecorder",
+    "clear",
+    "get",
+    "install",
+    "note_breaker",
+    "record_event",
+    "trigger",
+]
+
+LEVELS = ("debug", "info", "warning", "error")
+
+#: The one branch every producer call site tests.
+ACTIVE = False
+
+_state_lock = threading.Lock()
+_recorder: Optional["FlightRecorder"] = None
+
+
+class FlightRecorder:
+    """Fixed-size recent-history rings plus triggered post-mortem dumps.
+
+    Parameters
+    ----------
+    max_spans / max_events:
+        Ring capacities; the oldest entry falls off when full.
+    dump_dir:
+        When set, every :meth:`trigger` also writes
+        ``flight_<seq>_<reason>.json`` under this directory, pruned to
+        ``max_dumps`` files.
+    max_dumps:
+        In-memory dumps retained (and on-disk files kept when
+        ``dump_dir`` is set).
+    clock:
+        Wall-clock source for event / dump timestamps; injectable so
+        tests produce stable output.
+    """
+
+    def __init__(
+        self,
+        max_spans: int = 256,
+        max_events: int = 512,
+        dump_dir: Optional[Path] = None,
+        max_dumps: int = 8,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.max_spans = int(max_spans)
+        self.max_events = int(max_events)
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self.max_dumps = int(max_dumps)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: Deque[Dict[str, Any]] = deque(maxlen=self.max_spans)
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=self.max_events)
+        self._dumps: List[Dict[str, Any]] = []
+        self._dump_seq = 0
+        self._breaker_states: Dict[str, str] = {}
+        self._last_counters: Dict[str, float] = {}
+
+    # -- producers (hot-ish paths; each is one lock-guarded append) ---------------------
+    def record_span(self, record: SpanRecord) -> None:
+        entry = {
+            "name": record.name,
+            "tid": record.tid,
+            "start_ns": record.start_ns,
+            "duration_ns": record.duration_ns,
+            "depth": record.depth,
+            "parent": record.parent,
+            "attrs": {key: json_safe(val) for key, val in record.attrs.items()},
+        }
+        with self._lock:
+            self._spans.append(entry)
+
+    def record_event(self, level: str, kind: str, **fields) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; expected one of {LEVELS}")
+        entry = {
+            "ts": self._clock(),
+            "level": level,
+            "kind": kind,
+            **{key: json_safe(val) for key, val in fields.items()},
+        }
+        with self._lock:
+            self._events.append(entry)
+
+    def note_breaker(self, name: str, state: str) -> None:
+        """Track a breaker's latest state (fed by its transitions)."""
+        with self._lock:
+            self._breaker_states[name] = state
+
+    # -- dumps --------------------------------------------------------------------------
+    def trigger(self, reason: str, **context) -> Dict[str, Any]:
+        """Freeze and retain a post-mortem snapshot; returns the dump."""
+        self.record_event("error", "flight.trigger", reason=reason, **context)
+        dump = self._snapshot(reason, context)
+        with self._lock:
+            self._dump_seq += 1
+            dump["seq"] = self._dump_seq
+            self._dumps.append(dump)
+            del self._dumps[: -self.max_dumps]
+        if self.dump_dir is not None:
+            self._write(dump)
+        return dump
+
+    def _snapshot(self, reason: str, context: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.reliability import faults as _faults
+        from repro.telemetry import active_session
+        from repro.telemetry.memory import rss_breakdown
+
+        session = active_session()
+        counters: Dict[str, float] = (
+            session.metrics.counter_values() if session is not None else {}
+        )
+        with self._lock:
+            previous = self._last_counters
+            self._last_counters = counters
+            spans = list(self._spans)
+            events = list(self._events)
+            breakers = dict(self._breaker_states)
+        deltas = {
+            name: value - previous.get(name, 0.0)
+            for name, value in counters.items()
+            if value != previous.get(name, 0.0)
+        }
+        injector = _faults.injector()
+        fault_plan = None
+        if injector is not None:
+            fault_plan = {
+                "plan": repr(injector.plan),
+                "sites": {
+                    site: {"hits": hits, "triggers": triggers}
+                    for site, (hits, triggers) in injector.snapshot().items()
+                },
+            }
+        return {
+            "ts": self._clock(),
+            "reason": reason,
+            "context": {key: json_safe(val) for key, val in context.items()},
+            "spans": spans,
+            "events": events,
+            "counter_deltas": deltas,
+            "breaker_states": breakers,
+            "fault_plan": fault_plan,
+            "memory": rss_breakdown(),
+        }
+
+    def _write(self, dump: Dict[str, Any]) -> None:
+        self.dump_dir.mkdir(parents=True, exist_ok=True)
+        reason = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in dump["reason"]
+        )
+        path = self.dump_dir / f"flight_{dump['seq']:04d}_{reason}.json"
+        path.write_text(json.dumps(dump, indent=2, sort_keys=True) + "\n")
+        existing = sorted(self.dump_dir.glob("flight_*.json"))
+        for stale in existing[: -self.max_dumps]:
+            stale.unlink()
+
+    # -- consumers ----------------------------------------------------------------------
+    @property
+    def dumps(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._dumps)
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def events_jsonl(self) -> str:
+        """The event ring as JSON-lines text (one dict per line)."""
+        with self._lock:
+            return "\n".join(json.dumps(e, sort_keys=True) for e in self._events)
+
+
+def install(
+    recorder: Optional[FlightRecorder] = None, **kwargs
+) -> FlightRecorder:
+    """Activate a recorder (constructing one from ``kwargs`` if omitted).
+
+    Also connects the tracer span sink so finished spans (while a
+    telemetry session is enabled) land in the recorder's span ring.
+    """
+    global ACTIVE, _recorder
+    if recorder is None:
+        recorder = FlightRecorder(**kwargs)
+    with _state_lock:
+        _recorder = recorder
+        _tracer.SPAN_SINK = recorder.record_span
+        ACTIVE = True
+    return recorder
+
+
+def clear() -> None:
+    """Deactivate the flight recorder (idempotent)."""
+    global ACTIVE, _recorder
+    with _state_lock:
+        ACTIVE = False
+        _recorder = None
+        _tracer.SPAN_SINK = None
+
+
+def get() -> Optional[FlightRecorder]:
+    return _recorder
+
+
+# -- producer facade (what serving / reliability call) ----------------------------------
+def record_event(level: str, kind: str, **fields) -> None:
+    if not ACTIVE:
+        return
+    recorder = _recorder
+    if recorder is not None:
+        recorder.record_event(level, kind, **fields)
+
+
+def note_breaker(name: str, state: str) -> None:
+    if not ACTIVE:
+        return
+    recorder = _recorder
+    if recorder is not None:
+        recorder.note_breaker(name, state)
+
+
+def trigger(reason: str, **context) -> Optional[Dict[str, Any]]:
+    """Trigger a post-mortem dump on the active recorder (no-op while off)."""
+    if not ACTIVE:
+        return None
+    recorder = _recorder
+    if recorder is not None:
+        return recorder.trigger(reason, **context)
+    return None

@@ -1,0 +1,283 @@
+"""Live metrics: always-on sliding-window aggregators and SLO trackers.
+
+The PR 6 telemetry core is *session*-scoped and offline: ``collect()``,
+run a batch, read a report. This module is the complementary *live* tier
+for long-running services — instruments that forget old data on their own
+(sliding windows, ring buffers) so a process serving traffic for days can
+answer "what is the p99 *right now*" without unbounded growth and without
+a telemetry session being active at all.
+
+Three primitives, all thread-safe and fake-clock-friendly:
+
+* :class:`WindowedCounter` — a bucketed sliding-window sum; ``total()``
+  and ``rate()`` cover exactly the trailing window, old buckets expire
+  lazily on access;
+* :class:`QuantileWindow` — a fixed-capacity ring buffer of the most
+  recent observations; ``quantile()`` sorts the live window on demand
+  (capacities are small — hundreds to a few thousand — so a scrape-time
+  sort is cheaper than maintaining a sketch);
+* :class:`SloTracker` — one serving session's rolling SLO view: request /
+  error / shed / timeout / breaker-open windows plus a latency ring,
+  snapshotting into rates, error fractions and p50/p99.
+
+The module mirrors the :mod:`repro.telemetry` facade contract: hot call
+sites guard on the module-level :data:`ENABLED` boolean (one attribute
+load + branch), so switching the live tier off — the exporter-off arm of
+the CI overhead guard — removes all bookkeeping from the request path.
+Unlike the session tier, :data:`ENABLED` defaults to **on**: live
+instruments are owned by the services that create them, cost a few locked
+float updates per request, and exist precisely so they are always there
+when something goes wrong.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "ENABLED",
+    "QuantileWindow",
+    "SloTracker",
+    "WindowedCounter",
+    "disable",
+    "enable",
+    "is_enabled",
+]
+
+#: The one branch every live-instrumented call site tests. On by default
+#: (the live tier is always-on); the CI obs-guard flips it off for the
+#: exporter-off overhead arm.
+ENABLED = True
+
+
+def enable() -> None:
+    """Turn live-metric updates on (the default state)."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn live-metric updates off (call sites become a single branch)."""
+    global ENABLED
+    ENABLED = False
+
+
+def is_enabled() -> bool:
+    return ENABLED
+
+
+class WindowedCounter:
+    """A sliding-window sum over fixed time buckets.
+
+    The window is ``n_buckets`` buckets of ``window_s / n_buckets``
+    seconds each. ``add`` lands in the current bucket; buckets older than
+    the window expire lazily whenever the clock advances past them, so an
+    idle counter decays to zero without any background thread. The
+    lifetime total is kept alongside (it is what the OpenMetrics counter
+    exposition needs — counters must never go backwards).
+    """
+
+    __slots__ = ("window_s", "n_buckets", "_bucket_s", "_clock", "_lock",
+                 "_buckets", "_bucket_index", "_lifetime")
+
+    def __init__(
+        self,
+        window_s: float = 60.0,
+        n_buckets: int = 60,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        self.window_s = float(window_s)
+        self.n_buckets = int(n_buckets)
+        self._bucket_s = self.window_s / self.n_buckets
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets = [0.0] * self.n_buckets
+        self._bucket_index: Optional[int] = None  # absolute bucket number
+        self._lifetime = 0.0
+
+    def _advance(self) -> None:
+        # Caller holds the lock. Expire every bucket the clock skipped.
+        now_index = int(self._clock() / self._bucket_s)
+        if self._bucket_index is None:
+            self._bucket_index = now_index
+            return
+        skipped = now_index - self._bucket_index
+        if skipped <= 0:
+            return
+        if skipped >= self.n_buckets:
+            self._buckets = [0.0] * self.n_buckets
+        else:
+            for offset in range(1, skipped + 1):
+                self._buckets[(self._bucket_index + offset) % self.n_buckets] = 0.0
+        self._bucket_index = now_index
+
+    def add(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._advance()
+            self._buckets[self._bucket_index % self.n_buckets] += amount
+            self._lifetime += amount
+
+    def total(self) -> float:
+        """The sum over the trailing window."""
+        with self._lock:
+            self._advance()
+            return sum(self._buckets)
+
+    def rate(self) -> float:
+        """Per-second rate over the trailing window."""
+        return self.total() / self.window_s
+
+    @property
+    def lifetime(self) -> float:
+        """Monotonic total since construction (the exported counter)."""
+        with self._lock:
+            return self._lifetime
+
+
+class QuantileWindow:
+    """Quantiles over the most recent ``capacity`` observations.
+
+    A plain ring buffer: each observation overwrites the oldest once the
+    window is full, so the estimate always describes recent behavior.
+    Quantile reads copy and sort the live window under the lock — at the
+    capacities used here (<= a few thousand floats) that is microseconds,
+    and it guarantees a scrape never sees a torn window.
+    """
+
+    __slots__ = ("capacity", "_lock", "_ring", "_next", "_count", "_total")
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._ring: List[float] = [0.0] * self.capacity
+        self._next = 0
+        self._count = 0  # lifetime observation count
+        self._total = 0.0  # lifetime sum (the exported summary _sum)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._ring[self._next] = value
+            self._next = (self._next + 1) % self.capacity
+            self._count += 1
+            self._total += value
+
+    def _window(self) -> List[float]:
+        # Caller holds the lock.
+        if self._count >= self.capacity:
+            return list(self._ring)
+        return self._ring[: self._count]
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the window; 0.0 while empty."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            window = self._window()
+        if not window:
+            return 0.0
+        window.sort()
+        # Nearest-rank on the sorted window: robust, monotone in q.
+        rank = min(len(window), max(1, math.ceil(q * len(window))))
+        return window[rank - 1]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Count/sum plus the standard latency quantiles, one lock hold."""
+        with self._lock:
+            window = self._window()
+            count = self._count
+            total = self._total
+        if not window:
+            return {"count": count, "sum": total, "window": 0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        window.sort()
+        last = len(window) - 1
+
+        def at(q: float) -> float:
+            return window[min(last, max(0, int(round(q * last))))]
+
+        return {
+            "count": count,
+            "sum": total,
+            "window": len(window),
+            "p50": at(0.50),
+            "p90": at(0.90),
+            "p99": at(0.99),
+            "max": window[-1],
+        }
+
+
+#: Request outcomes a :class:`SloTracker` distinguishes. ``ok`` is the
+#: success path; everything else is a failure mode with its own rate.
+OUTCOMES = ("ok", "error", "shed", "timeout", "breaker_open", "rejected")
+
+
+class SloTracker:
+    """Rolling SLO view of one serving session.
+
+    One :class:`WindowedCounter` per request outcome plus a latency
+    :class:`QuantileWindow` over completed requests. ``record`` is the
+    single hot-path entry: outcome classification plus (for completed
+    requests) one latency observation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window_s: float = 60.0,
+        latency_capacity: int = 2048,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.window_s = float(window_s)
+        self._outcomes: Dict[str, WindowedCounter] = {
+            outcome: WindowedCounter(window_s=window_s, clock=clock)
+            for outcome in OUTCOMES
+        }
+        self.latency = QuantileWindow(capacity=latency_capacity)
+
+    def record(self, outcome: str, latency_s: Optional[float] = None) -> None:
+        counter = self._outcomes.get(outcome)
+        if counter is None:
+            raise ValueError(
+                f"unknown outcome {outcome!r}; expected one of {OUTCOMES}"
+            )
+        counter.add(1.0)
+        if latency_s is not None:
+            self.latency.observe(float(latency_s))
+
+    def snapshot(self) -> Dict[str, object]:
+        """The session's SLO view: windowed rates, failure fractions and
+        latency quantiles. Each instrument snapshots atomically; the view
+        as a whole is a consistent-enough composite for dashboards (no
+        instrument is ever torn mid-value)."""
+        totals = {o: c.total() for o, c in self._outcomes.items()}
+        lifetime = {o: c.lifetime for o, c in self._outcomes.items()}
+        n_window = sum(totals.values())
+        latency = self.latency.snapshot()
+
+        def fraction(outcome: str) -> float:
+            return totals[outcome] / n_window if n_window else 0.0
+
+        return {
+            "session": self.name,
+            "window_s": self.window_s,
+            "window_requests": n_window,
+            "request_rate": n_window / self.window_s,
+            "error_rate": fraction("error"),
+            "shed_rate": fraction("shed"),
+            "timeout_rate": fraction("timeout"),
+            "breaker_open_rate": fraction("breaker_open"),
+            "rejected_rate": fraction("rejected"),
+            "latency": latency,
+            "lifetime": lifetime,
+        }

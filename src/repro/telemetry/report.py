@@ -86,6 +86,14 @@ class RunReport:
                 f"sampled_peak={_fmt_bytes(sampled)} "
                 f"samples={self.memory.get('n_samples', 0)}"
             )
+            anonymous = self.memory.get("final_anonymous_bytes")
+            file_backed = self.memory.get("final_file_backed_bytes")
+            if anonymous is not None or file_backed is not None:
+                lines.append(
+                    f"        rss breakdown: anonymous={_fmt_bytes(anonymous or 0)} "
+                    f"file_backed={_fmt_bytes(file_backed or 0)} "
+                    f"(of {_fmt_bytes(self.memory.get('final_rss_bytes', 0))} final)"
+                )
         if self.spans:
             lines.append("spans (by total wall time):")
             ordered = sorted(

@@ -56,6 +56,12 @@ class NoopSpan:
 #: Shared singleton: disabled call sites allocate nothing per span.
 NOOP_SPAN = NoopSpan()
 
+#: Optional callback invoked with every finished :class:`SpanRecord`
+#: (across all tracers). The flight recorder installs itself here so its
+#: span ring sees the same records the session tracer keeps. ``None``
+#: (the default) costs one attribute load per finished span.
+SPAN_SINK = None
+
 
 class SpanRecord:
     """One finished span: timing, thread, nesting and attributes."""
@@ -127,9 +133,13 @@ class Span:
         self._start_ns = time.perf_counter_ns()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
         end_ns = time.perf_counter_ns()
         cpu_ns = time.thread_time_ns() - self._cpu_start_ns
+        if exc_type is not None:
+            # A span that ended in an exception says so — post-mortems
+            # (flight recorder dumps) read this to find the failing request.
+            self.attrs.setdefault("error", exc_type.__name__)
         stack = self._tracer._stack()
         if stack and stack[-1] is self:
             stack.pop()
@@ -155,6 +165,7 @@ class Tracer:
         self._t0_ns = time.perf_counter_ns()
         self.started_at = time.time()
         self._records: List[SpanRecord] = []
+        self._thread_names: Dict[int, str] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
 
@@ -170,6 +181,17 @@ class Tracer:
     def _record(self, record: SpanRecord) -> None:
         with self._lock:
             self._records.append(record)
+            if record.tid not in self._thread_names:
+                self._thread_names[record.tid] = threading.current_thread().name
+        sink = SPAN_SINK
+        if sink is not None:
+            sink(record)
+
+    @property
+    def thread_names(self) -> Dict[int, str]:
+        """Thread id → name, for every thread that finished a span."""
+        with self._lock:
+            return dict(self._thread_names)
 
     @property
     def records(self) -> List[SpanRecord]:
@@ -200,9 +222,21 @@ class Tracer:
     def to_chrome_trace(self) -> Dict[str, Any]:
         """The Chrome ``trace_event`` JSON object (load in Perfetto or
         ``chrome://tracing``); one complete ("X") event per finished span,
-        timestamps in microseconds relative to tracer creation."""
+        timestamps in microseconds relative to tracer creation. Leading
+        ``thread_name`` metadata ("M") events label each lane with its
+        Python thread name, so Perfetto shows ``repro-par-4_0`` /
+        ``amalur-serve-1`` instead of bare numeric TIDs."""
         pid = os.getpid()
-        events = []
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread_name},
+            }
+            for tid, thread_name in sorted(self.thread_names.items())
+        ]
         for record in self.records:
             events.append(
                 {

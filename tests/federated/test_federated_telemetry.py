@@ -1,0 +1,133 @@
+"""Telemetry coverage of the federated training paths (PR 10 satellite).
+
+The federated and silo layers are instrumented with ``train.federated.*``
+spans and per-party network counters; these tests assert the instrumentation
+fires and matches the models' own communication accounting — and that it is
+completely inert when telemetry is disabled.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.federated.horizontal import FederatedAveraging
+from repro.federated.party import Party
+from repro.federated.vertical_lr import VerticalFederatedLinearRegression
+from repro.silos.network import SimulatedNetwork
+
+
+@pytest.fixture
+def vfl_parties(rng):
+    n = 60
+    ids = [f"e{i}" for i in range(n)]
+    features_a = rng.standard_normal((n, 2))
+    features_b = rng.standard_normal((n, 3))
+    labels = features_a @ np.array([1.0, -2.0]) + features_b @ np.array([0.5, 1.5, -1.0])
+    party_a = Party("A", features_a, ["a0", "a1"], labels=labels, entity_ids=ids)
+    party_b = Party("B", features_b, ["b0", "b1", "b2"], entity_ids=ids)
+    return [party_a, party_b]
+
+
+@pytest.fixture
+def hfl_parties(rng):
+    weights = np.array([2.0, -1.0, 0.5])
+    parties = []
+    for index, n in enumerate((40, 50)):
+        features = rng.standard_normal((n, 3))
+        labels = (features @ weights > 0).astype(float)
+        parties.append(Party(f"silo_{index}", features, ["f0", "f1", "f2"], labels=labels))
+    return parties
+
+
+def span_names(session):
+    return [record.name for record in session.tracer.records]
+
+
+class TestVerticalSpans:
+    def test_fit_emits_spans_and_counters(self, vfl_parties):
+        n_iterations = 7
+        with telemetry.collect(sample_memory=False) as session:
+            model = VerticalFederatedLinearRegression(
+                n_iterations=n_iterations, use_encryption=False
+            ).fit(vfl_parties)
+        names = span_names(session)
+        assert names.count("train.federated.vertical_lr") == 1
+        assert names.count("train.federated.vertical_lr.round") == n_iterations
+        assert "train.federated.align" in names
+
+        (fit_span,) = [
+            r for r in session.tracer.records
+            if r.name == "train.federated.vertical_lr"
+        ]
+        assert fit_span.attrs["parties"] == 2
+        assert fit_span.attrs["final_loss"] == pytest.approx(
+            model.report_.loss_history[-1]
+        )
+        assert fit_span.attrs["messages"] == model.report_.n_messages
+
+        counters = session.metrics.counter_values()
+        assert counters["federated.rounds"] == float(n_iterations)
+        assert counters["federated.vertical.rounds"] == float(n_iterations)
+        assert counters["federated.aligned_rows"] == 60.0
+
+        losses = session.metrics.histogram_summaries()["federated.vertical.loss"]
+        assert losses["count"] == n_iterations
+
+    def test_network_counters_match_the_model_report(self, vfl_parties):
+        network = SimulatedNetwork()
+        with telemetry.collect(sample_memory=False) as session:
+            model = VerticalFederatedLinearRegression(
+                n_iterations=5, use_encryption=False, network=network
+            ).fit(vfl_parties)
+        counters = session.metrics.counter_values()
+        assert counters["network.messages"] == float(model.report_.n_messages)
+        assert counters["network.bytes"] == float(model.report_.bytes_transferred)
+        per_party = [
+            name for name in counters if name.startswith("network.bytes_sent.")
+        ]
+        assert per_party  # at least one sender accounted
+        assert sum(counters[name] for name in per_party) == counters["network.bytes"]
+
+
+class TestHorizontalSpans:
+    def test_fedavg_emits_spans_and_counters(self, hfl_parties):
+        n_rounds = 6
+        with telemetry.collect(sample_memory=False) as session:
+            FederatedAveraging(
+                model="logistic", n_rounds=n_rounds, learning_rate=0.5
+            ).fit(hfl_parties)
+        names = span_names(session)
+        assert names.count("train.federated.fedavg") == 1
+        assert names.count("train.federated.fedavg.round") == n_rounds
+
+        (fit_span,) = [
+            r for r in session.tracer.records if r.name == "train.federated.fedavg"
+        ]
+        assert fit_span.attrs["parties"] == 2
+        assert fit_span.attrs["model"] == "logistic"
+        assert fit_span.attrs["total_rows"] == 90
+
+        counters = session.metrics.counter_values()
+        assert counters["federated.fedavg.rounds"] == float(n_rounds)
+        losses = session.metrics.histogram_summaries()["federated.fedavg.loss"]
+        assert losses["count"] == n_rounds
+
+
+class TestDisabledPathUnchanged:
+    def test_training_results_identical_with_and_without_telemetry(self, vfl_parties):
+        baseline = VerticalFederatedLinearRegression(
+            n_iterations=10, use_encryption=False
+        ).fit(vfl_parties)
+        with telemetry.collect(sample_memory=False):
+            instrumented = VerticalFederatedLinearRegression(
+                n_iterations=10, use_encryption=False
+            ).fit(vfl_parties)
+        assert np.array_equal(
+            baseline.centralized_equivalent_weights(),
+            instrumented.centralized_equivalent_weights(),
+        )
+
+    def test_no_session_means_no_spans(self, hfl_parties):
+        assert telemetry.active_session() is None
+        FederatedAveraging(model="logistic", n_rounds=2).fit(hfl_parties)
+        assert telemetry.active_session() is None

@@ -1,0 +1,194 @@
+"""The live observability tier of AmalurService: /metrics, /health, SLOs,
+and the flight recorder's post-mortems (PR 10 tentpole)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.datagen.scenarios import ScenarioSpec, generate_scenario_tables
+from repro.exceptions import CircuitOpenError, ServiceError, TransientError
+from repro.metadata.mappings import ScenarioType
+from repro.reliability import faults
+from repro.serving import AmalurService, DatasetSession
+from repro.system.plan import ModelSpec
+from repro.system.requests import IntegrationConfig, TrainRequest
+from repro.telemetry import flight
+from repro.telemetry.exporter import validate_openmetrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability_state():
+    yield
+    telemetry.disable()
+    flight.clear()
+    faults.clear()
+
+
+def make_session(seed=0):
+    spec = ScenarioSpec(
+        scenario=ScenarioType.LEFT_JOIN, base_rows=60, other_rows=35,
+        overlap_rows=20, overlap_columns=2, seed=seed,
+    )
+    base, other, matches, _, target_columns = generate_scenario_tables(spec)
+    config = IntegrationConfig(
+        base="S1", other="S2", target_columns=target_columns,
+        scenario=ScenarioType.LEFT_JOIN, label_column="label",
+    )
+    return DatasetSession(base, other, config, column_matches=matches)
+
+
+@pytest.fixture
+def service():
+    svc = AmalurService(n_workers=2, max_queue=16, metrics_port=0)
+    svc.register_session("demo", make_session())
+    svc.train("demo", TrainRequest(model=ModelSpec(task="regression")))
+    yield svc
+    svc.close()
+
+
+def scrape(service, path="/metrics"):
+    return urllib.request.urlopen(service.metrics_url(path), timeout=5).read().decode()
+
+
+class TestEndpoint:
+    def test_disabled_by_default(self):
+        with AmalurService(n_workers=1) as svc:
+            assert svc.metrics_port is None
+            with pytest.raises(ServiceError):
+                svc.metrics_url()
+
+    def test_scrape_is_valid_openmetrics(self, service):
+        assert service.metrics_port > 0
+        service.predict("demo")
+        body = scrape(service)
+        assert validate_openmetrics(body) == []
+        # the fixture's train plus this predict: two ok outcomes
+        assert 'repro_serving_requests_total{outcome="ok",session="demo"} 2' in body
+        assert "repro_serving_queue_depth" in body
+        assert 'repro_breaker_state{session="demo"} 0' in body
+        assert 'repro_session_dataset_version{session="demo"}' in body
+
+    def test_health_reports_ok_then_degraded(self, service):
+        health = urllib.request.urlopen(service.metrics_url("/health"), timeout=5)
+        assert health.status == 200
+        payload = json.loads(health.read())
+        assert payload["status"] == "ok"
+        assert payload["open_breakers"] == []
+        assert "demo" in payload["sessions"]
+
+        service.breaker("demo").record_failure()  # default threshold opens it
+        for _ in range(10):
+            service.breaker("demo").record_failure()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(service.metrics_url("/health"), timeout=5)
+        assert excinfo.value.code == 503
+        payload = json.loads(excinfo.value.read())
+        assert payload["status"] == "degraded"
+        assert payload["open_breakers"] == ["demo"]
+
+    def test_concurrent_scrapes_during_traffic(self, service):
+        stop = threading.Event()
+        problems, errors = [], []
+
+        def client():
+            while not stop.is_set():
+                try:
+                    service.predict("demo")
+                except Exception as error:  # pragma: no cover - failure evidence
+                    errors.append(error)
+                    return
+
+        def scraper():
+            for _ in range(15):
+                body = scrape(service)
+                found = validate_openmetrics(body)
+                if found:
+                    problems.append(found)
+
+        clients = [threading.Thread(target=client) for _ in range(3)]
+        scrapers = [threading.Thread(target=scraper) for _ in range(2)]
+        for thread in clients + scrapers:
+            thread.start()
+        for thread in scrapers:
+            thread.join()
+        stop.set()
+        for thread in clients:
+            thread.join()
+        assert problems == []
+        assert errors == []
+
+
+class TestSlos:
+    def test_outcomes_and_latency_tracked(self, service):
+        for _ in range(5):
+            service.predict("demo")
+        (snapshot,) = [
+            s for s in service.slo_snapshots() if s["session"] == "demo"
+        ]
+        # register + train + 5 predicts all recorded as ok
+        assert snapshot["lifetime"]["ok"] >= 6.0
+        assert snapshot["lifetime"]["error"] == 0.0
+        assert snapshot["latency"]["count"] >= 6
+        assert snapshot["latency"]["p99"] > 0.0
+
+    def test_faulted_requests_become_error_outcomes(self, service):
+        with faults.active_plan("serving.request:p=1,n=2,kind=transient"):
+            for _ in range(2):
+                with pytest.raises(TransientError):
+                    service.predict("demo")
+        (snapshot,) = [
+            s for s in service.slo_snapshots() if s["session"] == "demo"
+        ]
+        assert snapshot["lifetime"]["error"] == 2.0
+
+
+class TestFlightRecorder:
+    def test_forced_breaker_open_dumps_the_failing_span(self, tmp_path):
+        recorder = flight.install(dump_dir=tmp_path)
+        telemetry.enable(sample_memory=False)
+        with AmalurService(
+            n_workers=1, max_queue=8, breaker_threshold=2, metrics_port=0
+        ) as service:
+            service.register_session("demo", make_session())
+            service.train("demo", TrainRequest(model=ModelSpec(task="regression")))
+            with faults.active_plan("serving.request:p=1,n=2,kind=transient"):
+                for _ in range(2):
+                    with pytest.raises(TransientError):
+                        service.predict("demo")
+                with pytest.raises(CircuitOpenError):
+                    service.predict("demo")
+
+            dumps = [d for d in recorder.dumps if d["reason"] == "breaker_open"]
+            assert len(dumps) == 1
+            dump = dumps[0]
+            assert dump["breaker_states"]["demo"] == "open"
+            # The failing request's span closed before the breaker tripped,
+            # so the post-mortem carries it.
+            assert any(
+                span["name"] == "serving.request" and span["attrs"].get("error")
+                for span in dump["spans"]
+            )
+            assert any(
+                event["kind"] == "serving.request_failed"
+                and event["error"] == "TransientError"
+                for event in dump["events"]
+            )
+            # The injected fault plan is part of the evidence.
+            assert dump["fault_plan"] is not None
+            assert dump["fault_plan"]["sites"]["serving.request"]["triggers"] == 2
+
+            # The breaker rejection itself is visible on /metrics.
+            body = scrape(service)
+            assert validate_openmetrics(body) == []
+            assert 'repro_breaker_state{session="demo"} 2' in body
+            assert (
+                'repro_serving_requests_total{outcome="breaker_open",session="demo"} 1'
+                in body
+            )
+
+        (dump_file,) = tmp_path.glob("flight_*_breaker_open.json")
+        assert json.loads(dump_file.read_text())["reason"] == "breaker_open"

@@ -3,9 +3,12 @@
 import pytest
 
 from repro import telemetry
+from repro.telemetry import flight, live
 
 
 @pytest.fixture(autouse=True)
 def _telemetry_disabled_after_each():
     yield
     telemetry.disable()
+    flight.clear()
+    live.enable()  # the live tier's documented default is on

@@ -77,5 +77,6 @@ class TestEnableDisable:
             with telemetry.span("s"):
                 pass
         trace = session.chrome_trace()
-        assert len(trace["traceEvents"]) == 1
-        assert trace["traceEvents"][0]["name"] == "s"
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "s"

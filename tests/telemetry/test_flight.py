@@ -1,0 +1,106 @@
+"""Tests for repro.telemetry.flight: rings, dumps, and the breaker trigger."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import flight
+from repro.telemetry import tracer as tracer_module
+from repro.telemetry.flight import FlightRecorder
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestRings:
+    def test_event_ring_is_bounded(self):
+        recorder = FlightRecorder(max_events=4, clock=FakeClock())
+        for index in range(10):
+            recorder.record_event("info", "tick", index=index)
+        events = recorder.events
+        assert len(events) == 4
+        assert [event["index"] for event in events] == [6, 7, 8, 9]
+
+    def test_unknown_level_raises(self):
+        recorder = FlightRecorder()
+        with pytest.raises(ValueError):
+            recorder.record_event("shout", "oops")
+
+    def test_events_jsonl_is_one_dict_per_line(self):
+        recorder = FlightRecorder(clock=FakeClock())
+        recorder.record_event("info", "a")
+        recorder.record_event("warning", "b", detail="x")
+        lines = recorder.events_jsonl().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["kind"] == "b"
+
+    def test_span_ring_fed_by_the_tracer_sink(self):
+        recorder = flight.install(max_spans=3)
+        telemetry.enable(sample_memory=False)
+        for index in range(5):
+            with telemetry.span(f"op{index}"):
+                pass
+        names = [span["name"] for span in recorder.spans]
+        assert names == ["op2", "op3", "op4"]
+
+
+class TestDumps:
+    def test_trigger_snapshots_events_breakers_and_deltas(self):
+        telemetry.enable(sample_memory=False)
+        recorder = flight.install(clock=FakeClock())
+        telemetry.counter_add("work.items", 5.0)
+        recorder.note_breaker("demo", "open")
+        recorder.record_event("warning", "something.odd")
+        dump = recorder.trigger("test_reason", extra="context")
+        assert dump["reason"] == "test_reason"
+        assert dump["context"] == {"extra": "context"}
+        assert dump["breaker_states"] == {"demo": "open"}
+        assert dump["counter_deltas"]["work.items"] == 5.0
+        assert any(event["kind"] == "flight.trigger" for event in dump["events"])
+        # Second trigger: only the counters that moved since the first.
+        telemetry.counter_add("work.items", 2.0)
+        second = recorder.trigger("again")
+        assert second["counter_deltas"] == {"work.items": 2.0}
+
+    def test_dump_files_written_and_pruned(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=tmp_path, max_dumps=2, clock=FakeClock())
+        for index in range(4):
+            recorder.trigger(f"reason_{index}")
+        files = sorted(path.name for path in tmp_path.glob("flight_*.json"))
+        assert files == ["flight_0003_reason_2.json", "flight_0004_reason_3.json"]
+        payload = json.loads((tmp_path / files[-1]).read_text())
+        assert payload["reason"] == "reason_3"
+        assert len(recorder.dumps) == 2
+
+    def test_reason_is_sanitized_for_the_filename(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=tmp_path, clock=FakeClock())
+        recorder.trigger("weird reason/../../x")
+        (file,) = tmp_path.glob("flight_*.json")
+        assert "/" not in file.name.replace("flight_", "", 1)
+        assert ".." not in file.name
+
+
+class TestFacade:
+    def test_inactive_facade_is_inert(self):
+        assert flight.ACTIVE is False
+        flight.record_event("info", "ignored")
+        flight.note_breaker("x", "open")
+        assert flight.trigger("ignored") is None
+        assert flight.get() is None
+
+    def test_install_and_clear_manage_the_span_sink(self):
+        recorder = flight.install()
+        assert flight.ACTIVE is True
+        assert flight.get() is recorder
+        assert tracer_module.SPAN_SINK == recorder.record_span
+        flight.clear()
+        assert flight.ACTIVE is False
+        assert tracer_module.SPAN_SINK is None
+        assert flight.get() is None

@@ -1,0 +1,161 @@
+"""Tests for repro.telemetry.live: windows, quantiles and SLO trackers.
+
+Every timing-sensitive assertion runs under a fake injectable clock, so
+nothing here sleeps and nothing is flaky.
+"""
+
+import threading
+
+import pytest
+
+from repro.telemetry import live
+from repro.telemetry.live import OUTCOMES, QuantileWindow, SloTracker, WindowedCounter
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestEnableDisable:
+    def test_on_by_default(self):
+        assert live.ENABLED is True
+        assert live.is_enabled() is True
+
+    def test_disable_then_enable(self):
+        live.disable()
+        assert live.ENABLED is False
+        live.enable()
+        assert live.ENABLED is True
+
+
+class TestWindowedCounter:
+    def test_counts_inside_the_window(self):
+        clock = FakeClock()
+        counter = WindowedCounter(window_s=10.0, n_buckets=10, clock=clock)
+        counter.add(3.0)
+        clock.advance(4.0)
+        counter.add(2.0)
+        assert counter.total() == 5.0
+        assert counter.rate() == pytest.approx(0.5)
+
+    def test_old_buckets_expire(self):
+        clock = FakeClock()
+        counter = WindowedCounter(window_s=10.0, n_buckets=10, clock=clock)
+        counter.add(3.0)
+        clock.advance(5.0)
+        counter.add(2.0)
+        clock.advance(6.5)  # first add is now 11.5s old, second 6.5s old
+        assert counter.total() == 2.0
+        clock.advance(10.0)
+        assert counter.total() == 0.0
+
+    def test_lifetime_is_monotonic_across_expiry(self):
+        clock = FakeClock()
+        counter = WindowedCounter(window_s=1.0, n_buckets=4, clock=clock)
+        for _ in range(5):
+            counter.add(1.0)
+            clock.advance(2.0)  # every add expires before the next
+        assert counter.total() <= 1.0
+        assert counter.lifetime == 5.0
+
+    def test_long_idle_gap_resets_every_bucket(self):
+        clock = FakeClock()
+        counter = WindowedCounter(window_s=10.0, n_buckets=10, clock=clock)
+        counter.add(7.0)
+        clock.advance(1000.0)
+        assert counter.total() == 0.0
+        counter.add(1.0)
+        assert counter.total() == 1.0
+
+    def test_thread_safety_under_concurrent_adds(self):
+        counter = WindowedCounter(window_s=60.0)
+        n_threads, n_adds = 4, 500
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(n_adds):
+                counter.add(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.lifetime == n_threads * n_adds
+
+
+class TestQuantileWindow:
+    def test_nearest_rank_quantiles(self):
+        window = QuantileWindow(capacity=100)
+        for value in range(1, 101):  # 1..100
+            window.observe(float(value))
+        assert window.quantile(0.5) == 50.0
+        assert window.quantile(0.99) == 99.0
+        assert window.quantile(1.0) == 100.0
+        assert window.quantile(0.0) == 1.0
+
+    def test_ring_keeps_only_the_newest(self):
+        window = QuantileWindow(capacity=10)
+        for value in range(100):
+            window.observe(float(value))
+        snapshot = window.snapshot()
+        assert snapshot["window"] == 10
+        assert snapshot["count"] == 100
+        assert window.quantile(0.0) == 90.0  # oldest retained value
+
+    def test_empty_window_snapshot(self):
+        snapshot = QuantileWindow().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50"] == 0.0
+        assert snapshot["max"] == 0.0
+
+
+class TestSloTracker:
+    def test_unknown_outcome_raises(self):
+        tracker = SloTracker("s")
+        with pytest.raises(ValueError):
+            tracker.record("nope")
+
+    def test_rates_by_outcome(self):
+        clock = FakeClock()
+        tracker = SloTracker("s", window_s=60.0, clock=clock)
+        for _ in range(8):
+            tracker.record("ok", 0.010)
+        tracker.record("error", 0.020)
+        tracker.record("shed")
+        snapshot = tracker.snapshot()
+        assert snapshot["session"] == "s"
+        assert snapshot["window_requests"] == 10.0
+        assert snapshot["error_rate"] == pytest.approx(0.1)
+        assert snapshot["shed_rate"] == pytest.approx(0.1)
+        assert snapshot["timeout_rate"] == 0.0
+        assert snapshot["latency"]["count"] == 9  # shed carried no latency
+        assert snapshot["latency"]["p50"] == pytest.approx(0.010)
+        assert snapshot["lifetime"] == {
+            "ok": 8.0, "error": 1.0, "shed": 1.0, "timeout": 0.0,
+            "breaker_open": 0.0, "rejected": 0.0,
+        }
+
+    def test_window_rates_decay_but_lifetime_does_not(self):
+        clock = FakeClock()
+        tracker = SloTracker("s", window_s=10.0, clock=clock)
+        tracker.record("error", 0.5)
+        clock.advance(30.0)
+        tracker.record("ok", 0.001)
+        snapshot = tracker.snapshot()
+        assert snapshot["error_rate"] == 0.0  # the error left the window
+        assert snapshot["lifetime"]["error"] == 1.0
+
+    def test_every_declared_outcome_is_tracked(self):
+        tracker = SloTracker("s")
+        for outcome in OUTCOMES:
+            tracker.record(outcome)
+        assert tracker.snapshot()["window_requests"] == float(len(OUTCOMES))

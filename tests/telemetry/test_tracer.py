@@ -118,7 +118,12 @@ class TestChromeTrace:
         # Must be JSON-serializable as-is (what Perfetto loads).
         payload = json.loads(json.dumps(trace))
         assert payload["displayTimeUnit"] == "ms"
-        events = payload["traceEvents"]
+        # Leading "M" metadata events label each thread lane by name.
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert len(metadata) == 1
+        assert metadata[0]["name"] == "thread_name"
+        assert metadata[0]["args"]["name"]  # the Python thread's name
+        events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
         assert len(events) == 2
         for event in events:
             assert event["ph"] == "X"
